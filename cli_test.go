@@ -1,0 +1,144 @@
+package shareinsights
+
+// End-to-end smoke tests for the two executables, built once and driven
+// through their real command lines.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var buildOnce sync.Once
+var binDir string
+var buildErr error
+
+func buildCLIs(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		binDir, buildErr = os.MkdirTemp("", "si-bin")
+		if buildErr != nil {
+			return
+		}
+		for _, cmd := range []string{"shareinsights", "race2insights"} {
+			out, err := exec.Command("go", "build", "-o", filepath.Join(binDir, cmd), "./cmd/"+cmd).CombinedOutput()
+			if err != nil {
+				buildErr = err
+				t.Logf("build %s: %s", cmd, out)
+				return
+			}
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("building CLIs: %v", buildErr)
+	}
+	return binDir
+}
+
+func runCLI(t *testing.T, bin string, args ...string) (string, error) {
+	t.Helper()
+	out, err := exec.Command(filepath.Join(buildCLIs(t), bin), args...).CombinedOutput()
+	return string(out), err
+}
+
+const cliFlow = `
+D:
+  sales: [region, amount]
+
+D.sales:
+  source: sales.csv
+  format: csv
+
+F:
+  +D.by_region: D.sales | T.sum
+
+T:
+  sum:
+    type: groupby
+    groupby: [region]
+    aggregates:
+      - operator: sum
+        apply_on: amount
+        out_field: total
+`
+
+func writeFlowDir(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "demo.flow"), []byte(cliFlow), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "sales.csv"), []byte("east,10\nwest,20\neast,5\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestCLIRunValidatePlanProfile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := writeFlowDir(t)
+	flow := filepath.Join(dir, "demo.flow")
+
+	out, err := runCLI(t, "shareinsights", "run", flow)
+	if err != nil || !strings.Contains(out, "east") || !strings.Contains(out, "15") {
+		t.Fatalf("run: %v\n%s", err, out)
+	}
+	out, err = runCLI(t, "shareinsights", "validate", flow)
+	if err != nil || !strings.Contains(out, "ok") {
+		t.Fatalf("validate: %v\n%s", err, out)
+	}
+	out, err = runCLI(t, "shareinsights", "plan", flow)
+	if err != nil || !strings.Contains(out, "groupby region") {
+		t.Fatalf("plan: %v\n%s", err, out)
+	}
+	out, err = runCLI(t, "shareinsights", "profile", flow)
+	if err != nil || !strings.Contains(out, "by_region_profile") {
+		t.Fatalf("profile: %v\n%s", err, out)
+	}
+	out, err = runCLI(t, "shareinsights", "time", flow)
+	if err != nil || !strings.Contains(out, "slowest pipeline stages") {
+		t.Fatalf("time: %v\n%s", err, out)
+	}
+	out, err = runCLI(t, "shareinsights", "library")
+	if err != nil || !strings.Contains(out, "groupby") || !strings.Contains(out, "BubbleChart") {
+		t.Fatalf("library: %v\n%s", err, out)
+	}
+}
+
+func TestCLIDiagnostics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := writeFlowDir(t)
+	bad := strings.Replace(cliFlow, "apply_on: amount", "apply_on: amout", 1)
+	badPath := filepath.Join(dir, "bad.flow")
+	if err := os.WriteFile(badPath, []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runCLI(t, "shareinsights", "run", badPath)
+	if err == nil {
+		t.Fatal("run of broken flow should fail")
+	}
+	if !strings.Contains(out, "did you mean") {
+		t.Fatalf("diagnostics missing from CLI error:\n%s", out)
+	}
+}
+
+func TestCLIRace2Insights(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	out, err := runCLI(t, "race2insights", "-fig", "31")
+	if err != nil || !strings.Contains(out, "filter_by") {
+		t.Fatalf("fig 31: %v\n%s", err, out)
+	}
+	out, err = runCLI(t, "race2insights", "-fig", "obs")
+	if err != nil || !strings.Contains(out, "observations") {
+		t.Fatalf("obs: %v\n%s", err, out)
+	}
+}

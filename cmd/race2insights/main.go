@@ -1,0 +1,151 @@
+// Command race2insights regenerates every data figure and quantified
+// claim from the paper's evaluation (§5) — see EXPERIMENTS.md for the
+// paper-vs-measured record.
+//
+//	race2insights -fig 31       Figure 31: platform usage (operators, widgets)
+//	race2insights -fig 32       Figure 32: practice vs competition runs
+//	race2insights -fig 35       Figure 35: fork-to-go flow-file sizes
+//	race2insights -fig effort   headline claim (E4): flow file vs hand-coded stack
+//	race2insights -fig e6       §4.1 optimizer ablation: client transfer
+//	race2insights -fig e8       §4.5.3 shared-data feedback speedup
+//	race2insights -fig all      everything (default)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"shareinsights/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 31, 32, 35, effort, e6, e8, obs, all")
+	seed := flag.Int64("seed", experiments.DefaultSeed, "simulation seed")
+	tweets := flag.Int("tweets", 50000, "synthetic tweet volume for effort/shared runs")
+	flag.Parse()
+
+	switch *fig {
+	case "31", "32", "35":
+		telemetry(*seed, *fig)
+	case "effort":
+		effort(*seed, *tweets)
+	case "e6":
+		ablation(*seed)
+	case "e8":
+		shared(*seed, *tweets)
+	case "obs":
+		observations(*seed)
+	case "all":
+		telemetry(*seed, "31")
+		telemetry(*seed, "32")
+		telemetry(*seed, "35")
+		effort(*seed, *tweets)
+		ablation(*seed)
+		shared(*seed, *tweets)
+		observations(*seed)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func telemetry(seed int64, fig string) {
+	tel, err := experiments.RunTelemetry(seed)
+	if err != nil {
+		log.Fatalf("telemetry: %v", err)
+	}
+	switch fig {
+	case "31":
+		fmt.Println("== Figure 31: platform usage — popular operators ==")
+		fmt.Println(tel.OperatorUsage.Format(0))
+		fmt.Println("== Figure 31: platform usage — popular widgets ==")
+		fmt.Println(tel.WidgetUsage.Format(0))
+		fmt.Println("== Figure 31 companion: dashboard runs per hour ==")
+		fmt.Println(tel.ActivityByHour.Format(0))
+	case "32":
+		fmt.Println("== Figure 32: does practice matter? (per-team runs) ==")
+		fmt.Println(tel.PracticeVsRuns.Format(0))
+		fmt.Printf("finalists: %v\nwinners:   %v\n", tel.Sim.FinalistIDs(), tel.Sim.WinnerIDs())
+		fmt.Printf("practice/competition-run Pearson correlation: %.3f\n", tel.PracticeCorrelation())
+		fmt.Printf("winners' mean practice percentile: %.0f%%\n\n", 100*tel.WinnersPracticePercentile())
+	case "35":
+		fmt.Println("== Figure 35: fork to go (flow-file size in bytes at competition start) ==")
+		fmt.Println(tel.ForkSizes.Format(0))
+	}
+}
+
+func effort(seed int64, tweets int) {
+	fmt.Println("== E4: headline claim — flow file vs hand-coded Big Data stack ==")
+	e, err := experiments.RunEffort(seed, tweets)
+	if err != nil {
+		log.Fatalf("effort: %v", err)
+	}
+	fmt.Println(e)
+	fmt.Println()
+}
+
+func ablation(seed int64) {
+	fmt.Println("== E6: §4.1 optimizer ablation — transfer to the interactive context ==")
+	a, err := experiments.RunAblation(seed)
+	if err != nil {
+		log.Fatalf("ablation: %v", err)
+	}
+	fmt.Println(a)
+	fmt.Println()
+}
+
+func shared(seed int64, tweets int) {
+	fmt.Println("== E8: §4.5.3 shared-data feedback speedup ==")
+	s, err := experiments.RunShared(seed, tweets)
+	if err != nil {
+		log.Fatalf("shared: %v", err)
+	}
+	fmt.Println(s)
+	fmt.Println()
+}
+
+// observations restates the paper's §5.2.2 learnings with the evidence
+// this reproduction measures for each.
+func observations(seed int64) {
+	tel, err := experiments.RunTelemetry(seed)
+	if err != nil {
+		log.Fatalf("telemetry: %v", err)
+	}
+	sim := tel.Sim
+	custom, customSkilled := 0, 0
+	forked := 0
+	var minFork int = 1 << 30
+	for _, t := range sim.Teams {
+		if t.WroteCustomTask {
+			custom++
+			if t.Skill > 0.75 {
+				customSkilled++
+			}
+		}
+		if t.ForkSizeBytes > 0 {
+			forked++
+		}
+		if t.ForkSizeBytes < minFork {
+			minFork = t.ForkSizeBytes
+		}
+	}
+	customOps := 0
+	for i := 0; i < tel.OperatorUsage.Len(); i++ {
+		if tel.OperatorUsage.Cell(i, "operator").Str() == "custom" {
+			customOps = int(tel.OperatorUsage.Cell(i, "count").Int())
+		}
+	}
+	fmt.Println("== §5.2.2 observations, with measured evidence ==")
+	fmt.Printf("1. rich dashboards in six hours: see E4 (flow file is ~5-10x smaller than the hand-coded stack)\n")
+	fmt.Printf("2. winning teams wrote custom tasks: %d teams wrote one (%d of them high-skill); %d custom-task uses in telemetry\n",
+		custom, customSkilled, customOps)
+	fmt.Printf("3. teams forked to start: %d/%d teams started from a fork; smallest starting flow file %d bytes\n",
+		forked, len(sim.Teams), minFork)
+	fmt.Printf("4. data cleaning is non-trivial: see the profile meta-dashboard (shareinsights profile) surfacing nulls/distincts per column\n")
+	fmt.Printf("5. interaction specification needed training: interaction filters are ordinary tasks (filter_by + filter_source); see docs/GRAMMAR.md\n")
+	fmt.Printf("6. zero-install browser development: the REST editor API (PUT/run/ds/html) is the only interface; see internal/server\n")
+	fmt.Printf("7. revert-to-stable debugging: supported by the VCS (BenchmarkVCSRevertCycle, ~tens of µs per cycle) plus internal/diagnose error pin-pointing\n\n")
+}

@@ -1,0 +1,210 @@
+// Command shareinsights is the platform CLI.
+//
+//	shareinsights run <flow-file>        compile, run, print endpoint data
+//	shareinsights validate <flow-file>   parse and cross-check the sections
+//	shareinsights fmt <flow-file>        print the canonical form
+//	shareinsights plan <flow-file>       print the compiled DAG
+//	shareinsights explore <flow-file>    run and print every endpoint table
+//	shareinsights render <flow-file>     run and write <name>.html
+//	shareinsights time <flow-file>       run and print the slowest pipeline
+//	                                     stages (§6 bottleneck analysis)
+//	shareinsights profile <flow-file>    run and print the auto-generated
+//	                                     data-profile meta-dashboard (§6)
+//	shareinsights serve [-addr :8080]    start the REST development server
+//	shareinsights library                list installed tasks, operators,
+//	                                     aggregates, widgets, connectors
+//
+// Data files referenced by a flow file (CSV payloads, task dictionaries)
+// are looked up in the directory of the flow file — the per-dashboard
+// data folder of §4.3.2.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"shareinsights"
+	"shareinsights/internal/dag"
+	"shareinsights/internal/diagnose"
+	"shareinsights/internal/profile"
+	"shareinsights/internal/task"
+	"shareinsights/internal/widget"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("shareinsights: ")
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "run", "explore":
+		d := mustRun(mustArg(args, "flow file"))
+		for _, name := range d.EndpointNames() {
+			t, ok := d.Endpoint(name)
+			if !ok {
+				continue
+			}
+			limit := 20
+			if cmd == "explore" {
+				limit = 0
+			}
+			fmt.Printf("== D.%s (%d rows) ==\n%s\n", name, t.Len(), t.Format(limit))
+		}
+	case "validate":
+		f := mustParse(mustArg(args, "flow file"))
+		if err := f.Validate(true); err != nil {
+			for _, d := range diagnose.Diagnose(f, err) {
+				fmt.Fprintln(os.Stderr, d)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("%s: ok (%d data objects, %d flows, %d tasks, %d widgets)\n",
+			f.Name, len(f.Data), len(f.Flows), len(f.Tasks), len(f.Widgets))
+	case "fmt":
+		f := mustParse(mustArg(args, "flow file"))
+		fmt.Print(f.String())
+	case "plan":
+		path := mustArg(args, "flow file")
+		f := mustParse(path)
+		p := platformFor(path)
+		g, err := dag.Build(f, p.Tasks, p.Catalog.ResolveSchema)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(g.String())
+		if dead := g.DeadSinks(); len(dead) > 0 {
+			fmt.Printf("dead sinks (skipped): %s\n", strings.Join(dead, ", "))
+		}
+	case "render":
+		path := mustArg(args, "flow file")
+		d := mustRun(path)
+		out := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path)) + ".html"
+		fd, err := os.Create(out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer fd.Close()
+		if err := d.RenderHTML(fd); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("wrote", out)
+	case "serve":
+		fs := flag.NewFlagSet("serve", flag.ExitOnError)
+		addr := fs.String("addr", ":8080", "listen address")
+		dataDir := fs.String("data", ".", "data directory for file sources")
+		fs.Parse(args)
+		p := shareinsights.NewPlatform()
+		p.Connectors = shareinsights.NewConnectorRegistry(shareinsights.ConnectorOptions{DataDir: *dataDir})
+		srv := shareinsights.NewServer(p)
+		fmt.Printf("ShareInsights listening on %s (data dir %s)\n", *addr, *dataDir)
+		log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+	case "time":
+		d := mustRun(mustArg(args, "flow file"))
+		fmt.Println("slowest pipeline stages:")
+		for _, st := range d.Result().Stats.Slowest(10) {
+			fmt.Printf("  %-12v  D.%-20s  %6d rows  %s\n", st.Duration.Round(time.Microsecond), st.Output, st.Rows, st.Stage)
+		}
+	case "profile":
+		d := mustRun(mustArg(args, "flow file"))
+		meta, err := profile.BuildMeta(d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, name := range meta.EndpointNames() {
+			t, ok := meta.Endpoint(name)
+			if !ok {
+				continue
+			}
+			fmt.Printf("== %s ==\n%s\n", name, t.Format(0))
+		}
+	case "library":
+		p := shareinsights.NewPlatform()
+		fmt.Println("tasks:     ", strings.Join(p.Tasks.Types(), ", "))
+		fmt.Println("operators: ", strings.Join(task.Operators(), ", "))
+		fmt.Println("aggregates:", strings.Join(task.Aggregates(), ", "))
+		fmt.Println("widgets:   ", strings.Join(widget.Types(), ", "))
+		fmt.Println("protocols: ", strings.Join(p.Connectors.Protocols(), ", "))
+		fmt.Println("formats:   ", strings.Join(p.Connectors.Formats(), ", "))
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: shareinsights {run|validate|fmt|plan|explore|render|time|profile|serve|library} [args]")
+	os.Exit(2)
+}
+
+func mustArg(args []string, what string) string {
+	if len(args) < 1 {
+		log.Fatalf("missing %s argument", what)
+	}
+	return args[0]
+}
+
+func mustParse(path string) *shareinsights.FlowFile {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	f, err := shareinsights.ParseFlowFile(name, string(src))
+	if err != nil {
+		log.Fatal(err)
+	}
+	return f
+}
+
+// platformFor builds a platform whose file connector and task resources
+// are rooted at the flow file's directory.
+func platformFor(path string) *shareinsights.Platform {
+	p := shareinsights.NewPlatform()
+	p.Connectors = shareinsights.NewConnectorRegistry(shareinsights.ConnectorOptions{
+		DataDir: filepath.Dir(path),
+	})
+	return p
+}
+
+func mustRun(path string) *shareinsights.Dashboard {
+	f := mustParse(path)
+	p := platformFor(path)
+	// Every regular file beside the flow file is available as a task
+	// resource (dictionaries) and via the data: scheme.
+	resources := map[string][]byte{}
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err == nil {
+		for _, e := range entries {
+			if e.IsDir() || e.Name() == filepath.Base(path) {
+				continue
+			}
+			if b, err := os.ReadFile(filepath.Join(filepath.Dir(path), e.Name())); err == nil {
+				resources[e.Name()] = b
+			}
+		}
+	}
+	d, err := p.Compile(f, resources)
+	if err != nil {
+		fatalDiagnostics(f, err)
+	}
+	if err := d.Run(); err != nil {
+		fatalDiagnostics(f, err)
+	}
+	return d
+}
+
+// fatalDiagnostics prints flow-file-level diagnostics (§6 error
+// pin-pointing) instead of raw engine errors, then exits.
+func fatalDiagnostics(f *shareinsights.FlowFile, err error) {
+	for _, d := range diagnose.Diagnose(f, err) {
+		fmt.Fprintln(os.Stderr, "error:", d)
+	}
+	os.Exit(1)
+}

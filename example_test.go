@@ -1,0 +1,191 @@
+package shareinsights_test
+
+import (
+	"fmt"
+	"log"
+
+	"shareinsights"
+)
+
+// ExampleParseFlowFile shows the smallest complete pipeline: a CSV data
+// object grouped into an endpoint sink.
+func ExampleParseFlowFile() {
+	const flow = `
+D:
+  sales: [region, amount]
+
+D.sales:
+  source: mem:sales.csv
+  format: csv
+
+F:
+  +D.by_region: D.sales | T.sum_by_region
+
+T:
+  sum_by_region:
+    type: groupby
+    groupby: [region]
+    aggregates:
+      - operator: sum
+        apply_on: amount
+        out_field: total
+`
+	p := shareinsights.NewPlatform()
+	p.Connectors = shareinsights.NewConnectorRegistry(shareinsights.ConnectorOptions{
+		Mem: map[string][]byte{"sales.csv": []byte("east,10\nwest,20\neast,5\n")},
+	})
+	f, err := shareinsights.ParseFlowFile("sales", flow)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := p.Compile(f, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := d.Run(); err != nil {
+		log.Fatal(err)
+	}
+	t, _ := d.Endpoint("by_region")
+	fmt.Print(t.Format(0))
+	// Output:
+	// region  total
+	// ------  -----
+	// east    15
+	// west    20
+}
+
+// ExampleDashboard_Select shows widget-to-widget interaction: selecting
+// in a list filters a dependent grid, with no event handlers — the
+// interaction is a data-transformation flow.
+func ExampleDashboard_Select() {
+	const flow = `
+D:
+  sales: [region, product, amount]
+
+D.sales:
+  source: mem:sales.csv
+  format: csv
+
+F:
+  +D.regions: D.sales | T.region_groups
+
+W:
+  region_list:
+    type: List
+    source: D.regions
+    text: region
+
+  detail:
+    type: Grid
+    source: D.sales | T.pick_region
+
+T:
+  region_groups:
+    type: groupby
+    groupby: [region]
+  pick_region:
+    type: filter_by
+    filter_by: [region]
+    filter_source: W.region_list
+    filter_val: [text]
+
+L:
+  rows:
+    - [span4: W.region_list, span8: W.detail]
+`
+	p := shareinsights.NewPlatform()
+	p.Connectors = shareinsights.NewConnectorRegistry(shareinsights.ConnectorOptions{
+		Mem: map[string][]byte{"sales.csv": []byte("east,widget,10\nwest,gadget,20\neast,gizmo,5\n")},
+	})
+	f, err := shareinsights.ParseFlowFile("interactive", flow)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := p.Compile(f, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := d.Run(); err != nil {
+		log.Fatal(err)
+	}
+	if err := d.Select("region_list", "east"); err != nil {
+		log.Fatal(err)
+	}
+	detail, _ := d.Widget("detail")
+	fmt.Print(detail.Data.Format(0))
+	// Output:
+	// region  product  amount
+	// ------  -------  ------
+	// east    widget   10
+	// east    gizmo    5
+}
+
+// ExampleCatalog shows the data-sharing model: one dashboard publishes a
+// processed object, another consumes it by name.
+func ExampleCatalog() {
+	p := shareinsights.NewPlatform()
+	p.Connectors = shareinsights.NewConnectorRegistry(shareinsights.ConnectorOptions{
+		Mem: map[string][]byte{"raw.csv": []byte("a,1\nb,2\na,3\n")},
+	})
+	producer, err := shareinsights.ParseFlowFile("producer", `
+D:
+  raw: [k, v]
+
+D.raw:
+  source: mem:raw.csv
+  format: csv
+
+F:
+  +D.agg: D.raw | T.sum
+
+D.agg:
+  publish: totals
+
+T:
+  sum:
+    type: groupby
+    groupby: [k]
+    aggregates:
+      - operator: sum
+        apply_on: v
+        out_field: total
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pd, err := p.Compile(producer, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := pd.Run(); err != nil {
+		log.Fatal(err)
+	}
+	// The consumer has no flows: its widget reads the published object.
+	consumer, err := shareinsights.ParseFlowFile("consumer", `
+W:
+  grid:
+    type: Grid
+    source: D.totals
+
+L:
+  rows:
+    - [span12: W.grid]
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cd, err := p.Compile(consumer, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cd.Run(); err != nil {
+		log.Fatal(err)
+	}
+	grid, _ := cd.Widget("grid")
+	fmt.Print(grid.Data.Format(0))
+	// Output:
+	// k  total
+	// -  -----
+	// a  4
+	// b  2
+}

@@ -1,0 +1,263 @@
+// Command ipl reproduces the paper's §3.7 tweet-analysis use case and
+// its data-sharing model: a flow-file *group* of two dashboards.
+//
+// The first dashboard runs in data-processing mode (§3.7.1): it ingests
+// raw tweets, extracts players, teams and regions in parallel map
+// pipelines, aggregates, and *publishes* the results to the platform
+// catalog. The second dashboard runs in data-consumption mode (§3.7.2):
+// it has no flows of its own — its widgets read the published objects by
+// name, so "teams building interactive dashboards on processed data can
+// get extremely quick feedback to changes" (§4.5.3 benefit 4).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"shareinsights"
+	"shareinsights/internal/gen"
+)
+
+// processingFlow is the condensed Appendix A.1 dashboard.
+const processingFlow = `
+D:
+  ipl_tweets: [postedTime, body, location]
+  players_tweets: [date, player, count]
+  teams_tweets: [date, team, count]
+  tagcloud_tweets_raw: [date, word, count]
+  tagcloud_tweets: [date, word, count]
+  dim_teams: [team_number, team, team_fullName, sort_order, color, noOfTweets]
+  team_tweets: [date, team, team_fullName, sort_order, color, noOfTweets]
+  tm_rgn_raw_cnt: [date, team, state, count]
+
+D.ipl_tweets:
+  source: mem:tweets.csv
+  format: csv
+
+D.dim_teams:
+  source: mem:dim_teams.csv
+  format: csv
+
+F:
+  D.players_tweets: D.ipl_tweets | T.players_pipeline | T.players_count
+  D.teams_tweets: D.ipl_tweets | T.teams_pipeline | T.teams_count
+  D.tm_rgn_raw_cnt: D.ipl_tweets | T.teams_pipeline_region | T.teams_regions_count
+  D.tagcloud_tweets_raw: D.ipl_tweets | T.word_date_extraction | T.words_count
+  D.tagcloud_tweets: D.tagcloud_tweets_raw | T.topwords
+  D.team_tweets: (D.teams_tweets, D.dim_teams) | T.join_dim_teams
+
+  D.players_tweets:
+    endpoint: true
+    publish: players_tweets
+  D.team_tweets:
+    endpoint: true
+    publish: team_tweets
+  D.tagcloud_tweets:
+    endpoint: true
+    publish: tagcloud_tweets
+  D.tm_rgn_raw_cnt:
+    endpoint: true
+    publish: team_region_tweets
+
+T:
+  players_pipeline:
+    parallel: [T.norm_ipldate, T.extract_players]
+  teams_pipeline:
+    parallel: [T.norm_ipldate, T.extract_teams]
+  teams_pipeline_region:
+    parallel: [T.norm_ipldate, T.extract_location, T.extract_teams]
+  word_date_extraction:
+    parallel: [T.norm_ipldate, T.extract_words]
+  norm_ipldate:
+    type: map
+    operator: date
+    transform: postedTime
+    input_format: 'E MMM dd HH:mm:ss Z yyyy'
+    output_format: yyyy-MM-dd
+    output: date
+  extract_players:
+    type: map
+    operator: extract
+    transform: body
+    dict: players.txt
+    output: player
+  extract_teams:
+    type: map
+    operator: extract
+    transform: body
+    dict: teams.csv
+    output: team
+  extract_location:
+    type: map
+    operator: extract_location
+    transform: location
+    match: city
+    country: IND
+    dict: cities.ind.csv
+    output: state
+  extract_words:
+    type: map
+    operator: extract_words
+    transform: body
+    output: word
+  players_count:
+    type: groupby
+    groupby: [date, player]
+  teams_count:
+    type: groupby
+    groupby: [date, team]
+  teams_regions_count:
+    type: groupby
+    groupby: [date, team, state]
+  words_count:
+    type: groupby
+    groupby: [date, word]
+  topwords:
+    type: topn
+    groupby: [date]
+    orderby_column: [count DESC]
+    limit: 20
+  join_dim_teams:
+    type: join
+    left: teams_tweets by team
+    right: dim_teams by team_fullName
+    join_condition: left outer
+    project:
+      teams_tweets_date: date
+      dim_teams_team: team
+      teams_tweets_team: team_fullName
+      dim_teams_sort_order: sort_order
+      dim_teams_color: color
+      teams_tweets_count: noOfTweets
+`
+
+// consumptionFlow is the condensed Appendix A.2 "Clash of Titans"
+// dashboard: widgets over the shared objects only.
+const consumptionFlow = `
+L:
+  description: Clash of Titans
+  rows:
+    - [span12: W.ipl_duration]
+    - [span12: W.relative_teamtweets]
+    - [span6: W.player_tweets, span6: W.word_tweets]
+
+W:
+  ipl_duration:
+    type: Slider
+    source: ['2013-05-02', '2013-05-27']
+    static: true
+    range: true
+    slider_type: date
+
+  relative_teamtweets:
+    type: Streamgraph
+    source: D.team_tweets | T.filter_by_date
+    x: date
+    y: noOfTweets
+    serie: team
+    color: color
+
+  player_tweets:
+    type: WordCloud
+    source: D.players_tweets | T.filter_by_date | T.aggregate_by_player
+    text: player
+    size: noOfTweets
+    show_tooltip: true
+
+  word_tweets:
+    type: WordCloud
+    source: D.tagcloud_tweets | T.filter_by_date | T.aggregate_by_word
+    text: word
+    size: count
+    show_tooltip: true
+
+T:
+  filter_by_date:
+    type: filter_by
+    filter_by: [date]
+    filter_source: W.ipl_duration
+  aggregate_by_player:
+    type: groupby
+    groupby: [player]
+    aggregates:
+      - operator: sum
+        apply_on: count
+        out_field: noOfTweets
+  aggregate_by_word:
+    type: groupby
+    groupby: [word]
+    aggregates:
+      - operator: sum
+        apply_on: count
+        out_field: count
+        orderby_aggregates: true
+`
+
+func main() {
+	// Shared platform: both dashboards compile against the same catalog.
+	p := shareinsights.NewPlatform()
+	p.Connectors = shareinsights.NewConnectorRegistry(shareinsights.ConnectorOptions{
+		Mem: map[string][]byte{
+			"tweets.csv":    gen.TweetsCSV(gen.TweetsOptions{Seed: 11, N: 20000}),
+			"dim_teams.csv": gen.DimTeamsCSV(),
+		},
+	})
+	resources := map[string][]byte{
+		"players.txt":    gen.PlayersDict(),
+		"teams.csv":      gen.TeamsDict(),
+		"cities.ind.csv": gen.CitiesDict(),
+	}
+
+	// --- Data-processing dashboard ---
+	pf, err := shareinsights.ParseFlowFile("ipl_processing", processingFlow)
+	if err != nil {
+		log.Fatalf("parse processing: %v", err)
+	}
+	if !pf.DataProcessingOnly() {
+		log.Fatal("processing dashboard should have no widgets")
+	}
+	proc, err := p.Compile(pf, resources)
+	if err != nil {
+		log.Fatalf("compile processing: %v", err)
+	}
+	if err := proc.Run(); err != nil {
+		log.Fatalf("run processing: %v", err)
+	}
+	fmt.Println("published shared objects:", p.Catalog.Names())
+
+	// --- Consumption dashboard ---
+	cf, err := shareinsights.ParseFlowFile("clash_of_titans", consumptionFlow)
+	if err != nil {
+		log.Fatalf("parse consumption: %v", err)
+	}
+	fmt.Println("consumption dashboard shared inputs:", cf.SharedInputs())
+	cons, err := p.Compile(cf, nil)
+	if err != nil {
+		log.Fatalf("compile consumption: %v", err)
+	}
+	if err := cons.Run(); err != nil {
+		log.Fatalf("run consumption: %v", err)
+	}
+
+	players, _ := cons.Widget("player_tweets")
+	fmt.Println("\n== player word cloud, full tournament ==")
+	fmt.Println(players.Data.Format(10))
+
+	// Narrow the date slider to the final week.
+	if err := cons.SelectRange("ipl_duration", "2013-05-20", "2013-05-27"); err != nil {
+		log.Fatalf("slider: %v", err)
+	}
+	fmt.Println("== player word cloud, final week ==")
+	fmt.Println(players.Data.Format(10))
+
+	out, err := os.Create("ipl.html")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer out.Close()
+	if err := cons.RenderHTML(out); err != nil {
+		log.Fatalf("render: %v", err)
+	}
+	fmt.Println("dashboard written to ipl.html")
+}

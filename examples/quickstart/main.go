@@ -1,0 +1,101 @@
+// Command quickstart is the smallest complete ShareInsights pipeline:
+// one CSV data object, one flow with a group-by task, one widget, one
+// layout row. It runs the pipeline, prints the endpoint data, executes
+// an ad-hoc query and writes the rendered dashboard page.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"shareinsights"
+)
+
+// The flow file: the D section declares the data object and its source,
+// the F section pipes it through a task into an endpoint sink (+ is the
+// endpoint alias), the T section configures the task, and W/L put a bar
+// chart on the dashboard.
+const flow = `
+D:
+  sales: [region, product, amount]
+
+D.sales:
+  source: mem:sales.csv
+  format: csv
+
+F:
+  +D.by_region: D.sales | T.sum_by_region
+
+T:
+  sum_by_region:
+    type: groupby
+    groupby: [region]
+    aggregates:
+      - operator: sum
+        apply_on: amount
+        out_field: total
+
+W:
+  totals:
+    type: BarChart
+    source: D.by_region
+    x: region
+    y: total
+
+L:
+  description: Sales by Region
+  rows:
+    - [span12: W.totals]
+`
+
+const salesCSV = `east,widget,120
+east,gadget,80
+west,widget,45
+west,gizmo,60
+north,gadget,90
+`
+
+func main() {
+	// A platform with the sample CSV reachable via the mem: protocol.
+	p := shareinsights.NewPlatform()
+	p.Connectors = shareinsights.NewConnectorRegistry(shareinsights.ConnectorOptions{
+		Mem: map[string][]byte{"sales.csv": []byte(salesCSV)},
+	})
+
+	f, err := shareinsights.ParseFlowFile("quickstart", flow)
+	if err != nil {
+		log.Fatalf("parse: %v", err)
+	}
+	d, err := p.Compile(f, nil)
+	if err != nil {
+		log.Fatalf("compile: %v", err)
+	}
+	if err := d.Run(); err != nil {
+		log.Fatalf("run: %v", err)
+	}
+
+	// Endpoint data, as the data explorer would show it.
+	t, _ := d.Endpoint("by_region")
+	fmt.Println("endpoint D.by_region:")
+	fmt.Println(t.Format(0))
+
+	// The §4.4 ad-hoc path query: /ds/by_region/groupby/region/sum/total.
+	q, err := d.AdhocQuery("by_region", "region", "sum", "total")
+	if err != nil {
+		log.Fatalf("ad-hoc query: %v", err)
+	}
+	fmt.Println("ad-hoc groupby/region/sum/total:")
+	fmt.Println(q.Format(0))
+
+	// Write the rendered dashboard.
+	out, err := os.Create("quickstart.html")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer out.Close()
+	if err := d.RenderHTML(out); err != nil {
+		log.Fatalf("render: %v", err)
+	}
+	fmt.Println("dashboard written to quickstart.html")
+}

@@ -1,0 +1,3 @@
+module shareinsights
+
+go 1.22

@@ -1,0 +1,211 @@
+// Package baseline is the comparison system for the paper's headline
+// claim: the hand-coded "Big Data stack" implementation (§2.1.2) of the
+// same analyses the examples express as flow files.
+//
+// The paper's claim is about construction effort — "Rich data pipelines
+// which traditionally took weeks to build were constructed and deployed
+// in hours" — so the baseline exists to make that effort measurable:
+// E4 compares source size (lines, tokens) and the number of distinct
+// technologies/idioms touched, while asserting the two implementations
+// produce identical results (so the comparison is fair) and comparable
+// runtime (so the flow-file abstraction is not paying for its
+// convenience with performance).
+//
+// Everything here is deliberately written the way a competent engineer
+// would glue the stack together by hand: explicit parsing, explicit
+// loops, explicit aggregation maps, explicit widget event handlers. No
+// code is shared with the platform's task library.
+package baseline
+
+import (
+	"bytes"
+	_ "embed"
+	"encoding/csv"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// PlayerCount is one row of the player aggregation.
+type PlayerCount struct {
+	Date   string
+	Player string
+	Count  int
+}
+
+// IPLPlayerCounts is the hand-coded equivalent of the IPL processing
+// flow: parse raw tweets, normalize the timestamp, extract standardized
+// player names via the dictionary, and count tweets per (date, player).
+func IPLPlayerCounts(tweetsCSV, playersDict []byte) ([]PlayerCount, error) {
+	dict := parseDict(playersDict)
+	r := csv.NewReader(bytes.NewReader(tweetsCSV))
+	r.FieldsPerRecord = -1
+	records, err := r.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("baseline: parse tweets: %w", err)
+	}
+	type key struct{ date, player string }
+	counts := map[key]int{}
+	for _, rec := range records {
+		if len(rec) < 2 {
+			continue
+		}
+		ts, err := time.Parse("Mon Jan 02 15:04:05 -0700 2006", strings.TrimSpace(rec[0]))
+		if err != nil {
+			continue // malformed timestamps are skipped, like the platform
+		}
+		date := ts.Format("2006-01-02")
+		seen := map[string]bool{}
+		for _, tok := range tokenize(rec[1]) {
+			std, ok := dict[tok]
+			if !ok || seen[std] {
+				continue
+			}
+			seen[std] = true
+			counts[key{date, std}]++
+		}
+	}
+	out := make([]PlayerCount, 0, len(counts))
+	for k, c := range counts {
+		out = append(out, PlayerCount{Date: k.date, Player: k.player, Count: c})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Date != out[b].Date {
+			return out[a].Date < out[b].Date
+		}
+		return out[a].Player < out[b].Player
+	})
+	return out, nil
+}
+
+// parseDict mirrors the platform dictionary format by hand.
+func parseDict(data []byte) map[string]string {
+	dict := map[string]string{}
+	for _, ln := range strings.Split(string(data), "\n") {
+		ln = strings.TrimSpace(ln)
+		if ln == "" || strings.HasPrefix(ln, "#") {
+			continue
+		}
+		if i := strings.Index(ln, "=>"); i >= 0 {
+			dict[strings.ToLower(strings.TrimSpace(ln[:i]))] = strings.TrimSpace(ln[i+2:])
+		} else if i := strings.Index(ln, ","); i >= 0 {
+			dict[strings.ToLower(strings.TrimSpace(ln[:i]))] = strings.TrimSpace(ln[i+1:])
+		} else {
+			dict[strings.ToLower(ln)] = ln
+		}
+	}
+	return dict
+}
+
+func tokenize(s string) []string {
+	s = strings.ToLower(s)
+	return strings.FieldsFunc(s, func(r rune) bool {
+		return !(r >= 'a' && r <= 'z' || r >= '0' && r <= '9' || r == '_' || r == '#' || r == '@' || r == ':' || r == '/' || r == '.')
+	})
+}
+
+// ---------------------------------------------------------------------
+// Hand-coded interactive dashboard: the imperative widget wiring the
+// flow file's W/T sections replace. Each interaction is an explicit
+// event handler that re-filters and re-aggregates — the "significant
+// custom programming" of §2.2 challenge 3.
+
+// IPLDashboard is the hand-wired consumption dashboard.
+type IPLDashboard struct {
+	rows []PlayerCount
+	// current filter state, mutated by handlers.
+	fromDate, toDate string
+	selectedPlayers  map[string]bool
+	// rendered state.
+	wordCloud map[string]int
+}
+
+// NewIPLDashboard wires the dashboard over processed rows.
+func NewIPLDashboard(rows []PlayerCount) *IPLDashboard {
+	d := &IPLDashboard{rows: rows, selectedPlayers: map[string]bool{}}
+	d.recompute()
+	return d
+}
+
+// OnDateRangeChanged is the slider's change handler.
+func (d *IPLDashboard) OnDateRangeChanged(from, to string) {
+	d.fromDate, d.toDate = from, to
+	d.recompute()
+}
+
+// OnPlayerSelected is the list's click handler.
+func (d *IPLDashboard) OnPlayerSelected(players ...string) {
+	d.selectedPlayers = map[string]bool{}
+	for _, p := range players {
+		d.selectedPlayers[p] = true
+	}
+	d.recompute()
+}
+
+// recompute re-filters and re-aggregates for every widget; in the real
+// stack this logic lives in browser JavaScript and must be kept in sync
+// with the server-side schema by hand.
+func (d *IPLDashboard) recompute() {
+	wc := map[string]int{}
+	for _, r := range d.rows {
+		if d.fromDate != "" && r.Date < d.fromDate {
+			continue
+		}
+		if d.toDate != "" && r.Date > d.toDate {
+			continue
+		}
+		if len(d.selectedPlayers) > 0 && !d.selectedPlayers[r.Player] {
+			continue
+		}
+		wc[r.Player] += r.Count
+	}
+	d.wordCloud = wc
+}
+
+// WordCloud returns the player word-cloud weights.
+func (d *IPLDashboard) WordCloud() map[string]int { return d.wordCloud }
+
+// ---------------------------------------------------------------------
+// Effort metrics
+
+// Effort quantifies construction effort for one implementation.
+type Effort struct {
+	// Lines is non-blank, non-comment source lines.
+	Lines int
+	// Tokens approximates lexical tokens (whitespace-separated atoms
+	// after punctuation splitting).
+	Tokens int
+}
+
+// MeasureGo measures Go source text.
+func MeasureGo(src string) Effort { return measure(src, "//") }
+
+// MeasureFlowFile measures flow-file text.
+func MeasureFlowFile(src string) Effort { return measure(src, "#") }
+
+func measure(src, comment string) Effort {
+	var e Effort
+	for _, ln := range strings.Split(src, "\n") {
+		ln = strings.TrimSpace(ln)
+		if ln == "" || strings.HasPrefix(ln, comment) {
+			continue
+		}
+		if i := strings.Index(ln, " "+comment); i >= 0 {
+			ln = ln[:i]
+		}
+		e.Lines++
+		e.Tokens += len(strings.FieldsFunc(ln, func(r rune) bool {
+			return r == ' ' || r == '\t' || r == '(' || r == ')' || r == '{' || r == '}' ||
+				r == '[' || r == ']' || r == ',' || r == ';' || r == ':' || r == '.'
+		}))
+	}
+	return e
+}
+
+//go:embed baseline.go
+var source string
+
+// Source returns this package's own source text; the E4 effort
+// comparison measures it against the equivalent flow file.
+func Source() string { return source }

@@ -1,0 +1,103 @@
+package baseline
+
+import (
+	"strings"
+	"testing"
+
+	"shareinsights/internal/gen"
+)
+
+func TestIPLPlayerCounts(t *testing.T) {
+	tweets := []byte(`Fri May 03 10:00:00 +0000 2013,"kohli on fire",Mumbai
+Fri May 03 11:00:00 +0000 2013,"dhoni and kohli",Chennai
+Sat May 04 09:00:00 +0000 2013,"dhoni wins it",Chennai
+garbage-timestamp,"kohli",X
+`)
+	dict := []byte("kohli => Virat Kohli\ndhoni,MS Dhoni\n")
+	out, err := IPLPlayerCounts(tweets, dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []PlayerCount{
+		{"2013-05-03", "MS Dhoni", 1},
+		{"2013-05-03", "Virat Kohli", 2},
+		{"2013-05-04", "MS Dhoni", 1},
+	}
+	if len(out) != len(want) {
+		t.Fatalf("rows = %d: %+v", len(out), out)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("row %d = %+v, want %+v", i, out[i], want[i])
+		}
+	}
+}
+
+func TestIPLDashboardHandlers(t *testing.T) {
+	rows := []PlayerCount{
+		{"2013-05-03", "A", 5},
+		{"2013-05-04", "A", 3},
+		{"2013-05-04", "B", 7},
+		{"2013-05-05", "B", 1},
+	}
+	d := NewIPLDashboard(rows)
+	if d.WordCloud()["A"] != 8 || d.WordCloud()["B"] != 8 {
+		t.Errorf("initial cloud = %v", d.WordCloud())
+	}
+	d.OnDateRangeChanged("2013-05-04", "2013-05-04")
+	if d.WordCloud()["A"] != 3 || d.WordCloud()["B"] != 7 {
+		t.Errorf("date-filtered cloud = %v", d.WordCloud())
+	}
+	d.OnPlayerSelected("B")
+	if len(d.WordCloud()) != 1 || d.WordCloud()["B"] != 7 {
+		t.Errorf("player-filtered cloud = %v", d.WordCloud())
+	}
+	d.OnPlayerSelected() // clear
+	if len(d.WordCloud()) != 2 {
+		t.Errorf("cleared cloud = %v", d.WordCloud())
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	goSrc := "package x\n\n// comment\nfunc f() int {\n\treturn 1 // trailing\n}\n"
+	e := MeasureGo(goSrc)
+	if e.Lines != 4 {
+		t.Errorf("go lines = %d, want 4", e.Lines)
+	}
+	flowSrc := "# header\nD:\n  a: [x, y]\n\nF:\n  +D.b: D.a | T.t # note\n"
+	fe := MeasureFlowFile(flowSrc)
+	if fe.Lines != 4 {
+		t.Errorf("flow lines = %d, want 4", fe.Lines)
+	}
+	if fe.Tokens == 0 || e.Tokens == 0 {
+		t.Error("token counts missing")
+	}
+}
+
+func TestEmbeddedSource(t *testing.T) {
+	src := Source()
+	if !strings.Contains(src, "func IPLPlayerCounts") {
+		t.Error("embedded source incomplete")
+	}
+	if MeasureGo(src).Lines < 100 {
+		t.Errorf("baseline source suspiciously small: %d lines", MeasureGo(src).Lines)
+	}
+}
+
+func TestBaselineHandlesRealGenerator(t *testing.T) {
+	tweets := gen.TweetsCSV(gen.TweetsOptions{Seed: 9, N: 3000})
+	out, err := IPLPlayerCounts(tweets, gen.PlayersDict())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 {
+		t.Fatal("no aggregates from generated tweets")
+	}
+	total := 0
+	for _, r := range out {
+		total += r.Count
+	}
+	if total < 1500 {
+		t.Errorf("aggregated tweet mentions = %d, want most of 3000", total)
+	}
+}

@@ -1,0 +1,290 @@
+// Package connector loads data objects from their configured sources.
+//
+// A flow file's data detail block names a protocol (file, http, mem) and
+// a payload format (csv, tsv, json, jsonl, xml, sbin); the platform
+// "provides popular protocol connectors … and recognizes popular data
+// payload formats" (§3.2) and both sets are extensible through the same
+// registration API user connectors use (§4.2).
+package connector
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"shareinsights/internal/flowfile"
+	"shareinsights/internal/schema"
+	"shareinsights/internal/table"
+)
+
+// Protocol fetches the raw payload for a data definition.
+type Protocol interface {
+	// Fetch returns the payload bytes for the data object's source.
+	Fetch(d *flowfile.DataDef) ([]byte, error)
+}
+
+// Format decodes payload bytes into a table conforming to the declared
+// schema.
+type Format interface {
+	// Decode parses the payload. The returned table's schema must equal s.
+	Decode(d *flowfile.DataDef, s *schema.Schema, payload []byte) (*table.Table, error)
+}
+
+// Registry resolves protocols and formats for data definitions.
+type Registry struct {
+	mu        sync.RWMutex
+	protocols map[string]Protocol
+	formats   map[string]Format
+}
+
+// Options configure the default registry.
+type Options struct {
+	// DataDir roots the file protocol; relative sources resolve inside
+	// it (the per-dashboard 'data' folder of §4.3.2). Empty disables the
+	// file protocol.
+	DataDir string
+	// Mem seeds the in-process protocol: source "mem:<key>" (or just the
+	// key) resolves here. Tests and examples use it.
+	Mem map[string][]byte
+	// HTTPClient overrides the client used by the http protocol.
+	HTTPClient *http.Client
+}
+
+// NewRegistry builds a registry with the platform connectors and formats
+// installed.
+func NewRegistry(opts Options) *Registry {
+	r := &Registry{protocols: map[string]Protocol{}, formats: map[string]Format{}}
+	if opts.DataDir != "" {
+		r.protocols["file"] = &fileProtocol{root: opts.DataDir}
+	}
+	client := opts.HTTPClient
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	r.protocols["http"] = &httpProtocol{client: client}
+	r.protocols["https"] = &httpProtocol{client: client}
+	r.protocols["mem"] = &memProtocol{data: opts.Mem}
+	for name, f := range map[string]Format{
+		"csv":   &csvFormat{},
+		"tsv":   &csvFormat{sep: '\t'},
+		"json":  &jsonFormat{},
+		"jsonl": &jsonFormat{lines: true},
+		"xml":   &xmlFormat{},
+		"sbin":  &sbinFormat{},
+	} {
+		r.formats[name] = f
+	}
+	return r
+}
+
+// RegisterProtocol installs a user connector for a protocol scheme.
+func (r *Registry) RegisterProtocol(name string, p Protocol) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.protocols[name]; dup {
+		return fmt.Errorf("connector: protocol %q already registered", name)
+	}
+	r.protocols[name] = p
+	return nil
+}
+
+// RegisterFormat installs a user payload format.
+func (r *Registry) RegisterFormat(name string, f Format) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.formats[name]; dup {
+		return fmt.Errorf("connector: format %q already registered", name)
+	}
+	r.formats[name] = f
+	return nil
+}
+
+// Protocols lists installed protocol names, sorted.
+func (r *Registry) Protocols() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.protocols))
+	for n := range r.protocols {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Formats lists installed format names, sorted.
+func (r *Registry) Formats() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.formats))
+	for n := range r.formats {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// protocolFor picks the protocol: an explicit `protocol:` property wins,
+// then the source URL scheme, then file.
+func (r *Registry) protocolFor(d *flowfile.DataDef) (Protocol, string, error) {
+	name := d.Prop("protocol")
+	if name == "" {
+		src := d.Prop("source")
+		if i := strings.Index(src, "://"); i > 0 {
+			name = src[:i]
+		} else if i := strings.Index(src, ":"); i > 0 && !strings.Contains(src[:i], "/") && !strings.Contains(src[:i], ".") {
+			name = src[:i]
+		} else {
+			name = "file"
+		}
+	}
+	r.mu.RLock()
+	p, ok := r.protocols[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, "", fmt.Errorf("connector: D.%s: no protocol %q (have %s)", d.Name, name, strings.Join(r.Protocols(), ", "))
+	}
+	return p, name, nil
+}
+
+// formatFor picks the format: explicit `format:` property, then source
+// extension, then csv.
+func (r *Registry) formatFor(d *flowfile.DataDef) (Format, string, error) {
+	name := strings.ToLower(d.Prop("format"))
+	if name == "" {
+		ext := strings.TrimPrefix(strings.ToLower(filepath.Ext(d.Prop("source"))), ".")
+		if ext != "" {
+			name = ext
+		} else {
+			name = "csv"
+		}
+	}
+	if name == "txt" {
+		name = "csv"
+	}
+	r.mu.RLock()
+	f, ok := r.formats[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, "", fmt.Errorf("connector: D.%s: no format %q (have %s)", d.Name, name, strings.Join(r.Formats(), ", "))
+	}
+	return f, name, nil
+}
+
+// Decode decodes an already-fetched payload with the definition's
+// configured format. The dashboard runtime uses it for the per-dashboard
+// data folder (uploaded files referenced as `data:<file>`), whose
+// payloads live outside any protocol connector.
+func (r *Registry) Decode(d *flowfile.DataDef, s *schema.Schema, payload []byte) (*table.Table, error) {
+	if s == nil {
+		return nil, fmt.Errorf("connector: D.%s has no declared schema", d.Name)
+	}
+	f, fname, err := r.formatFor(d)
+	if err != nil {
+		return nil, err
+	}
+	t, err := f.Decode(d, s, payload)
+	if err != nil {
+		return nil, fmt.Errorf("connector: D.%s as %s: %w", d.Name, fname, err)
+	}
+	return t, nil
+}
+
+// Load fetches and decodes a data object. The definition must declare a
+// schema (the explicit schema call-out of §3.2).
+func (r *Registry) Load(d *flowfile.DataDef, s *schema.Schema) (*table.Table, error) {
+	if s == nil {
+		return nil, fmt.Errorf("connector: D.%s has no declared schema", d.Name)
+	}
+	p, pname, err := r.protocolFor(d)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := p.Fetch(d)
+	if err != nil {
+		return nil, fmt.Errorf("connector: D.%s via %s: %w", d.Name, pname, err)
+	}
+	f, fname, err := r.formatFor(d)
+	if err != nil {
+		return nil, err
+	}
+	t, err := f.Decode(d, s, payload)
+	if err != nil {
+		return nil, fmt.Errorf("connector: D.%s as %s: %w", d.Name, fname, err)
+	}
+	return t, nil
+}
+
+// ---------------------------------------------------------------------
+// Protocols
+
+// fileProtocol reads sources from the dashboard's data directory,
+// refusing paths that escape it.
+type fileProtocol struct{ root string }
+
+func (p *fileProtocol) Fetch(d *flowfile.DataDef) ([]byte, error) {
+	src := strings.TrimPrefix(d.Prop("source"), "file://")
+	if src == "" {
+		return nil, fmt.Errorf("no source configured")
+	}
+	full := filepath.Join(p.root, filepath.Clean("/"+src))
+	rootAbs, err := filepath.Abs(p.root)
+	if err != nil {
+		return nil, err
+	}
+	fullAbs, err := filepath.Abs(full)
+	if err != nil {
+		return nil, err
+	}
+	if fullAbs != rootAbs && !strings.HasPrefix(fullAbs, rootAbs+string(filepath.Separator)) {
+		return nil, fmt.Errorf("source %q escapes the data directory", src)
+	}
+	return os.ReadFile(fullAbs)
+}
+
+// httpProtocol fetches provider APIs (Figure 6), forwarding configured
+// http_headers.* properties.
+type httpProtocol struct{ client *http.Client }
+
+func (p *httpProtocol) Fetch(d *flowfile.DataDef) ([]byte, error) {
+	src := d.Prop("source")
+	method := strings.ToUpper(d.Prop("request_type"))
+	if method == "" {
+		method = http.MethodGet
+	}
+	req, err := http.NewRequest(method, src, nil)
+	if err != nil {
+		return nil, err
+	}
+	for _, k := range d.PropOrder {
+		if strings.HasPrefix(k, "http_headers.") {
+			req.Header.Set(strings.TrimPrefix(k, "http_headers."), d.Props[k])
+		}
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return nil, fmt.Errorf("GET %s: status %s", src, resp.Status)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// memProtocol serves payloads from an in-process map.
+type memProtocol struct{ data map[string][]byte }
+
+func (p *memProtocol) Fetch(d *flowfile.DataDef) ([]byte, error) {
+	key := strings.TrimPrefix(strings.TrimPrefix(d.Prop("source"), "mem://"), "mem:")
+	b, ok := p.data[key]
+	if !ok {
+		return nil, fmt.Errorf("mem source %q not found", key)
+	}
+	return b, nil
+}

@@ -1,0 +1,209 @@
+package connector
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+
+	"shareinsights/internal/flowfile"
+	"shareinsights/internal/schema"
+	"shareinsights/internal/table"
+	"shareinsights/internal/value"
+)
+
+// sbin is ShareInsights' compact binary row format — the offline
+// stand-in for AVRO (see DESIGN.md substitutions). Layout:
+//
+//	magic   "SBIN\x01"
+//	ncols   uvarint, then ncols length-prefixed column names
+//	nrows   uvarint
+//	rows    per cell: 1 kind byte, then payload
+//	          null:   nothing
+//	          bool:   1 byte
+//	          int:    varint
+//	          float:  8-byte little-endian IEEE bits
+//	          string: uvarint length + bytes
+//	          time:   varint unix nanoseconds
+//
+// Column binding is by name against the declared schema, so an sbin
+// payload may carry columns in any order or extras the schema ignores.
+type sbinFormat struct{}
+
+const sbinMagic = "SBIN\x01"
+
+func (f *sbinFormat) Decode(d *flowfile.DataDef, s *schema.Schema, payload []byte) (*table.Table, error) {
+	names, rows, err := DecodeSBIN(payload)
+	if err != nil {
+		return nil, err
+	}
+	binding := make([]int, s.Len())
+	pos := map[string]int{}
+	for i, n := range names {
+		pos[n] = i
+	}
+	for i, col := range s.Columns() {
+		j, ok := pos[col.Source()]
+		if !ok {
+			j, ok = pos[col.Name]
+		}
+		if !ok {
+			return nil, fmt.Errorf("sbin payload has no column %q (has %v)", col.Source(), names)
+		}
+		binding[i] = j
+	}
+	t := table.New(s)
+	for _, rec := range rows {
+		row := make(table.Row, s.Len())
+		for i, j := range binding {
+			row[i] = rec[j]
+		}
+		t.Append(row)
+	}
+	return t, nil
+}
+
+// EncodeSBIN serializes a table in the sbin format.
+func EncodeSBIN(t *table.Table) []byte {
+	var buf bytes.Buffer
+	buf.WriteString(sbinMagic)
+	writeUvarint(&buf, uint64(t.Schema().Len()))
+	for _, n := range t.Schema().Names() {
+		writeUvarint(&buf, uint64(len(n)))
+		buf.WriteString(n)
+	}
+	writeUvarint(&buf, uint64(t.Len()))
+	for _, row := range t.Rows() {
+		for _, v := range row {
+			buf.WriteByte(byte(v.Kind()))
+			switch v.Kind() {
+			case value.Null:
+			case value.Bool:
+				if v.Bool() {
+					buf.WriteByte(1)
+				} else {
+					buf.WriteByte(0)
+				}
+			case value.Int:
+				writeVarint(&buf, v.Int())
+			case value.Float:
+				var b [8]byte
+				binary.LittleEndian.PutUint64(b[:], math.Float64bits(v.Float()))
+				buf.Write(b[:])
+			case value.String:
+				s := v.Str()
+				writeUvarint(&buf, uint64(len(s)))
+				buf.WriteString(s)
+			case value.Time:
+				writeVarint(&buf, v.Time().UnixNano())
+			}
+		}
+	}
+	return buf.Bytes()
+}
+
+// DecodeSBIN parses an sbin payload into column names and rows.
+func DecodeSBIN(payload []byte) ([]string, []table.Row, error) {
+	r := bytes.NewReader(payload)
+	magic := make([]byte, len(sbinMagic))
+	if _, err := r.Read(magic); err != nil || string(magic) != sbinMagic {
+		return nil, nil, fmt.Errorf("sbin: bad magic")
+	}
+	ncols, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, nil, fmt.Errorf("sbin: %w", err)
+	}
+	if ncols > 1<<16 {
+		return nil, nil, fmt.Errorf("sbin: implausible column count %d", ncols)
+	}
+	names := make([]string, ncols)
+	for i := range names {
+		n, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, nil, fmt.Errorf("sbin: %w", err)
+		}
+		b := make([]byte, n)
+		if _, err := readFull(r, b); err != nil {
+			return nil, nil, fmt.Errorf("sbin: %w", err)
+		}
+		names[i] = string(b)
+	}
+	nrows, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, nil, fmt.Errorf("sbin: %w", err)
+	}
+	rows := make([]table.Row, 0, nrows)
+	for ri := uint64(0); ri < nrows; ri++ {
+		row := make(table.Row, ncols)
+		for ci := range row {
+			kind, err := r.ReadByte()
+			if err != nil {
+				return nil, nil, fmt.Errorf("sbin: truncated row %d: %w", ri, err)
+			}
+			switch value.Kind(kind) {
+			case value.Null:
+				row[ci] = value.VNull
+			case value.Bool:
+				b, err := r.ReadByte()
+				if err != nil {
+					return nil, nil, fmt.Errorf("sbin: %w", err)
+				}
+				row[ci] = value.NewBool(b != 0)
+			case value.Int:
+				n, err := binary.ReadVarint(r)
+				if err != nil {
+					return nil, nil, fmt.Errorf("sbin: %w", err)
+				}
+				row[ci] = value.NewInt(n)
+			case value.Float:
+				var b [8]byte
+				if _, err := readFull(r, b[:]); err != nil {
+					return nil, nil, fmt.Errorf("sbin: %w", err)
+				}
+				row[ci] = value.NewFloat(math.Float64frombits(binary.LittleEndian.Uint64(b[:])))
+			case value.String:
+				n, err := binary.ReadUvarint(r)
+				if err != nil {
+					return nil, nil, fmt.Errorf("sbin: %w", err)
+				}
+				if n > uint64(r.Len()) {
+					return nil, nil, fmt.Errorf("sbin: string length %d exceeds remaining payload", n)
+				}
+				b := make([]byte, n)
+				if _, err := readFull(r, b); err != nil {
+					return nil, nil, fmt.Errorf("sbin: %w", err)
+				}
+				row[ci] = value.NewString(string(b))
+			case value.Time:
+				n, err := binary.ReadVarint(r)
+				if err != nil {
+					return nil, nil, fmt.Errorf("sbin: %w", err)
+				}
+				row[ci] = value.NewTime(time.Unix(0, n))
+			default:
+				return nil, nil, fmt.Errorf("sbin: unknown kind byte %d", kind)
+			}
+		}
+		rows = append(rows, row)
+	}
+	return names, rows, nil
+}
+
+func writeUvarint(buf *bytes.Buffer, v uint64) {
+	var b [binary.MaxVarintLen64]byte
+	buf.Write(b[:binary.PutUvarint(b[:], v)])
+}
+
+func writeVarint(buf *bytes.Buffer, v int64) {
+	var b [binary.MaxVarintLen64]byte
+	buf.Write(b[:binary.PutVarint(b[:], v)])
+}
+
+func readFull(r *bytes.Reader, b []byte) (int, error) {
+	n, err := r.Read(b)
+	if err == nil && n < len(b) {
+		return n, fmt.Errorf("short read: %d of %d", n, len(b))
+	}
+	return n, err
+}

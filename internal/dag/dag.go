@@ -1,0 +1,334 @@
+// Package dag builds and analyzes the directed acyclic graph a flow file
+// implies.
+//
+// "On submission, the platform internally builds a directed acyclic graph
+// (DAG) from the collection of flows specified by the user" (§3.4.2):
+// users write only linear flows, but because sinks feed other flows,
+// arbitrary transformation graphs arise. This package performs that
+// assembly, detects cycles, topologically orders the graph, resolves
+// every data object's schema (binding each task against its actual
+// input — the compile-time check), and provides the optimizer passes the
+// paper describes for the compilation service (§4.1, §6).
+package dag
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"shareinsights/internal/flowfile"
+	"shareinsights/internal/schema"
+	"shareinsights/internal/task"
+)
+
+// Node is one data object in the graph.
+type Node struct {
+	// Name is the data-object name.
+	Name string
+	// Def is the flow-file definition (never nil; possibly empty).
+	Def *flowfile.DataDef
+	// Flow is the producing flow, nil for source objects.
+	Flow *flowfile.Flow
+	// Inputs are the producing flow's input object names.
+	Inputs []string
+	// Specs are the producing flow's bound task specs, in order.
+	Specs []task.Spec
+	// Schema is the resolved output schema.
+	Schema *schema.Schema
+	// Shared is true when the object resolves from the platform catalog
+	// rather than a local source or flow.
+	Shared bool
+	// Consumers are the names of nodes reading this object, plus the
+	// pseudo-consumers "widget:<name>" for widget sources.
+	Consumers []string
+}
+
+// IsSource reports whether the node has no producing flow.
+func (n *Node) IsSource() bool { return n.Flow == nil }
+
+// Graph is the assembled, schema-resolved DAG.
+type Graph struct {
+	// Nodes maps data-object names to nodes.
+	Nodes map[string]*Node
+	// Order is a topological order of node names (inputs first).
+	Order []string
+	// File is the originating flow file.
+	File *flowfile.File
+}
+
+// SharedResolver resolves a published data object's schema from the
+// platform catalog; ok is false when the name is not published.
+type SharedResolver func(name string) (*schema.Schema, bool)
+
+// Build assembles and validates the graph for a flow file. reg resolves
+// task types (including user extensions); shared resolves cross-dashboard
+// published objects and may be nil for standalone files.
+func Build(f *flowfile.File, reg *task.Registry, shared SharedResolver) (*Graph, error) {
+	g := &Graph{Nodes: map[string]*Node{}, File: f}
+	// One node per declared data object.
+	for _, name := range f.DataOrder {
+		g.Nodes[name] = &Node{Name: name, Def: f.Data[name]}
+	}
+	// Attach flows.
+	for _, fl := range f.Flows {
+		specs, err := parseFlowTasks(f, reg, fl)
+		if err != nil {
+			return nil, err
+		}
+		var inputs []string
+		for _, in := range fl.Pipeline.Inputs {
+			if _, ok := g.Nodes[in.Name]; !ok {
+				g.Nodes[in.Name] = &Node{Name: in.Name, Def: &flowfile.DataDef{Name: in.Name}}
+			}
+			inputs = append(inputs, in.Name)
+		}
+		for _, out := range fl.Outputs {
+			n, ok := g.Nodes[out.Name]
+			if !ok {
+				n = &Node{Name: out.Name, Def: &flowfile.DataDef{Name: out.Name}}
+				g.Nodes[out.Name] = n
+			}
+			if n.Flow != nil {
+				return nil, fmt.Errorf("dag: data object D.%s produced by two flows (lines %d and %d)",
+					out.Name, n.Flow.Line, fl.Line)
+			}
+			n.Flow = fl
+			n.Inputs = inputs
+			n.Specs = specs
+		}
+	}
+	// Record widget consumers so dead-sink elimination keeps their feeds.
+	for _, wname := range f.WidgetOrder {
+		w := f.Widgets[wname]
+		if w.Source == nil {
+			continue
+		}
+		for _, in := range w.Source.Inputs {
+			if _, ok := g.Nodes[in.Name]; !ok {
+				g.Nodes[in.Name] = &Node{Name: in.Name, Def: &flowfile.DataDef{Name: in.Name}}
+			}
+			g.Nodes[in.Name].Consumers = append(g.Nodes[in.Name].Consumers, "widget:"+wname)
+		}
+	}
+	for name, n := range g.Nodes {
+		for _, in := range n.Inputs {
+			g.Nodes[in].Consumers = append(g.Nodes[in].Consumers, name)
+		}
+	}
+	if err := g.topoSort(); err != nil {
+		return nil, err
+	}
+	if err := g.resolveSchemas(shared); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// parseFlowTasks resolves a flow's task references into specs.
+func parseFlowTasks(f *flowfile.File, reg *task.Registry, fl *flowfile.Flow) ([]task.Spec, error) {
+	specs := make([]task.Spec, 0, len(fl.Pipeline.Tasks))
+	for _, tref := range fl.Pipeline.Tasks {
+		def, ok := f.Tasks[tref.Name]
+		if !ok {
+			return nil, fmt.Errorf("dag: flow at line %d references undefined task T.%s", fl.Line, tref.Name)
+		}
+		spec, err := reg.Parse(f, def)
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, spec)
+	}
+	return specs, nil
+}
+
+// topoSort orders nodes inputs-first (Kahn), detecting cycles. Ties
+// break on declaration order, keeping plans deterministic.
+func (g *Graph) topoSort() error {
+	indeg := map[string]int{}
+	for name, n := range g.Nodes {
+		indeg[name] = len(n.Inputs)
+	}
+	names := make([]string, 0, len(g.Nodes))
+	declared := map[string]int{}
+	for i, name := range g.File.DataOrder {
+		declared[name] = i
+	}
+	for name := range g.Nodes {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(a, b int) bool {
+		da, oka := declared[names[a]]
+		db, okb := declared[names[b]]
+		switch {
+		case oka && okb:
+			return da < db
+		case oka:
+			return true
+		case okb:
+			return false
+		default:
+			return names[a] < names[b]
+		}
+	})
+	var queue []string
+	for _, name := range names {
+		if indeg[name] == 0 {
+			queue = append(queue, name)
+		}
+	}
+	g.Order = g.Order[:0]
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		g.Order = append(g.Order, cur)
+		for _, name := range names {
+			n := g.Nodes[name]
+			for _, in := range n.Inputs {
+				if in == cur {
+					indeg[name]--
+					if indeg[name] == 0 {
+						queue = append(queue, name)
+					}
+				}
+			}
+		}
+	}
+	if len(g.Order) != len(g.Nodes) {
+		var cyclic []string
+		inOrder := map[string]bool{}
+		for _, n := range g.Order {
+			inOrder[n] = true
+		}
+		for name := range g.Nodes {
+			if !inOrder[name] {
+				cyclic = append(cyclic, "D."+name)
+			}
+		}
+		sort.Strings(cyclic)
+		return fmt.Errorf("dag: flows form a cycle through %s", strings.Join(cyclic, ", "))
+	}
+	return nil
+}
+
+// resolveSchemas walks the topological order computing every node's
+// schema: declared for sources, shared-catalog for published inputs, and
+// the bound pipeline's output for produced objects. A produced object
+// with a declared schema is cross-checked — the declaration acts as an
+// assertion, surfacing drift between the D section and the flows.
+func (g *Graph) resolveSchemas(shared SharedResolver) error {
+	for _, name := range g.Order {
+		n := g.Nodes[name]
+		if n.IsSource() {
+			switch {
+			case n.Def.Schema != nil:
+				n.Schema = n.Def.Schema
+			case shared != nil:
+				s, ok := shared(name)
+				if !ok {
+					return fmt.Errorf("dag: data object D.%s has no schema, source, or shared publication", name)
+				}
+				n.Schema = s
+				n.Shared = true
+			default:
+				return fmt.Errorf("dag: data object D.%s has no schema or producing flow", name)
+			}
+			continue
+		}
+		out, err := BindPipeline(g, n.Inputs, n.Specs)
+		if err != nil {
+			return fmt.Errorf("dag: flow for D.%s (line %d): %w", name, n.Flow.Line, err)
+		}
+		n.Schema = out
+		if n.Def.Schema != nil && !n.Def.Schema.Equal(out) {
+			return fmt.Errorf("dag: D.%s declared schema %s but its flow produces %s",
+				name, n.Def.Schema, out)
+		}
+	}
+	return nil
+}
+
+// BindPipeline threads input schemas through a spec chain, returning the
+// final output schema. The first spec receives all fan-in inputs;
+// subsequent specs receive the running intermediate.
+func BindPipeline(g *Graph, inputs []string, specs []task.Spec) (*schema.Schema, error) {
+	ins := make([]task.Input, len(inputs))
+	for i, in := range inputs {
+		node := g.Nodes[in]
+		if node.Schema == nil {
+			return nil, fmt.Errorf("input D.%s has unresolved schema", in)
+		}
+		ins[i] = task.Input{Name: in, Schema: node.Schema}
+	}
+	if len(specs) == 0 {
+		if len(ins) != 1 {
+			return nil, fmt.Errorf("fan-in of %d inputs needs at least one task", len(ins))
+		}
+		return ins[0].Schema, nil
+	}
+	cur := ins
+	var out *schema.Schema
+	for i, sp := range specs {
+		var err error
+		out, err = sp.Out(cur)
+		if err != nil {
+			return nil, fmt.Errorf("stage %d (%s): %w", i+1, task.Describe(sp), err)
+		}
+		cur = []task.Input{{Schema: out}}
+	}
+	return out, nil
+}
+
+// Sources lists source-node names in topological order.
+func (g *Graph) Sources() []string {
+	var out []string
+	for _, name := range g.Order {
+		if g.Nodes[name].IsSource() {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// Endpoints lists endpoint data objects in topological order.
+func (g *Graph) Endpoints() []string {
+	var out []string
+	for _, name := range g.Order {
+		if g.Nodes[name].Def.Endpoint {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// Published lists nodes with a publish name, in topological order.
+func (g *Graph) Published() []string {
+	var out []string
+	for _, name := range g.Order {
+		if g.Nodes[name].Def.Publish != "" {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// String renders the graph for the plan view: one line per node with its
+// producing pipeline.
+func (g *Graph) String() string {
+	var b strings.Builder
+	for _, name := range g.Order {
+		n := g.Nodes[name]
+		switch {
+		case n.IsSource() && n.Shared:
+			fmt.Fprintf(&b, "D.%s  (shared) %s\n", name, n.Schema)
+		case n.IsSource():
+			fmt.Fprintf(&b, "D.%s  (source) %s\n", name, n.Schema)
+		default:
+			stages := make([]string, len(n.Specs))
+			for i, sp := range n.Specs {
+				stages[i] = task.Describe(sp)
+			}
+			fmt.Fprintf(&b, "D.%s  <- (%s) | %s\n", name, strings.Join(n.Inputs, ", "), strings.Join(stages, " | "))
+		}
+	}
+	return b.String()
+}

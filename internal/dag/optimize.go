@@ -1,0 +1,146 @@
+package dag
+
+import (
+	"shareinsights/internal/expr"
+	"shareinsights/internal/task"
+)
+
+// Optimizer passes. The paper's compilation service holds the whole
+// pipeline as one AST precisely so it can be rearranged: "The AST
+// provides opportunities to optimize the complete flow. For example,
+// tasks can be re-arranged to minimize data transfers to the browser"
+// (§4.1); §6 restates this as the headline future optimization. The
+// passes below are those rearrangements.
+
+// DeadSinks returns the produced data objects nothing consumes: not an
+// endpoint, not published, and feeding neither another flow nor a
+// widget. The executor skips them ("it is assumed to be a throw-away
+// data source/sink", §3.4.1 — a throw-away sink with no readers needs no
+// computation at all).
+func (g *Graph) DeadSinks() []string {
+	// Iterate until fixpoint: removing a dead sink can orphan its inputs.
+	dead := map[string]bool{}
+	for changed := true; changed; {
+		changed = false
+		for _, name := range g.Order {
+			n := g.Nodes[name]
+			if n.IsSource() || dead[name] || n.Def.Endpoint || n.Def.Publish != "" {
+				continue
+			}
+			live := false
+			for _, c := range n.Consumers {
+				if len(c) > 7 && c[:7] == "widget:" {
+					live = true
+					break
+				}
+				if !dead[c] {
+					live = true
+					break
+				}
+			}
+			if !live {
+				dead[name] = true
+				changed = true
+			}
+		}
+	}
+	var out []string
+	for _, name := range g.Order {
+		if dead[name] {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// SplitAtInteraction divides a widget source pipeline into the stages
+// that can run once on the server (producing the widget's endpoint data)
+// and the stages that must re-run in the client data cube on every
+// interaction because they depend on widget selections. Everything
+// before the first interaction-dependent task ships to the batch plan,
+// so only pre-aggregated data crosses to the browser — the transfer
+// minimization of §4.1, measured by the E6 ablation bench.
+func SplitAtInteraction(specs []task.Spec) (server, client []task.Spec) {
+	for i, sp := range specs {
+		if DependsOnInteraction(sp) {
+			return specs[:i], specs[i:]
+		}
+	}
+	return specs, nil
+}
+
+// DependsOnInteraction reports whether a spec reads widget state.
+func DependsOnInteraction(sp task.Spec) bool {
+	switch t := sp.(type) {
+	case *task.FilterSpec:
+		return t.SourceWidget != ""
+	case *task.ParallelSpec:
+		for _, sub := range t.Subs {
+			if DependsOnInteraction(sub) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// PushdownFilters rearranges a linear spec chain, hoisting expression
+// filters ahead of map stages that do not produce any column the filter
+// reads. Filtering commutes with such maps (the filter's columns are
+// untouched) and doing it earlier shrinks every later stage's input —
+// including fan-out maps like extract_words, where each filtered-out row
+// saves many emitted rows.
+func PushdownFilters(specs []task.Spec) []task.Spec {
+	out := make([]task.Spec, len(specs))
+	copy(out, specs)
+	for i := 1; i < len(out); i++ {
+		f, ok := out[i].(*task.FilterSpec)
+		if !ok || f.Expression == "" || f.SourceWidget != "" {
+			continue
+		}
+		cols, err := expr.ReferencedColumns(f.Expression)
+		if err != nil {
+			continue
+		}
+		need := map[string]bool{}
+		for _, c := range cols {
+			need[c] = true
+		}
+		j := i
+		for j > 0 && commutesWithFilter(out[j-1], need) {
+			out[j-1], out[j] = out[j], out[j-1]
+			j--
+		}
+	}
+	return out
+}
+
+// commutesWithFilter reports whether the spec can safely run after a
+// filter on the given columns instead of before it.
+func commutesWithFilter(sp task.Spec, filterCols map[string]bool) bool {
+	var produced []string
+	switch t := sp.(type) {
+	case *task.MapSpec:
+		produced = mapOutColumns(t)
+	case *task.ParallelSpec:
+		for _, sub := range t.Subs {
+			ms, ok := sub.(*task.MapSpec)
+			if !ok {
+				return false
+			}
+			produced = append(produced, mapOutColumns(ms)...)
+		}
+	default:
+		return false
+	}
+	for _, c := range produced {
+		if filterCols[c] {
+			return false
+		}
+	}
+	return true
+}
+
+// mapOutColumns exposes a MapSpec's output columns via its schema
+// transform on an empty input (operators report columns statically).
+func mapOutColumns(m *task.MapSpec) []string { return m.OutColumns() }

@@ -1,0 +1,51 @@
+package dag
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// Signatures computes a content signature for every node, topologically:
+// a produced node's signature covers its pipeline text, the canonical
+// text of every task it applies (so editing a task's configuration
+// changes the signature), and its inputs' signatures; a source node's
+// signature is supplied by sourceSig (typically a hash of the loaded
+// payload). Two runs in which a node's signature is unchanged are
+// guaranteed to compute identical content for it — the foundation of the
+// incremental re-execution cache that gives flow-file authors the
+// quick-feedback loop of §4.5.3 within a single dashboard.
+func (g *Graph) Signatures(sourceSig func(name string) string) map[string]string {
+	sigs := make(map[string]string, len(g.Nodes))
+	for _, name := range g.Order {
+		n := g.Nodes[name]
+		h := sha256.New()
+		if n.IsSource() {
+			fmt.Fprintf(h, "source|%s|%s|", name, sourceSig(name))
+			if n.Def.Schema != nil {
+				h.Write([]byte(n.Def.Schema.String()))
+			}
+		} else {
+			fmt.Fprintf(h, "flow|%s|", n.Flow.Pipeline.String())
+			for _, tref := range n.Flow.Pipeline.Tasks {
+				h.Write([]byte(g.File.TaskText(tref.Name)))
+				h.Write([]byte{0})
+				// Transitively include parallel sub-task texts: a
+				// parallel composite's behaviour changes when a
+				// referenced sub-task changes.
+				for _, sub := range g.File.Tasks[tref.Name].Config.StrList("parallel") {
+					subName := strings.TrimPrefix(sub, "T.")
+					h.Write([]byte(g.File.TaskText(subName)))
+					h.Write([]byte{0})
+				}
+			}
+			for _, in := range n.Inputs {
+				h.Write([]byte(sigs[in]))
+				h.Write([]byte{1})
+			}
+		}
+		sigs[name] = hex.EncodeToString(h.Sum(nil))
+	}
+	return sigs
+}

@@ -1,0 +1,469 @@
+package dashboard
+
+import (
+	"strings"
+	"testing"
+
+	"shareinsights/internal/connector"
+	"shareinsights/internal/flowfile"
+	"shareinsights/internal/gen"
+	"shareinsights/internal/widget"
+)
+
+// The complete Appendix A flow group, at full fidelity: every data
+// object, join and aggregation of listing A.1 and the widgets, tab
+// layouts and interaction flows of listing A.2 (adapted only where the
+// paper's own listing is internally inconsistent, e.g. the
+// players_tweets_state projection of a column players_tweets does not
+// have).
+
+const appendixA1 = `
+D:
+  ipl_tweets: [postedTime, body, location]
+  players_tweets: [date, player, count]
+  teams_tweets: [date, team, count]
+  dim_teams: [team_number, team, team_fullName, sort_order, color, noOfTweets]
+  team_players: [player, team_fullName, team, player_id, noOfTweets]
+  lat_long: [state, point_one]
+  player_tweets: [date, player, noOfTweets, team, team_fullName, player_id]
+  team_tweets: [date, team_fullName, noOfTweets, team, sort_order, color]
+  tm_rgn_raw_cnt: [date, team, state, count]
+  tm_rgn_tm_dtls: [date, team_fullName, state, noOfTweets, team, sort_order, color]
+  team_region_tweets: [team_fullName, state, date, noOfTweets, team, sort_order, color, point_one]
+  tagcloud_tweets_raw: [date, word, count]
+  tagcloud_tweets: [date, word, count]
+
+D.ipl_tweets:
+  source: mem:tweets.csv
+  format: csv
+
+D.dim_teams:
+  source: mem:dim_teams.csv
+  format: csv
+
+D.team_players:
+  source: mem:team_players.csv
+  format: csv
+
+D.lat_long:
+  source: mem:lat_long.csv
+  format: csv
+
+F:
+  D.players_tweets: D.ipl_tweets | T.players_pipeline | T.players_count
+
+  D.player_tweets: (
+    D.players_tweets,
+    D.team_players
+  ) | T.join_player_team
+
+  D.teams_tweets: D.ipl_tweets | T.teams_pipeline | T.teams_count
+
+  D.team_tweets: (D.teams_tweets, D.dim_teams) | T.join_dim_teams
+
+  D.tm_rgn_raw_cnt: D.ipl_tweets | T.teams_pipeline_region | T.teams_regions_count
+
+  D.tm_rgn_tm_dtls: (D.tm_rgn_raw_cnt, D.dim_teams) | T.join_dim_teams_two
+
+  D.team_region_tweets: (D.tm_rgn_tm_dtls, D.lat_long) | T.join_lat_long
+
+  D.tagcloud_tweets_raw: D.ipl_tweets | T.word_date_extraction | T.words_count
+  D.tagcloud_tweets: D.tagcloud_tweets_raw | T.topwords
+
+  D.player_tweets:
+    endpoint: true
+    publish: player_tweets
+  D.team_tweets:
+    endpoint: true
+    publish: team_tweets
+  D.team_region_tweets:
+    endpoint: true
+    publish: team_region_tweets
+  D.tagcloud_tweets:
+    endpoint: true
+    publish: tagcloud_tweets
+  D.dim_teams:
+    endpoint: true
+    publish: dim_teams
+
+T:
+  players_pipeline:
+    parallel: [T.norm_ipldate, T.extract_players]
+  teams_pipeline:
+    parallel: [T.norm_ipldate, T.extract_teams]
+  teams_pipeline_region:
+    parallel: [T.norm_ipldate, T.extract_location, T.extract_teams]
+  word_date_extraction:
+    parallel: [T.norm_ipldate, T.extract_words]
+  norm_ipldate:
+    type: map
+    operator: date
+    transform: postedTime
+    input_format: 'E MMM dd HH:mm:ss Z yyyy'
+    output_format: yyyy-MM-dd
+    output: date
+  extract_players:
+    type: map
+    operator: extract
+    transform: body
+    dict: players.txt
+    output: player
+  extract_teams:
+    type: map
+    operator: extract
+    transform: body
+    dict: teams.csv
+    output: team
+  extract_location:
+    type: map
+    operator: extract_location
+    transform: location
+    match: city
+    country: IND
+    dict: cities.ind.csv
+    output: state
+  extract_words:
+    type: map
+    operator: extract_words
+    transform: body
+    output: word
+  join_player_team:
+    type: join
+    left: players_tweets by player
+    right: team_players by player
+    join_condition: left outer
+    project:
+      players_tweets_date: date
+      players_tweets_player: player
+      players_tweets_count: noOfTweets
+      team_players_team: team
+      team_players_team_fullName: team_fullName
+      team_players_player_id: player_id
+  join_dim_teams:
+    type: join
+    left: teams_tweets by team
+    right: dim_teams by team_fullName
+    join_condition: left outer
+    project:
+      teams_tweets_date: date
+      teams_tweets_team: team_fullName
+      teams_tweets_count: noOfTweets
+      dim_teams_team: team
+      dim_teams_sort_order: sort_order
+      dim_teams_color: color
+  join_dim_teams_two:
+    type: join
+    left: tm_rgn_raw_cnt by team
+    right: dim_teams by team_fullName
+    join_condition: left outer
+    project:
+      tm_rgn_raw_cnt_date: date
+      tm_rgn_raw_cnt_team: team_fullName
+      tm_rgn_raw_cnt_state: state
+      tm_rgn_raw_cnt_count: noOfTweets
+      dim_teams_team: team
+      dim_teams_sort_order: sort_order
+      dim_teams_color: color
+  join_lat_long:
+    type: join
+    left: tm_rgn_tm_dtls by state
+    right: lat_long by state
+    join_condition: left outer
+    project:
+      tm_rgn_tm_dtls_team_fullName: team_fullName
+      tm_rgn_tm_dtls_state: state
+      tm_rgn_tm_dtls_date: date
+      tm_rgn_tm_dtls_noOfTweets: noOfTweets
+      tm_rgn_tm_dtls_team: team
+      tm_rgn_tm_dtls_sort_order: sort_order
+      tm_rgn_tm_dtls_color: color
+      lat_long_point_one: point_one
+  players_count:
+    type: groupby
+    groupby: [date, player]
+  teams_count:
+    type: groupby
+    groupby: [date, team]
+  teams_regions_count:
+    type: groupby
+    groupby: [date, team, state]
+  words_count:
+    type: groupby
+    groupby: [date, word]
+  topwords:
+    type: topn
+    groupby: [date]
+    orderby_column: [count DESC]
+    limit: 20
+`
+
+const appendixA2 = `
+L:
+  description: Clash of Titans
+  rows:
+    - [span12: W.teams]
+    - [span11: W.ipl_duration]
+    - [span11: W.relative_teamtweets]
+    - [span6: W.word_team_player_tweets, span5: W.region_tweets]
+
+W:
+  ipl_duration:
+    type: Slider
+    source: ['2013-05-02', '2013-05-27']
+    static: true
+    range: true
+    slider_type: date
+
+  relative_teamtweets:
+    type: Streamgraph
+    source: D.team_tweets | T.filter_by_date | T.filter_by_team
+    x: date
+    y: noOfTweets
+    color: color
+    serie: team
+
+  teams:
+    type: List
+    source: D.dim_teams
+    text: team
+
+  player_tweets:
+    type: WordCloud
+    source: D.player_tweets | T.filter_by_date | T.filter_by_team | T.aggregate_by_player
+    text: player
+    size: noOfTweets
+    show_tooltip: true
+
+  teamtweets:
+    type: WordCloud
+    source: D.team_tweets | T.filter_by_date | T.aggregate_by_team
+    text: team
+    size: noOfTweets
+    show_tooltip: true
+
+  wordtweets:
+    type: WordCloud
+    source: D.tagcloud_tweets | T.filter_by_date | T.aggregate_by_word
+    text: word
+    size: count
+    show_tooltip: true
+
+  region_tweets:
+    type: MapMarker
+    source: D.team_region_tweets | T.filter_by_date | T.filter_by_team | T.aggregate_by_team_region
+    country: IND
+    markers:
+      - marker1:
+          type: circle_marker
+          latlong_value: point_one
+          markersize: noOfTweets
+          fill_color: color
+
+  teamtweetstab:
+    type: Layout
+    rows:
+      - [span11: W.teamtweets]
+
+  playertweetstab:
+    type: Layout
+    rows:
+      - [span11: W.player_tweets]
+
+  wordtweetstab:
+    type: Layout
+    rows:
+      - [span11: W.wordtweets]
+
+  word_team_player_tweets:
+    type: TabLayout
+    tabs:
+      - name: 'Player'
+        body: W.playertweetstab
+      - name: 'Word'
+        body: W.wordtweetstab
+      - name: 'Team'
+        body: W.teamtweetstab
+
+T:
+  aggregate_by_player:
+    type: groupby
+    groupby: [player]
+    aggregates:
+      - operator: sum
+        apply_on: noOfTweets
+        out_field: noOfTweets
+
+  aggregate_by_team:
+    type: groupby
+    groupby: [team]
+    aggregates:
+      - operator: sum
+        apply_on: noOfTweets
+        out_field: noOfTweets
+
+  aggregate_by_word:
+    type: groupby
+    groupby: [word]
+    aggregates:
+      - operator: sum
+        apply_on: count
+        out_field: count
+        orderby_aggregates: true
+
+  filter_by_date:
+    type: filter_by
+    filter_by: [date]
+    filter_source: W.ipl_duration
+
+  filter_by_team:
+    type: filter_by
+    filter_by: [team]
+    filter_source: W.teams
+    filter_val: [text]
+
+  aggregate_by_team_region:
+    type: groupby
+    groupby: [team, point_one, state, color]
+    aggregates:
+      - operator: sum
+        apply_on: noOfTweets
+        out_field: noOfTweets
+`
+
+func appendixPlatform(t *testing.T) *Platform {
+	t.Helper()
+	p := NewPlatform()
+	p.Connectors = connector.NewRegistry(connector.Options{
+		Mem: map[string][]byte{
+			"tweets.csv":       gen.TweetsCSV(gen.TweetsOptions{Seed: 21, N: 8000}),
+			"dim_teams.csv":    gen.DimTeamsCSV(),
+			"team_players.csv": gen.TeamPlayersCSV(),
+			"lat_long.csv":     gen.LatLongCSV(),
+		},
+	})
+	return p
+}
+
+var appendixResources = map[string][]byte{
+	"players.txt":    gen.PlayersDict(),
+	"teams.csv":      gen.TeamsDict(),
+	"cities.ind.csv": gen.CitiesDict(),
+}
+
+// TestAppendixAFullFidelity runs the paper's complete IPL flow group end
+// to end and checks every published object and interaction path.
+func TestAppendixAFullFidelity(t *testing.T) {
+	p := appendixPlatform(t)
+	pf, err := flowfile.Parse("ipl_processing", appendixA1)
+	if err != nil {
+		t.Fatalf("parse A.1: %v", err)
+	}
+	if !pf.DataProcessingOnly() {
+		t.Error("A.1 should be a data-processing dashboard")
+	}
+	proc, err := p.Compile(pf, appendixResources)
+	if err != nil {
+		t.Fatalf("compile A.1: %v", err)
+	}
+	if err := proc.Run(); err != nil {
+		t.Fatalf("run A.1: %v", err)
+	}
+	for _, published := range []string{"player_tweets", "team_tweets", "team_region_tweets", "tagcloud_tweets", "dim_teams"} {
+		obj, ok := p.Catalog.Resolve(published)
+		if !ok || obj.Data.Len() == 0 {
+			t.Fatalf("published object %q missing or empty", published)
+		}
+	}
+	// player_tweets joined team metadata onto every counted player.
+	ptw, _ := p.Catalog.Resolve("player_tweets")
+	for i := 0; i < ptw.Data.Len(); i++ {
+		if ptw.Data.Cell(i, "team_fullName").IsNull() {
+			t.Fatalf("player row %d missing team metadata:\n%s", i, ptw.Data.Format(5))
+		}
+	}
+	// Region rows carry lat/long points from the final join.
+	trt, _ := p.Catalog.Resolve("team_region_tweets")
+	withPoint := 0
+	for i := 0; i < trt.Data.Len(); i++ {
+		if !trt.Data.Cell(i, "point_one").IsNull() {
+			withPoint++
+		}
+	}
+	if withPoint == 0 {
+		t.Fatal("no region rows have coordinates")
+	}
+	// topwords caps words per date at 20.
+	tc, _ := p.Catalog.Resolve("tagcloud_tweets")
+	perDate := map[string]int{}
+	for i := 0; i < tc.Data.Len(); i++ {
+		perDate[tc.Data.Cell(i, "date").Str()]++
+	}
+	for d, n := range perDate {
+		if n > 20 {
+			t.Errorf("date %s has %d tag-cloud words (limit 20)", d, n)
+		}
+	}
+
+	// --- Consumption dashboard (A.2) ---
+	cf, err := flowfile.Parse("clash_of_titans", appendixA2)
+	if err != nil {
+		t.Fatalf("parse A.2: %v", err)
+	}
+	cons, err := p.Compile(cf, nil)
+	if err != nil {
+		t.Fatalf("compile A.2: %v", err)
+	}
+	if err := cons.Run(); err != nil {
+		t.Fatalf("run A.2: %v", err)
+	}
+	// Full-range slider: the player cloud covers the whole roster.
+	players, _ := cons.Widget("player_tweets")
+	fullPlayers := players.Data.Len()
+	if fullPlayers < 10 {
+		t.Fatalf("player cloud too small: %d", fullPlayers)
+	}
+	// Selecting a team narrows player and streamgraph data to that team.
+	if err := cons.Select("teams", "CSK"); err != nil {
+		t.Fatal(err)
+	}
+	if players.Data.Len() >= fullPlayers {
+		t.Errorf("team selection did not narrow the player cloud: %d -> %d", fullPlayers, players.Data.Len())
+	}
+	stream, _ := cons.Widget("relative_teamtweets")
+	for i := 0; i < stream.Data.Len(); i++ {
+		if stream.Data.Cell(i, "team").Str() != "CSK" {
+			t.Fatalf("streamgraph leaked other teams:\n%s", stream.Data.Format(5))
+		}
+	}
+	// Narrowing the date range shrinks the word cloud totals.
+	words, _ := cons.Widget("wordtweets")
+	fullWords := sumColumn(t, words)
+	if err := cons.SelectRange("ipl_duration", "2013-05-02", "2013-05-04"); err != nil {
+		t.Fatal(err)
+	}
+	if got := sumColumn(t, words); got >= fullWords {
+		t.Errorf("date narrowing did not reduce word totals: %d -> %d", fullWords, got)
+	}
+	// The page renders with tabs and map markers.
+	var b strings.Builder
+	if err := cons.RenderHTML(&b); err != nil {
+		t.Fatal(err)
+	}
+	page := b.String()
+	for _, want := range []string{`data-tab="Player"`, `data-tab="Word"`, `data-tab="Team"`, `class="widget map"`, "<circle"} {
+		if !strings.Contains(page, want) {
+			t.Errorf("rendered page missing %q", want)
+		}
+	}
+}
+
+// sumColumn totals a word cloud's size column.
+func sumColumn(t *testing.T, inst *widget.Instance) int64 {
+	t.Helper()
+	col := inst.DataColumn("size")
+	var total int64
+	for i := 0; i < inst.Data.Len(); i++ {
+		total += inst.Data.Cell(i, col).Int()
+	}
+	return total
+}

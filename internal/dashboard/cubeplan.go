@@ -1,0 +1,172 @@
+package dashboard
+
+import (
+	"fmt"
+
+	"shareinsights/internal/engine/cube"
+	"shareinsights/internal/schema"
+	"shareinsights/internal/table"
+	"shareinsights/internal/task"
+	"shareinsights/internal/value"
+)
+
+// cubePlan is the cube-engine compilation of a widget's interaction
+// pipeline — the counterpart of the paper's generated JavaScript data
+// cube (§4.1). A client pipeline qualifies when it is a chain of
+// interaction filters followed by at most one single-key group-by whose
+// aggregates are invertible (sum/count): then filters map to cube
+// dimensions and the aggregation to an incrementally maintained group,
+// so a selection change costs a delta update instead of a re-scan.
+//
+// Pipelines outside that shape (multi-key groups, order statistics,
+// topn, joins) fall back to the reference task executor; results are
+// identical either way and tests assert it.
+type cubePlan struct {
+	filters []cubeFilter
+	// group is nil for pure-filter pipelines (widget shows rows).
+	group *cubeGroup
+
+	c    *cube.Cube
+	dims map[string]*cube.Dimension
+	g    *cube.Group
+}
+
+type cubeFilter struct {
+	// column is the endpoint-data column filtered.
+	column string
+	// sourceWidget / valCol locate the driving selection.
+	sourceWidget string
+	valCol       string
+}
+
+type cubeGroup struct {
+	keyCol   string
+	reduce   cube.Reduce
+	valueCol string
+	outKey   string
+	outVal   string
+}
+
+// compileCubePlan recognizes the accelerable shape; nil means fallback.
+func compileCubePlan(client []task.Spec) *cubePlan {
+	if len(client) == 0 {
+		return nil
+	}
+	plan := &cubePlan{}
+	i := 0
+	for ; i < len(client); i++ {
+		f, ok := client[i].(*task.FilterSpec)
+		if !ok {
+			break
+		}
+		if f.SourceWidget == "" || f.Expression != "" {
+			return nil // static filters belong to the server prefix
+		}
+		for j, col := range f.By {
+			valCol := col
+			if j < len(f.Val) && f.Val[j] != "" {
+				valCol = f.Val[j]
+			}
+			plan.filters = append(plan.filters, cubeFilter{
+				column: col, sourceWidget: f.SourceWidget, valCol: valCol,
+			})
+		}
+	}
+	if len(plan.filters) == 0 {
+		return nil
+	}
+	switch {
+	case i == len(client):
+		// Pure filter chain: the widget shows filtered rows.
+		return plan
+	case i == len(client)-1:
+		g, ok := client[i].(*task.GroupBySpec)
+		if !ok || len(g.GroupBy) != 1 || len(g.Aggs) != 1 || g.OrderByAggregates {
+			return nil
+		}
+		agg := g.Aggs[0]
+		cg := &cubeGroup{keyCol: g.GroupBy[0], outKey: g.GroupBy[0], outVal: agg.OutField}
+		switch agg.Operator {
+		case "count":
+			cg.reduce = cube.Count
+		case "sum":
+			cg.reduce = cube.Sum
+			cg.valueCol = agg.ApplyOn
+		default:
+			return nil
+		}
+		plan.group = cg
+		return plan
+	default:
+		return nil
+	}
+}
+
+// bind attaches the plan to materialized endpoint data.
+func (cp *cubePlan) bind(endpoint *table.Table) error {
+	cp.c = cube.New(endpoint)
+	cp.dims = map[string]*cube.Dimension{}
+	for _, f := range cp.filters {
+		d, err := cp.c.Dimension(f.column)
+		if err != nil {
+			return err
+		}
+		cp.dims[f.column] = d
+	}
+	if cp.group != nil {
+		// The group key gets its own (never-filtered) dimension so the
+		// crossfilter own-dimension exclusion is a no-op here.
+		keyDim, err := cp.c.Dimension(cp.group.keyCol)
+		if err != nil {
+			return err
+		}
+		g, err := cp.c.GroupBy(keyDim, cp.group.reduce, cp.group.valueCol)
+		if err != nil {
+			return err
+		}
+		cp.g = g
+	}
+	return nil
+}
+
+// refresh applies the current widget selections and returns the widget's
+// data.
+func (cp *cubePlan) refresh(env *task.Env) (*table.Table, error) {
+	for _, f := range cp.filters {
+		dim := cp.dims[f.column]
+		vals, ok := env.WidgetValue(f.sourceWidget, f.valCol)
+		if !ok || len(vals) == 0 {
+			dim.ClearFilter()
+			continue
+		}
+		if vals[0] == "range:" && len(vals) >= 3 {
+			dim.FilterRange(value.Parse(vals[1]), value.Parse(vals[2]))
+			continue
+		}
+		dim.Filter(vals...)
+	}
+	if cp.g == nil {
+		return cp.c.Materialize(), nil
+	}
+	out, err := cp.g.Table(cp.group.outKey, cp.group.outVal)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// verifySchema checks at compile time that the cube plan will produce
+// the schema the reference path produces, so widget bindings agree.
+func (cp *cubePlan) verifySchema(endpoint *schema.Schema, want *schema.Schema) error {
+	if cp.group == nil {
+		if !endpoint.Equal(want) {
+			return fmt.Errorf("cube plan schema %s != pipeline schema %s", endpoint, want)
+		}
+		return nil
+	}
+	got := schema.MustNew(schema.Column{Name: cp.group.outKey}, schema.Column{Name: cp.group.outVal})
+	if !got.Equal(want) {
+		return fmt.Errorf("cube plan schema %s != pipeline schema %s", got, want)
+	}
+	return nil
+}

@@ -1,0 +1,253 @@
+// Package dashboard is the flow-file compilation service (§4.1) and the
+// dashboard runtime.
+//
+// Compile turns a flow file into a two-part plan, exactly as the paper's
+// platform splits work between execution contexts:
+//
+//   - the data-processing plan: the flow DAG, executed once per run by
+//     the batch engine (the Pig/Spark substitute);
+//   - per-widget interaction plans: each widget's source pipeline is
+//     split at the first interaction-dependent task; the static prefix
+//     joins the batch plan (producing the widget's endpoint data) and
+//     the suffix re-runs in the interactive context on every selection
+//     change, backed by the cube engine where its operations map onto
+//     incremental cube groups.
+//
+// The split is the paper's transfer-minimizing rearrangement: only
+// pre-aggregated endpoint data crosses from the processing context to
+// the interactive context, and the Dashboard counts those bytes
+// (TransferredBytes) so the E6 ablation can measure the saving.
+package dashboard
+
+import (
+	"fmt"
+
+	"shareinsights/internal/connector"
+	"shareinsights/internal/dag"
+	"shareinsights/internal/engine/batch"
+	"shareinsights/internal/flowfile"
+	"shareinsights/internal/schema"
+	"shareinsights/internal/share"
+	"shareinsights/internal/table"
+	"shareinsights/internal/task"
+	"shareinsights/internal/widget"
+)
+
+// Platform bundles the services a dashboard compiles against.
+type Platform struct {
+	// Tasks resolves task types (platform library + user extensions).
+	Tasks *task.Registry
+	// Connectors loads source data objects.
+	Connectors *connector.Registry
+	// Catalog resolves and receives published data objects.
+	Catalog *share.Catalog
+	// Parallelism caps batch-engine workers; <= 0 means GOMAXPROCS.
+	Parallelism int
+	// Optimize enables the DAG optimizer (dead-sink elimination, filter
+	// pushdown, interaction splitting). Disabling it is the E6 ablation
+	// baseline: widget pipelines then run entirely in the interactive
+	// context, shipping raw data objects to it.
+	Optimize bool
+	// Cache, when non-nil, memoizes produced data objects across runs so
+	// a re-run after a flow-file edit recomputes only what the edit
+	// touched (§4.5.3 quick feedback).
+	Cache *ResultCache
+	// UseCube routes qualifying widget-interaction pipelines through the
+	// incremental cube engine instead of re-running the task chain per
+	// selection change. Results are identical either way; the cube makes
+	// interaction latency independent of how much data a widget watches.
+	UseCube bool
+	// Trace receives task-execution telemetry (feeds the Figure 31
+	// platform-usage dashboard).
+	Trace func(taskType string, outRows int)
+}
+
+// NewPlatform returns a platform with default services and optimization
+// enabled.
+func NewPlatform() *Platform {
+	return &Platform{
+		Tasks:      task.NewRegistry(),
+		Connectors: connector.NewRegistry(connector.Options{}),
+		Catalog:    share.NewCatalog(),
+		Optimize:   true,
+		UseCube:    true,
+	}
+}
+
+// widgetPlan is one widget's compiled source pipeline.
+type widgetPlan struct {
+	def *flowfile.WidgetDef
+	// inputs are the source data-object names.
+	inputs []string
+	// server runs once in the batch context; client re-runs per
+	// interaction.
+	server, client []task.Spec
+	// endpointSchema is the schema crossing contexts.
+	endpointSchema *schema.Schema
+	// endpoint is the materialized endpoint data (after Run).
+	endpoint *table.Table
+	// interactsWith lists widgets whose selections this plan reads.
+	interactsWith []string
+	// cube is the cube-engine compilation of the client suffix, nil when
+	// the pipeline shape needs the reference executor.
+	cube *cubePlan
+}
+
+// Dashboard is a compiled flow file ready to run.
+type Dashboard struct {
+	// Name is the dashboard name.
+	Name string
+	// File is the flow file.
+	File *flowfile.File
+	// Graph is the schema-resolved flow DAG.
+	Graph *dag.Graph
+
+	platform *Platform
+	env      *task.Env
+	plans    map[string]*widgetPlan
+	widgets  map[string]*widget.Instance
+	result   *batch.Result
+
+	// TransferredBytes counts endpoint-data bytes shipped from the
+	// processing context to the interactive context in the last Run.
+	TransferredBytes int
+
+	// stylesheet is appended to the base CSS (§4.2 Styling extension).
+	stylesheet string
+}
+
+// Compile validates and compiles a flow file against the platform.
+// resources supplies auxiliary task files (dictionaries) by name.
+func (p *Platform) Compile(f *flowfile.File, resources map[string][]byte) (*Dashboard, error) {
+	if err := f.Validate(true); err != nil {
+		return nil, err
+	}
+	var resolver dag.SharedResolver
+	if p.Catalog != nil {
+		resolver = p.Catalog.ResolveSchema
+	}
+	g, err := dag.Build(f, p.Tasks, resolver)
+	if err != nil {
+		return nil, err
+	}
+	d := &Dashboard{
+		Name:     f.Name,
+		File:     f,
+		Graph:    g,
+		platform: p,
+		plans:    map[string]*widgetPlan{},
+		widgets:  map[string]*widget.Instance{},
+	}
+	d.env = &task.Env{
+		Resources:   resources,
+		Parallelism: p.Parallelism,
+		Trace:       p.Trace,
+		WidgetValue: d.widgetValue,
+	}
+	for _, name := range f.WidgetOrder {
+		def := f.Widgets[name]
+		inst, err := widget.NewInstance(def)
+		if err != nil {
+			return nil, err
+		}
+		d.widgets[name] = inst
+		plan, err := d.compileWidgetPlan(def)
+		if err != nil {
+			return nil, err
+		}
+		if plan != nil {
+			d.plans[name] = plan
+		}
+	}
+	return d, nil
+}
+
+// compileWidgetPlan parses, splits and binds one widget source pipeline.
+func (d *Dashboard) compileWidgetPlan(def *flowfile.WidgetDef) (*widgetPlan, error) {
+	if def.Source == nil {
+		return nil, nil
+	}
+	specs := make([]task.Spec, 0, len(def.Source.Tasks))
+	for _, tref := range def.Source.Tasks {
+		tdef, ok := d.File.Tasks[tref.Name]
+		if !ok {
+			return nil, fmt.Errorf("widget W.%s references undefined task T.%s", def.Name, tref.Name)
+		}
+		spec, err := d.platform.Tasks.Parse(d.File, tdef)
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, spec)
+	}
+	plan := &widgetPlan{def: def, interactsWith: widget.InteractionSources(d.File, def)}
+	for _, in := range def.Source.Inputs {
+		if _, ok := d.Graph.Nodes[in.Name]; !ok {
+			return nil, fmt.Errorf("widget W.%s reads unknown data object D.%s", def.Name, in.Name)
+		}
+		plan.inputs = append(plan.inputs, in.Name)
+	}
+	if d.platform.Optimize {
+		plan.server, plan.client = dag.SplitAtInteraction(specs)
+		plan.server = dag.PushdownFilters(plan.server)
+	} else {
+		plan.client = specs
+	}
+	// Bind the server prefix now: its output schema is the endpoint
+	// schema, and binding errors should surface at compile time.
+	epSchema, err := dag.BindPipeline(d.Graph, plan.inputs, plan.server)
+	if err != nil {
+		return nil, fmt.Errorf("widget W.%s source: %w", def.Name, err)
+	}
+	plan.endpointSchema = epSchema
+	// The client suffix binds against the endpoint schema.
+	cur := []task.Input{{Schema: epSchema}}
+	for i, sp := range plan.client {
+		out, err := sp.Out(cur)
+		if err != nil {
+			return nil, fmt.Errorf("widget W.%s interaction stage %d (%s): %w", def.Name, i+1, task.Describe(sp), err)
+		}
+		cur = []task.Input{{Schema: out}}
+	}
+	if d.platform.UseCube {
+		if cp := compileCubePlan(plan.client); cp != nil {
+			if err := cp.verifySchema(epSchema, cur[0].Schema); err == nil {
+				plan.cube = cp
+			}
+		}
+	}
+	return plan, nil
+}
+
+// widgetValue implements task.Env.WidgetValue over the live instances.
+func (d *Dashboard) widgetValue(widgetName, column string) ([]string, bool) {
+	inst, ok := d.widgets[widgetName]
+	if !ok {
+		return nil, false
+	}
+	return inst.SelectionValues(column)
+}
+
+// Widget returns a live widget instance (implements widget.RenderEnv).
+func (d *Dashboard) Widget(name string) (*widget.Instance, bool) {
+	w, ok := d.widgets[name]
+	return w, ok
+}
+
+// Endpoint returns a materialized endpoint data object by name after
+// Run: either a flow sink marked endpoint: true or a widget's endpoint
+// feed.
+func (d *Dashboard) Endpoint(name string) (*table.Table, bool) {
+	if d.result != nil {
+		if n, ok := d.Graph.Nodes[name]; ok && n.Def.Endpoint {
+			t, ok := d.result.Table(name)
+			return t, ok
+		}
+	}
+	return nil, false
+}
+
+// Endpoints lists endpoint data-object names in topological order.
+func (d *Dashboard) Endpoints() []string { return d.Graph.Endpoints() }
+
+// Result exposes the last batch execution.
+func (d *Dashboard) Result() *batch.Result { return d.result }

@@ -1,0 +1,121 @@
+package dashboard
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"shareinsights/internal/connector"
+	"shareinsights/internal/flowfile"
+)
+
+// bigWidgetFlow produces a word cloud with > DegradeRows rows.
+const bigWidgetFlow = `
+D:
+  words: [word, n]
+
+D.words:
+  source: mem:words.csv
+  format: csv
+
+W:
+  cloud:
+    type: WordCloud
+    source: D.words
+    text: word
+    size: n
+
+L:
+  description: Big Cloud
+  rows:
+    - [span6: W.cloud]
+`
+
+func bigWordsDashboard(t *testing.T) *Dashboard {
+	t.Helper()
+	var csv strings.Builder
+	for i := 0; i < 500; i++ {
+		fmt.Fprintf(&csv, "word%03d,%d\n", i, i)
+	}
+	p := NewPlatform()
+	p.Connectors = connector.NewRegistry(connector.Options{
+		Mem: map[string][]byte{"words.csv": []byte(csv.String())},
+	})
+	f, err := flowfile.Parse("big", bigWidgetFlow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := p.Compile(f, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestRenderForDesktopKeepsChart(t *testing.T) {
+	d := bigWordsDashboard(t)
+	var b strings.Builder
+	if err := d.RenderHTMLFor(Desktop, &b); err != nil {
+		t.Fatal(err)
+	}
+	page := b.String()
+	if !strings.Contains(page, `class="col span6"`) {
+		t.Error("desktop render lost the configured span")
+	}
+	if !strings.Contains(page, "wordcloud") || strings.Contains(page, "degraded") {
+		t.Error("desktop render should keep the full chart")
+	}
+}
+
+func TestRenderForMobileStacksAndDegrades(t *testing.T) {
+	d := bigWordsDashboard(t)
+	var b strings.Builder
+	if err := d.RenderHTMLFor(Mobile, &b); err != nil {
+		t.Fatal(err)
+	}
+	page := b.String()
+	if !strings.Contains(page, `class="col span12"`) {
+		t.Error("mobile render should stack cells to span12")
+	}
+	if !strings.Contains(page, `class="widget degraded"`) {
+		t.Error("low-power render should degrade the big chart")
+	}
+	if !strings.Contains(page, "20 of 500 rows shown") {
+		t.Errorf("degraded table should show the top rows notice")
+	}
+	// Degradation ranks by the size column: the strongest word leads.
+	if !strings.Contains(page, "word499") {
+		t.Error("degraded table missing the top-weighted row")
+	}
+	if strings.Contains(page, "word005,") {
+		t.Error("degraded table should not include weak rows")
+	}
+}
+
+func TestSmallChartNotDegraded(t *testing.T) {
+	p := NewPlatform()
+	p.Connectors = connector.NewRegistry(connector.Options{
+		Mem: map[string][]byte{"words.csv": []byte("a,1\nb,2\n")},
+	})
+	f, err := flowfile.Parse("small", bigWidgetFlow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := p.Compile(f, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := d.RenderHTMLFor(Mobile, &b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "degraded") {
+		t.Error("small charts should render normally on low-power devices")
+	}
+}

@@ -1,0 +1,277 @@
+package dashboard
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"shareinsights/internal/engine/batch"
+	"shareinsights/internal/engine/cube"
+	"shareinsights/internal/table"
+	"shareinsights/internal/task"
+)
+
+// Run executes the dashboard's data-processing plan: load sources,
+// execute the flow DAG, publish shared sinks, materialize every widget's
+// endpoint data, and evaluate the widgets' interaction pipelines for the
+// initial selections.
+func (d *Dashboard) Run() error {
+	sources := map[string]*table.Table{}
+	for _, name := range d.Graph.Sources() {
+		n := d.Graph.Nodes[name]
+		if n.Shared {
+			obj, ok := d.platform.Catalog.Resolve(name)
+			if !ok {
+				return fmt.Errorf("dashboard %s: shared data object %q disappeared from the catalog", d.Name, name)
+			}
+			sources[name] = obj.Data
+			continue
+		}
+		// Sources in the dashboard's data folder (§4.3.2: uploaded files
+		// "can be referred in the data object configuration") resolve
+		// from the compile-time resources under the data: scheme.
+		if src, ok := strings.CutPrefix(n.Def.Prop("source"), "data:"); ok || n.Def.Prop("protocol") == "data" {
+			if !ok {
+				src = n.Def.Prop("source")
+			}
+			payload, found := d.env.Resource(src)
+			if !found {
+				return fmt.Errorf("dashboard %s: D.%s: no uploaded data file %q", d.Name, name, src)
+			}
+			t, err := d.platform.Connectors.Decode(n.Def, n.Schema, payload)
+			if err != nil {
+				return fmt.Errorf("dashboard %s: %w", d.Name, err)
+			}
+			sources[name] = t
+			continue
+		}
+		t, err := d.platform.Connectors.Load(n.Def, n.Schema)
+		if err != nil {
+			return fmt.Errorf("dashboard %s: %w", d.Name, err)
+		}
+		sources[name] = t
+	}
+	exec := &batch.Executor{Parallelism: d.platform.Parallelism, Optimize: d.platform.Optimize}
+	var sigs map[string]string
+	cached := map[string]*table.Table{}
+	if d.platform.Cache != nil {
+		sigs = d.Graph.Signatures(func(name string) string {
+			if t, ok := sources[name]; ok {
+				return t.Fingerprint()
+			}
+			return ""
+		})
+		for _, name := range d.Graph.Order {
+			if d.Graph.Nodes[name].IsSource() {
+				continue
+			}
+			if t, ok := d.platform.Cache.lookup(d.Name, name, sigs[name]); ok {
+				cached[name] = t
+			}
+		}
+	}
+	res, err := exec.RunWithCache(d.Graph, d.env, sources, cached)
+	if err != nil {
+		return fmt.Errorf("dashboard %s: %w", d.Name, err)
+	}
+	d.result = res
+	if d.platform.Cache != nil {
+		for _, name := range d.Graph.Order {
+			if d.Graph.Nodes[name].IsSource() {
+				continue
+			}
+			if t, ok := res.Table(name); ok {
+				d.platform.Cache.store(d.Name, name, sigs[name], t)
+			}
+		}
+	}
+	// Publish shared sinks (§3.4.1 group access).
+	for _, name := range d.Graph.Published() {
+		t, ok := res.Table(name)
+		if !ok {
+			return fmt.Errorf("dashboard %s: published object D.%s was not materialized", d.Name, name)
+		}
+		if _, err := d.platform.Catalog.Publish(d.Name, d.Graph.Nodes[name].Def.Publish, t); err != nil {
+			return err
+		}
+	}
+	// Materialize widget endpoint data: the server prefixes run once and
+	// their outputs are what crosses to the interactive context.
+	d.TransferredBytes = 0
+	for _, name := range d.File.WidgetOrder {
+		plan, ok := d.plans[name]
+		if !ok {
+			continue
+		}
+		ins := make([]*table.Table, len(plan.inputs))
+		for i, in := range plan.inputs {
+			t, ok := res.Table(in)
+			if !ok {
+				return fmt.Errorf("dashboard %s: widget W.%s input D.%s was not materialized", d.Name, name, in)
+			}
+			ins[i] = t
+		}
+		out, _, err := exec.RunPipeline(d.env, plan.server, ins, plan.inputs)
+		if err != nil {
+			return fmt.Errorf("dashboard %s: widget W.%s endpoint: %w", d.Name, name, err)
+		}
+		plan.endpoint = out
+		d.TransferredBytes += out.SizeBytes()
+		if plan.cube != nil {
+			if err := plan.cube.bind(out); err != nil {
+				return fmt.Errorf("dashboard %s: widget W.%s cube: %w", d.Name, name, err)
+			}
+		}
+	}
+	return d.RefreshWidgets()
+}
+
+// RefreshWidgets re-evaluates every widget's interaction pipeline
+// against the current selections — what the generated dashboard does in
+// the browser whenever a selection changes.
+func (d *Dashboard) RefreshWidgets() error {
+	for _, name := range d.File.WidgetOrder {
+		if err := d.refreshWidget(name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (d *Dashboard) refreshWidget(name string) error {
+	plan, ok := d.plans[name]
+	if !ok {
+		return nil // static or layout widget
+	}
+	inst := d.widgets[name]
+	if plan.cube != nil {
+		out, err := plan.cube.refresh(d.env)
+		if err != nil {
+			return fmt.Errorf("dashboard %s: widget W.%s cube interaction: %w", d.Name, name, err)
+		}
+		return inst.Bind(out)
+	}
+	cur := plan.endpoint
+	curName := ""
+	for _, sp := range plan.client {
+		out, err := sp.Exec(d.env, []*table.Table{cur}, []string{curName})
+		if err != nil {
+			return fmt.Errorf("dashboard %s: widget W.%s interaction: %w", d.Name, name, err)
+		}
+		cur = out
+		curName = ""
+	}
+	return inst.Bind(cur)
+}
+
+// Select records a selection on a widget and refreshes the widgets whose
+// interaction pipelines read it. This is the §3.5.1 interaction path:
+// "selection of a project in the bubble widget reflects the project
+// statistics at the right", with the propagation derived from the flow
+// file rather than event handlers.
+func (d *Dashboard) Select(widgetName string, values ...string) error {
+	inst, ok := d.widgets[widgetName]
+	if !ok {
+		return fmt.Errorf("dashboard %s: no widget W.%s", d.Name, widgetName)
+	}
+	inst.Select(values...)
+	return d.refreshDependents(widgetName)
+}
+
+// SelectRange records an interval selection (sliders).
+func (d *Dashboard) SelectRange(widgetName, lo, hi string) error {
+	inst, ok := d.widgets[widgetName]
+	if !ok {
+		return fmt.Errorf("dashboard %s: no widget W.%s", d.Name, widgetName)
+	}
+	inst.SelectRange(lo, hi)
+	return d.refreshDependents(widgetName)
+}
+
+func (d *Dashboard) refreshDependents(widgetName string) error {
+	for _, name := range d.File.WidgetOrder {
+		plan, ok := d.plans[name]
+		if !ok {
+			continue
+		}
+		for _, dep := range plan.interactsWith {
+			if dep == widgetName {
+				if err := d.refreshWidget(name); err != nil {
+					return err
+				}
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// Dependents lists the widgets that react to selections on widgetName.
+func (d *Dashboard) Dependents(widgetName string) []string {
+	var out []string
+	for _, name := range d.File.WidgetOrder {
+		plan, ok := d.plans[name]
+		if !ok {
+			continue
+		}
+		for _, dep := range plan.interactsWith {
+			if dep == widgetName {
+				out = append(out, name)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// NewCube builds an interactive cube over a widget's endpoint data,
+// registering one dimension per interaction filter column. It powers the
+// cube-accelerated interaction path and the E6/E7 benches.
+func (d *Dashboard) NewCube(widgetName string) (*cube.Cube, error) {
+	plan, ok := d.plans[widgetName]
+	if !ok || plan.endpoint == nil {
+		return nil, fmt.Errorf("dashboard %s: widget W.%s has no endpoint data (run the dashboard first)", d.Name, widgetName)
+	}
+	c := cube.New(plan.endpoint)
+	for _, sp := range plan.client {
+		f, ok := sp.(*task.FilterSpec)
+		if !ok {
+			continue
+		}
+		for _, col := range f.By {
+			if _, err := c.Dimension(col); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return c, nil
+}
+
+// AdhocQuery answers the REST data API's path query of §4.4:
+// groupby/<column>/<aggregate>/<column> over an endpoint data object.
+func (d *Dashboard) AdhocQuery(dataset, groupCol, aggOp, aggCol string) (*table.Table, error) {
+	t, ok := d.Endpoint(dataset)
+	if !ok {
+		return nil, fmt.Errorf("dashboard %s: no endpoint data object %q", d.Name, dataset)
+	}
+	spec := &task.GroupBySpec{
+		GroupBy: []string{groupCol},
+		Aggs:    []task.AggSpec{{Operator: aggOp, ApplyOn: aggCol, OutField: aggOp + "_" + aggCol}},
+	}
+	if aggOp == "count" && aggCol == "" {
+		spec.Aggs = []task.AggSpec{{Operator: "count", OutField: "count"}}
+	}
+	return spec.Exec(d.env, []*table.Table{t}, []string{dataset})
+}
+
+// EndpointNames lists all endpoint data objects plus widget endpoints,
+// for the /ds listing.
+func (d *Dashboard) EndpointNames() []string {
+	names := d.Graph.Endpoints()
+	sort.Strings(names)
+	return names
+}
+
+// Env exposes the dashboard's task environment (benchmarks and the
+// server reuse it).
+func (d *Dashboard) Env() *task.Env { return d.env }

@@ -1,0 +1,148 @@
+package diagnose
+
+import (
+	"strings"
+	"testing"
+
+	"shareinsights/internal/connector"
+	"shareinsights/internal/dashboard"
+	"shareinsights/internal/flowfile"
+)
+
+const diagFlow = `
+D:
+  sales: [region, product, amount]
+
+D.sales:
+  source: mem:sales.csv
+  format: csv
+
+F:
+  +D.by_region: D.sales | T.sum_by_region
+
+T:
+  sum_by_region:
+    type: groupby
+    groupby: [regoin]
+    aggregates:
+      - operator: sum
+        apply_on: amount
+        out_field: total
+`
+
+func TestDidYouMeanForMisspelledColumn(t *testing.T) {
+	f, err := flowfile.Parse("diag", diagFlow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := dashboard.NewPlatform()
+	p.Connectors = connector.NewRegistry(connector.Options{
+		Mem: map[string][]byte{"sales.csv": []byte("e,w,1\n")},
+	})
+	_, cerr := p.Compile(f, nil)
+	if cerr == nil {
+		t.Fatal("expected compile error for misspelled column")
+	}
+	ds := Diagnose(f, cerr)
+	if len(ds) != 1 {
+		t.Fatalf("diagnostics = %v", ds)
+	}
+	d := ds[0]
+	if d.Entity != "D.by_region" {
+		t.Errorf("entity = %q", d.Entity)
+	}
+	if !strings.Contains(d.Hint, `"region"`) {
+		t.Errorf("hint = %q, want did-you-mean region", d.Hint)
+	}
+	if strings.Contains(d.Problem, "dag:") || strings.Contains(d.Problem, "schema:") {
+		t.Errorf("engine prefixes leaked: %q", d.Problem)
+	}
+	if d.Line == 0 {
+		t.Error("line not attributed")
+	}
+}
+
+func TestValidationErrorsExpand(t *testing.T) {
+	src := `
+D:
+  raw: [a]
+
+D.raw:
+  source: x.csv
+
+F:
+  D.out: D.raw | T.missing_one
+  D.out2: D.raw | T.missing_two
+
+T:
+  unused:
+    type: distinct
+`
+	f, err := flowfile.Parse("multi", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verr := f.Validate(false)
+	if verr == nil {
+		t.Fatal("expected validation error")
+	}
+	ds := Diagnose(f, verr)
+	if len(ds) < 2 {
+		t.Fatalf("want one diagnostic per problem, got %v", ds)
+	}
+	joined := make([]string, len(ds))
+	for i, d := range ds {
+		joined[i] = d.String()
+	}
+	all := strings.Join(joined, "\n")
+	if !strings.Contains(all, "T.missing_one") || !strings.Contains(all, "T.missing_two") {
+		t.Errorf("diagnostics missing entities:\n%s", all)
+	}
+}
+
+func TestTaskLineAttribution(t *testing.T) {
+	f, err := flowfile.Parse("diag", diagFlow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := Diagnose(f, errFor(`task "sum_by_region": something broke`))
+	if ds[0].Entity != "T.sum_by_region" || ds[0].Line != f.Tasks["sum_by_region"].Line {
+		t.Errorf("diagnostic = %+v", ds[0])
+	}
+}
+
+type strErr string
+
+func (e strErr) Error() string { return string(e) }
+
+func errFor(msg string) error { return strErr(msg) }
+
+func TestNilError(t *testing.T) {
+	if ds := Diagnose(nil, nil); ds != nil {
+		t.Errorf("nil error produced diagnostics: %v", ds)
+	}
+}
+
+func TestEditDistance(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0}, {"a", "", 1}, {"abc", "abc", 0},
+		{"regoin", "region", 2}, {"kitten", "sitting", 3},
+	}
+	for _, c := range cases {
+		if got := editDistance(c.a, c.b); got != c.want {
+			t.Errorf("editDistance(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestNearestRespectsThreshold(t *testing.T) {
+	if got := nearest("zzzzz", []string{"region", "product"}); got != "" {
+		t.Errorf("nearest matched a distant candidate: %q", got)
+	}
+	if got := nearest("prodct", []string{"region", "product"}); got != "product" {
+		t.Errorf("nearest = %q", got)
+	}
+}

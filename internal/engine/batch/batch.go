@@ -1,0 +1,491 @@
+// Package batch is ShareInsights' data-processing engine — the stand-in
+// for the Hadoop/Pig/Spark back-end the paper compiles flows to.
+//
+// The engine executes a schema-resolved DAG with the same structure a
+// cluster engine would use, shrunk to one process:
+//
+//   - independent DAG nodes run concurrently (inter-node parallelism);
+//   - chains of row-local tasks (map, filter, parallel composites) are
+//     fused into one pass and sharded across workers (intra-node
+//     parallelism, the map side);
+//   - group-bys aggregate partially per shard and merge (the combiner/
+//     reduce side);
+//   - everything else falls back to the task's reference Exec.
+//
+// The observable semantics are exactly the task package's reference
+// semantics; tests assert the equivalence.
+package batch
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"shareinsights/internal/dag"
+	"shareinsights/internal/table"
+	"shareinsights/internal/task"
+)
+
+// Executor runs flow-file DAGs.
+type Executor struct {
+	// Parallelism caps worker fan-out; <= 0 means GOMAXPROCS.
+	Parallelism int
+	// Optimize applies the DAG optimizer passes (filter pushdown, dead
+	// sink elimination) before execution. Off, the engine runs the
+	// pipelines exactly as written — the E6 ablation baseline.
+	Optimize bool
+}
+
+// StageTiming records one executed pipeline stage — the raw material
+// for the §6 "tools to identify performance bottlenecks".
+type StageTiming struct {
+	// Output is the data object the stage's pipeline produces.
+	Output string
+	// Stage describes the task(s) executed (fused row-local runs join
+	// their descriptions with " | ").
+	Stage string
+	// Rows is the stage's output cardinality.
+	Rows int
+	// Duration is the stage's wall time.
+	Duration time.Duration
+}
+
+// Stats reports what an execution did.
+type Stats struct {
+	// TasksRun counts executed task stages.
+	TasksRun int
+	// RowsProduced maps data-object names to their materialized row
+	// counts.
+	RowsProduced map[string]int
+	// SkippedSinks lists dead sinks the optimizer eliminated.
+	SkippedSinks []string
+	// CacheHits lists produced nodes served from the incremental cache.
+	CacheHits []string
+	// Timings records every executed stage.
+	Timings []StageTiming
+}
+
+// Slowest returns the n longest stages, descending.
+func (s *Stats) Slowest(n int) []StageTiming {
+	out := append([]StageTiming(nil), s.Timings...)
+	sort.Slice(out, func(a, b int) bool { return out[a].Duration > out[b].Duration })
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+// Result is a completed execution: every materialized data object.
+type Result struct {
+	// Tables maps data-object names to their contents.
+	Tables map[string]*table.Table
+	// Stats describes the run.
+	Stats Stats
+}
+
+// Table returns a materialized data object.
+func (r *Result) Table(name string) (*table.Table, bool) {
+	t, ok := r.Tables[name]
+	return t, ok
+}
+
+func (e *Executor) workers() int {
+	if e.Parallelism > 0 {
+		return e.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run executes the graph. sources supplies the contents of every source
+// node (connector output or shared-catalog data), keyed by data-object
+// name.
+func (e *Executor) Run(g *dag.Graph, env *task.Env, sources map[string]*table.Table) (*Result, error) {
+	return e.RunWithCache(g, env, sources, nil)
+}
+
+// RunWithCache is Run with an incremental-execution cache: produced
+// nodes present in cached are served directly, skipping their pipelines
+// (and, transitively, nothing upstream runs solely for them). Callers
+// must only supply entries whose content signature is unchanged — see
+// dag.Graph.Signatures.
+func (e *Executor) RunWithCache(g *dag.Graph, env *task.Env, sources, cached map[string]*table.Table) (*Result, error) {
+	res := &Result{
+		Tables: make(map[string]*table.Table, len(g.Nodes)),
+		Stats:  Stats{RowsProduced: map[string]int{}},
+	}
+	skip := map[string]bool{}
+	if e.Optimize {
+		res.Stats.SkippedSinks = g.DeadSinks()
+		for _, s := range res.Stats.SkippedSinks {
+			skip[s] = true
+		}
+	}
+	// Per-node completion latches for dataflow scheduling.
+	type slot struct {
+		done chan struct{}
+		tbl  *table.Table
+		err  error
+	}
+	slots := make(map[string]*slot, len(g.Nodes))
+	for name := range g.Nodes {
+		slots[name] = &slot{done: make(chan struct{})}
+	}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, name := range g.Order {
+		n := g.Nodes[name]
+		s := slots[name]
+		if skip[name] {
+			close(s.done)
+			continue
+		}
+		if t, ok := cached[name]; ok && !n.IsSource() {
+			s.tbl = t
+			res.Stats.CacheHits = append(res.Stats.CacheHits, name)
+			close(s.done)
+			continue
+		}
+		if n.IsSource() {
+			t, ok := sources[name]
+			if !ok {
+				s.err = fmt.Errorf("batch: no data supplied for source D.%s", name)
+			} else if !t.Schema().Equal(n.Schema) {
+				s.err = fmt.Errorf("batch: source D.%s data schema %s does not match resolved schema %s",
+					name, t.Schema(), n.Schema)
+			} else {
+				s.tbl = t
+			}
+			close(s.done)
+			continue
+		}
+		wg.Add(1)
+		go func(n *dag.Node, s *slot) {
+			defer wg.Done()
+			defer close(s.done)
+			ins := make([]*table.Table, len(n.Inputs))
+			for i, in := range n.Inputs {
+				dep := slots[in]
+				<-dep.done
+				if dep.err != nil {
+					s.err = fmt.Errorf("batch: D.%s blocked by input D.%s: %w", n.Name, in, dep.err)
+					return
+				}
+				if dep.tbl == nil {
+					s.err = fmt.Errorf("batch: D.%s input D.%s was eliminated", n.Name, in)
+					return
+				}
+				ins[i] = dep.tbl
+			}
+			specs := n.Specs
+			if e.Optimize {
+				specs = dag.PushdownFilters(specs)
+			}
+			record := func(t StageTiming) {
+				t.Output = n.Name
+				mu.Lock()
+				res.Stats.Timings = append(res.Stats.Timings, t)
+				mu.Unlock()
+			}
+			out, stages, err := e.runPipeline(env, specs, ins, n.Inputs, record)
+			if err != nil {
+				s.err = fmt.Errorf("batch: flow for D.%s: %w", n.Name, err)
+				return
+			}
+			s.tbl = out
+			mu.Lock()
+			res.Stats.TasksRun += stages
+			mu.Unlock()
+		}(n, s)
+	}
+	wg.Wait()
+	var firstErr error
+	for _, name := range g.Order {
+		s := slots[name]
+		if s.err != nil && firstErr == nil {
+			firstErr = s.err
+		}
+		if s.tbl != nil {
+			res.Tables[name] = s.tbl
+			res.Stats.RowsProduced[name] = s.tbl.Len()
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return res, nil
+}
+
+// RunPipeline executes one linear spec chain over its inputs, fusing and
+// sharding row-local runs and parallelizing group-bys. It returns the
+// output table and the number of stages run.
+func (e *Executor) RunPipeline(env *task.Env, specs []task.Spec, in []*table.Table, names []string) (*table.Table, int, error) {
+	return e.runPipeline(env, specs, in, names, nil)
+}
+
+func (e *Executor) runPipeline(env *task.Env, specs []task.Spec, in []*table.Table, names []string, record func(StageTiming)) (*table.Table, int, error) {
+	if record == nil {
+		record = func(StageTiming) {}
+	}
+	if len(specs) == 0 {
+		if len(in) != 1 {
+			return nil, 0, fmt.Errorf("pipeline with no tasks needs exactly one input")
+		}
+		return in[0], 0, nil
+	}
+	cur := in
+	curNames := names
+	stages := 0
+	i := 0
+	for i < len(specs) {
+		single := len(cur) == 1
+		if rl, ok := specs[i].(task.RowLocal); ok && single {
+			// Fuse the maximal run of row-local specs.
+			run := []task.RowLocal{rl}
+			j := i + 1
+			for j < len(specs) {
+				next, ok := specs[j].(task.RowLocal)
+				if !ok {
+					break
+				}
+				run = append(run, next)
+				j++
+			}
+			start := time.Now()
+			out, err := e.runRowLocal(env, run, cur[0], firstName(curNames))
+			if err != nil {
+				return nil, stages, err
+			}
+			record(StageTiming{Stage: describeRun(run), Rows: out.Len(), Duration: time.Since(start)})
+			stages += len(run)
+			cur = []*table.Table{out}
+			curNames = []string{""}
+			i = j
+			continue
+		}
+		if gr, ok := specs[i].(task.Grouped); ok && single && cur[0].Len() >= parallelGroupThreshold {
+			start := time.Now()
+			out, err := e.runGrouped(env, gr, cur[0], firstName(curNames))
+			if err != nil {
+				return nil, stages, err
+			}
+			record(StageTiming{Stage: task.Describe(gr), Rows: out.Len(), Duration: time.Since(start)})
+			stages++
+			cur = []*table.Table{out}
+			curNames = []string{""}
+			i++
+			continue
+		}
+		start := time.Now()
+		out, err := specs[i].Exec(env, cur, curNames)
+		if err != nil {
+			return nil, stages, err
+		}
+		record(StageTiming{Stage: task.Describe(specs[i]), Rows: out.Len(), Duration: time.Since(start)})
+		stages++
+		cur = []*table.Table{out}
+		curNames = []string{""}
+		i++
+	}
+	return cur[0], stages, nil
+}
+
+// parallelGroupThreshold is the input size below which sharded
+// aggregation is not worth the coordination cost.
+const parallelGroupThreshold = 4096
+
+func firstName(names []string) string {
+	if len(names) > 0 {
+		return names[0]
+	}
+	return ""
+}
+
+// runRowLocal shards a fused row-local chain across workers.
+func (e *Executor) runRowLocal(env *task.Env, run []task.RowLocal, in *table.Table, name string) (*table.Table, error) {
+	// Bind the whole chain once against the evolving schema.
+	fns := make([]task.RowFn, len(run))
+	cur := task.Input{Name: name, Schema: in.Schema()}
+	for i, rl := range run {
+		fn, out, err := rl.BindRow(env, cur)
+		if err != nil {
+			return nil, err
+		}
+		fns[i] = fn
+		cur = task.Input{Schema: out}
+	}
+	apply := func(rows []table.Row, sink *table.Table) error {
+		var walk func(depth int, r table.Row) error
+		walk = func(depth int, r table.Row) error {
+			if depth == len(fns) {
+				sink.Append(r)
+				return nil
+			}
+			var inner error
+			err := fns[depth](r, func(nr table.Row) {
+				if e := walk(depth+1, nr); e != nil && inner == nil {
+					inner = e
+				}
+			})
+			if err != nil {
+				return err
+			}
+			return inner
+		}
+		for _, r := range rows {
+			if err := walk(0, r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	workers := e.workers()
+	rows := in.Rows()
+	if workers <= 1 || len(rows) < 2*workers {
+		out := table.New(cur.Schema)
+		if err := apply(rows, out); err != nil {
+			return nil, err
+		}
+		traceRun(env, run, out.Len())
+		return out, nil
+	}
+	parts := make([]*table.Table, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	chunk := (len(rows) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if lo >= len(rows) {
+			break
+		}
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			part := table.New(cur.Schema)
+			errs[w] = apply(rows[lo:hi], part)
+			parts[w] = part
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	out := table.New(cur.Schema)
+	for w, part := range parts {
+		if errs[w] != nil {
+			return nil, errs[w]
+		}
+		if part == nil {
+			continue
+		}
+		for _, r := range part.Rows() {
+			out.Append(r)
+		}
+	}
+	traceRun(env, run, out.Len())
+	return out, nil
+}
+
+// describeRun names a fused row-local run.
+func describeRun(run []task.RowLocal) string {
+	parts := make([]string, len(run))
+	for i, rl := range run {
+		parts[i] = task.Describe(rl)
+	}
+	return strings.Join(parts, " | ")
+}
+
+func traceRun(env *task.Env, run []task.RowLocal, rows int) {
+	if env == nil || env.Trace == nil {
+		return
+	}
+	for _, rl := range run {
+		env.Trace(rl.Type(), rows)
+	}
+}
+
+// runGrouped shards a Grouped spec: each worker builds a partial
+// grouper over its shard; partials merge pairwise.
+func (e *Executor) runGrouped(env *task.Env, gr task.Grouped, in *table.Table, name string) (*table.Table, error) {
+	workers := e.workers()
+	rows := in.Rows()
+	if workers <= 1 {
+		return gr.Exec(env, []*table.Table{in}, []string{name})
+	}
+	groupers := make([]task.Grouper, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	chunk := (len(rows) + workers - 1) / workers
+	input := task.Input{Name: name, Schema: in.Schema()}
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if lo >= len(rows) {
+			break
+		}
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			g, err := gr.NewGrouper(env, input)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			for _, r := range rows[lo:hi] {
+				if err := g.Add(r); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+			groupers[w] = g
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	var root task.Grouper
+	for w := range groupers {
+		if errs[w] != nil {
+			return nil, errs[w]
+		}
+		if groupers[w] == nil {
+			continue
+		}
+		if root == nil {
+			root = groupers[w]
+			continue
+		}
+		if err := root.Merge(groupers[w]); err != nil {
+			return nil, err
+		}
+	}
+	if root == nil {
+		var err error
+		root, err = gr.NewGrouper(env, input)
+		if err != nil {
+			return nil, err
+		}
+	}
+	out, err := root.Result()
+	if err != nil {
+		return nil, err
+	}
+	if env != nil && env.Trace != nil {
+		env.Trace(gr.Type(), out.Len())
+	}
+	return out, nil
+}
+
+// SortedNames returns result table names sorted, for stable reporting.
+func (r *Result) SortedNames() []string {
+	names := make([]string, 0, len(r.Tables))
+	for n := range r.Tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,330 @@
+package batch
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"shareinsights/internal/dag"
+	"shareinsights/internal/flowfile"
+	"shareinsights/internal/schema"
+	"shareinsights/internal/table"
+	"shareinsights/internal/task"
+	"shareinsights/internal/value"
+)
+
+const testFlow = `
+D:
+  raw: [k, txt, v]
+
+F:
+  D.filtered: D.raw | T.keep_positive
+  D.grouped: D.filtered | T.by_k
+  +D.top: D.grouped | T.top2
+  D.unused_sink: D.raw | T.by_k
+
+T:
+  keep_positive:
+    type: filter_by
+    filter_expression: v > 0
+  by_k:
+    type: groupby
+    groupby: [k]
+    aggregates:
+      - operator: sum
+        apply_on: v
+        out_field: total
+  top2:
+    type: topn
+    groupby: [k]
+    orderby_column: [total DESC]
+    limit: 2
+`
+
+func buildGraph(t *testing.T, src string) *dag.Graph {
+	t.Helper()
+	f, err := flowfile.Parse("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := dag.Build(f, task.NewRegistry(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func rawTable(n int, seed int64) *table.Table {
+	rng := rand.New(rand.NewSource(seed))
+	tb := table.New(schema.MustFromNames("k", "txt", "v"))
+	for i := 0; i < n; i++ {
+		tb.AppendValues(
+			value.NewString(fmt.Sprintf("k%d", rng.Intn(10))),
+			value.NewString(fmt.Sprintf("text %d payload", i)),
+			value.NewInt(int64(rng.Intn(21)-5)),
+		)
+	}
+	return tb
+}
+
+func TestRunMatchesReference(t *testing.T) {
+	g := buildGraph(t, testFlow)
+	src := rawTable(20000, 1)
+	// Reference: single worker, no optimization.
+	ref := &Executor{Parallelism: 1}
+	refRes, err := ref.Run(g, &task.Env{Parallelism: 1}, map[string]*table.Table{"raw": src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Parallel, optimized.
+	par := &Executor{Parallelism: 8, Optimize: true}
+	parRes, err := par.Run(g, &task.Env{Parallelism: 8}, map[string]*table.Table{"raw": src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"grouped", "top"} {
+		a, _ := refRes.Table(name)
+		b, ok := parRes.Table(name)
+		if !ok {
+			t.Fatalf("parallel run missing %s", name)
+		}
+		if !a.Equal(b) {
+			t.Errorf("%s differs between 1-worker and 8-worker runs:\n%s\nvs\n%s",
+				name, a.Format(5), b.Format(5))
+		}
+	}
+	// filtered rows: row-local shard order may differ from sequential
+	// order, but the multiset must match; grouped equality above already
+	// proves it.
+}
+
+func TestDeadSinkElimination(t *testing.T) {
+	g := buildGraph(t, testFlow)
+	src := rawTable(100, 2)
+	opt := &Executor{Optimize: true}
+	res, err := opt.Run(g, &task.Env{}, map[string]*table.Table{"raw": src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stats.SkippedSinks) != 1 || res.Stats.SkippedSinks[0] != "unused_sink" {
+		t.Errorf("skipped = %v", res.Stats.SkippedSinks)
+	}
+	if _, ok := res.Table("unused_sink"); ok {
+		t.Error("dead sink was materialized")
+	}
+	// Without optimization it is computed.
+	raw := &Executor{}
+	res2, err := raw.Run(g, &task.Env{}, map[string]*table.Table{"raw": src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res2.Table("unused_sink"); !ok {
+		t.Error("unoptimized run should materialize every sink")
+	}
+}
+
+func TestMissingSource(t *testing.T) {
+	g := buildGraph(t, testFlow)
+	e := &Executor{}
+	_, err := e.Run(g, &task.Env{}, map[string]*table.Table{})
+	if err == nil || !strings.Contains(err.Error(), "D.raw") {
+		t.Errorf("missing source error = %v", err)
+	}
+}
+
+func TestSourceSchemaMismatch(t *testing.T) {
+	g := buildGraph(t, testFlow)
+	bad := table.New(schema.MustFromNames("wrong"))
+	e := &Executor{}
+	_, err := e.Run(g, &task.Env{}, map[string]*table.Table{"raw": bad})
+	if err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Errorf("schema mismatch error = %v", err)
+	}
+}
+
+func TestBindErrorCaughtAtBuildTime(t *testing.T) {
+	// A task referencing a missing column fails when the DAG resolves
+	// schemas — before any data is read.
+	src := `
+D:
+  raw: [a]
+
+F:
+  +D.out: D.raw | T.bad
+
+T:
+  bad:
+    type: filter_by
+    filter_expression: nonexistent > 1
+`
+	f, err := flowfile.Parse("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = dag.Build(f, task.NewRegistry(), nil)
+	if err == nil || !strings.Contains(err.Error(), "nonexistent") {
+		t.Errorf("build error = %v", err)
+	}
+}
+
+func TestRuntimeErrorPropagates(t *testing.T) {
+	// A missing dictionary resource only surfaces at run time; the
+	// executor must attribute it to the producing flow.
+	src := `
+D:
+  raw: [body]
+
+F:
+  +D.out: D.raw | T.ex
+
+T:
+  ex:
+    type: map
+    operator: extract
+    transform: body
+    dict: missing.txt
+    output: tag
+`
+	g := buildGraph(t, src)
+	e := &Executor{}
+	tb := table.New(schema.MustFromNames("body"))
+	tb.AppendValues(value.NewString("x"))
+	_, err := e.Run(g, &task.Env{}, map[string]*table.Table{"raw": tb})
+	if err == nil || !strings.Contains(err.Error(), "missing.txt") || !strings.Contains(err.Error(), "D.out") {
+		t.Errorf("runtime error = %v", err)
+	}
+}
+
+func TestFanInJoinThroughEngine(t *testing.T) {
+	src := `
+D:
+  l: [k, x]
+  r: [k, y]
+
+F:
+  +D.joined: (D.l, D.r) | T.j
+
+T:
+  j:
+    type: join
+    left: l by k
+    right: r by k
+    join_condition: inner
+`
+	g := buildGraph(t, src)
+	lt := table.New(schema.MustFromNames("k", "x"))
+	lt.AppendValues(value.NewInt(1), value.NewString("a"))
+	rt := table.New(schema.MustFromNames("k", "y"))
+	rt.AppendValues(value.NewInt(1), value.NewString("b"))
+	e := &Executor{}
+	res, err := e.Run(g, &task.Env{}, map[string]*table.Table{"l": lt, "r": rt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, _ := res.Table("joined")
+	if j.Len() != 1 || j.Cell(0, "l_x").Str() != "a" || j.Cell(0, "r_y").Str() != "b" {
+		t.Errorf("join result:\n%s", j.Format(0))
+	}
+}
+
+func TestRowLocalFusionPreservesFanOut(t *testing.T) {
+	// A fused chain of a fan-out map plus a filter must produce the same
+	// multiset as running the specs one at a time.
+	src := `
+D:
+  docs: [body]
+
+F:
+  +D.words: D.docs | T.split | T.long
+
+T:
+  split:
+    type: map
+    operator: extract_words
+    transform: body
+    output: word
+  long:
+    type: filter_by
+    filter_expression: word contains 'a'
+`
+	g := buildGraph(t, src)
+	docs := table.New(schema.MustFromNames("body"))
+	for i := 0; i < 3000; i++ {
+		docs.AppendValues(value.NewString(fmt.Sprintf("alpha beta gamma delta doc%d", i)))
+	}
+	seq := &Executor{Parallelism: 1}
+	par := &Executor{Parallelism: 6}
+	a, err := seq.Run(g, &task.Env{}, map[string]*table.Table{"docs": docs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := par.Run(g, &task.Env{}, map[string]*table.Table{"docs": docs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	at, _ := a.Table("words")
+	bt, _ := b.Table("words")
+	if at.Len() != bt.Len() {
+		t.Fatalf("fan-out cardinality differs: %d vs %d", at.Len(), bt.Len())
+	}
+	counts := map[string]int{}
+	for _, r := range at.Rows() {
+		counts[r[1].Str()]++
+	}
+	for _, r := range bt.Rows() {
+		counts[r[1].Str()]--
+	}
+	for w, c := range counts {
+		if c != 0 {
+			t.Errorf("word %q multiset imbalance %d", w, c)
+		}
+	}
+}
+
+func TestStatsReported(t *testing.T) {
+	g := buildGraph(t, testFlow)
+	e := &Executor{Optimize: true}
+	res, err := e.Run(g, &task.Env{}, map[string]*table.Table{"raw": rawTable(100, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.TasksRun != 3 { // keep_positive, by_k, top2 (dead sink skipped)
+		t.Errorf("tasks run = %d, want 3", res.Stats.TasksRun)
+	}
+	if res.Stats.RowsProduced["grouped"] == 0 {
+		t.Error("rows produced not recorded")
+	}
+	names := res.SortedNames()
+	if len(names) == 0 || !strings.Contains(strings.Join(names, ","), "grouped") {
+		t.Errorf("sorted names = %v", names)
+	}
+}
+
+func TestStageTimingsRecorded(t *testing.T) {
+	g := buildGraph(t, testFlow)
+	e := &Executor{Optimize: true}
+	res, err := e.Run(g, &task.Env{}, map[string]*table.Table{"raw": rawTable(5000, 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stats.Timings) == 0 {
+		t.Fatal("no stage timings recorded")
+	}
+	outputs := map[string]bool{}
+	for _, st := range res.Stats.Timings {
+		if st.Output == "" || st.Stage == "" {
+			t.Errorf("incomplete timing: %+v", st)
+		}
+		outputs[st.Output] = true
+	}
+	for _, want := range []string{"filtered", "grouped", "top"} {
+		if !outputs[want] {
+			t.Errorf("no timing for D.%s", want)
+		}
+	}
+	slow := res.Stats.Slowest(2)
+	if len(slow) != 2 || slow[0].Duration < slow[1].Duration {
+		t.Errorf("Slowest not ordered: %+v", slow)
+	}
+}

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"shareinsights/internal/baseline"
+	"shareinsights/internal/connector"
+	"shareinsights/internal/dashboard"
+	"shareinsights/internal/flowfile"
+	"shareinsights/internal/gen"
+	"shareinsights/internal/table"
+	"shareinsights/internal/value"
+)
+
+// IPLProcessingFlow is the canonical flow-file description of the IPL
+// player-count pipeline — the artifact whose construction effort E4
+// measures against the hand-coded baseline.
+const IPLProcessingFlow = `
+D:
+  ipl_tweets: [postedTime, body, location]
+
+D.ipl_tweets:
+  source: mem:tweets.csv
+  format: csv
+
+F:
+  +D.players_tweets: D.ipl_tweets | T.players_pipeline | T.players_count
+
+T:
+  players_pipeline:
+    parallel: [T.norm_ipldate, T.extract_players]
+  norm_ipldate:
+    type: map
+    operator: date
+    transform: postedTime
+    input_format: 'E MMM dd HH:mm:ss Z yyyy'
+    output_format: yyyy-MM-dd
+    output: date
+  extract_players:
+    type: map
+    operator: extract
+    transform: body
+    dict: players.txt
+    output: player
+  players_count:
+    type: groupby
+    groupby: [date, player]
+`
+
+// EffortResult is the E4 comparison: the same pipeline described as a
+// flow file versus hand-coded against the stack directly.
+type EffortResult struct {
+	// FlowFile and Baseline measure source size.
+	FlowFile, Baseline baseline.Effort
+	// FlowFileRuntime and BaselineRuntime are single-run wall times over
+	// the same input.
+	FlowFileRuntime, BaselineRuntime time.Duration
+	// Rows is the (identical) output cardinality.
+	Rows int
+	// OutputsMatch confirms both implementations computed the same
+	// relation, making the effort comparison apples-to-apples.
+	OutputsMatch bool
+}
+
+// RunEffort executes E4 over n synthetic tweets.
+func RunEffort(seed int64, n int) (*EffortResult, error) {
+	tweets := gen.TweetsCSV(gen.TweetsOptions{Seed: seed, N: n})
+	dict := gen.PlayersDict()
+
+	res := &EffortResult{
+		FlowFile: baseline.MeasureFlowFile(IPLProcessingFlow),
+		Baseline: baseline.MeasureGo(baseline.Source()),
+	}
+
+	// Platform run.
+	p := dashboard.NewPlatform()
+	p.Connectors = connector.NewRegistry(connector.Options{
+		Mem: map[string][]byte{"tweets.csv": tweets},
+	})
+	f, err := flowfile.Parse("ipl_effort", IPLProcessingFlow)
+	if err != nil {
+		return nil, err
+	}
+	d, err := p.Compile(f, map[string][]byte{"players.txt": dict})
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	if err := d.Run(); err != nil {
+		return nil, err
+	}
+	res.FlowFileRuntime = time.Since(start)
+	platformOut, ok := d.Endpoint("players_tweets")
+	if !ok {
+		return nil, fmt.Errorf("experiments: players_tweets endpoint missing")
+	}
+
+	// Baseline run.
+	start = time.Now()
+	baseOut, err := baseline.IPLPlayerCounts(tweets, dict)
+	if err != nil {
+		return nil, err
+	}
+	res.BaselineRuntime = time.Since(start)
+
+	res.Rows = platformOut.Len()
+	res.OutputsMatch = equalOutputs(platformOut, baseOut)
+	return res, nil
+}
+
+func equalOutputs(t *table.Table, rows []baseline.PlayerCount) bool {
+	if t.Len() != len(rows) {
+		return false
+	}
+	for i, r := range rows {
+		if t.Cell(i, "date").Str() != r.Date ||
+			t.Cell(i, "player").Str() != r.Player ||
+			!value.Equal(t.Cell(i, "count"), value.NewInt(int64(r.Count))) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the E4 row the harness prints.
+func (e *EffortResult) String() string {
+	ratioL := float64(e.Baseline.Lines) / float64(e.FlowFile.Lines)
+	ratioT := float64(e.Baseline.Tokens) / float64(e.FlowFile.Tokens)
+	return fmt.Sprintf(
+		"flow file: %d lines / %d tokens; baseline: %d lines / %d tokens (%.1fx lines, %.1fx tokens)\n"+
+			"runtime: flow file %v, baseline %v over %d output rows; outputs match: %t",
+		e.FlowFile.Lines, e.FlowFile.Tokens, e.Baseline.Lines, e.Baseline.Tokens, ratioL, ratioT,
+		e.FlowFileRuntime.Round(time.Millisecond), e.BaselineRuntime.Round(time.Millisecond),
+		e.Rows, e.OutputsMatch)
+}

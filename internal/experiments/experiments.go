@@ -1,0 +1,203 @@
+// Package experiments regenerates every data figure and quantified
+// claim of the paper's evaluation (§5), as indexed in DESIGN.md and
+// recorded in EXPERIMENTS.md.
+//
+// The paper built its evaluation dashboards *on the platform itself*
+// (§5.2.1); this package does the same: the hackathon simulator emits
+// raw CSV telemetry, and the figures are produced by ShareInsights flow
+// files running on the platform — not by ad-hoc Go aggregation.
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"shareinsights/internal/connector"
+	"shareinsights/internal/dashboard"
+	"shareinsights/internal/flowfile"
+	"shareinsights/internal/hackathon"
+	"shareinsights/internal/table"
+)
+
+// DefaultSeed keeps every figure reproducible run to run.
+const DefaultSeed = 2015
+
+// telemetryFlow aggregates the competition telemetry into the Figure 31
+// usage tables: popular operators and popular widgets.
+const telemetryFlow = `
+D:
+  events: [team, phase, hour, operator, widget, success]
+  teams: [team, skill, practice_runs, competition_runs, fork_size_bytes,
+    forked_from, custom_task, score, finalist, winner]
+
+D.events:
+  source: mem:events.csv
+  format: csv
+
+D.teams:
+  source: mem:teams.csv
+  format: csv
+
+F:
+  +D.operator_usage: D.events | T.only_operators | T.count_by_operator | T.by_count
+  +D.widget_usage: D.events | T.only_widgets | T.count_by_widget | T.by_count
+  +D.practice_vs_runs: D.teams | T.practice_projection
+  +D.fork_sizes: D.teams | T.fork_projection
+  +D.activity_by_hour: D.events | T.hour_bucket | T.count_by_phase_hour
+
+T:
+  only_operators:
+    type: filter_by
+    filter_expression: operator != '-'
+  only_widgets:
+    type: filter_by
+    filter_expression: widget != '-'
+  count_by_operator:
+    type: groupby
+    groupby: [operator]
+  count_by_widget:
+    type: groupby
+    groupby: [widget]
+  by_count:
+    type: sort
+    orderby_column: [count DESC]
+  practice_projection:
+    type: project
+    columns: [team, practice_runs, competition_runs, finalist, winner]
+  fork_projection:
+    type: project
+    columns: [team, fork_size_bytes, forked_from]
+  hour_bucket:
+    type: map
+    operator: bucket
+    transform: hour
+    width: 1
+  count_by_phase_hour:
+    type: groupby
+    groupby: [phase, hour]
+    aggregates:
+      - operator: count
+        out_field: events
+`
+
+// Telemetry is the platform-computed view over one simulated
+// competition.
+type Telemetry struct {
+	// Sim is the underlying simulation.
+	Sim *hackathon.Result
+	// OperatorUsage is Figure 31's operator table: operator, count.
+	OperatorUsage *table.Table
+	// WidgetUsage is Figure 31's widget table: widget, count.
+	WidgetUsage *table.Table
+	// PracticeVsRuns is Figure 32's scatter: team, practice_runs,
+	// competition_runs, finalist, winner.
+	PracticeVsRuns *table.Table
+	// ForkSizes is Figure 35's series: team, fork_size_bytes,
+	// forked_from.
+	ForkSizes *table.Table
+	// ActivityByHour is the run-rate series of the §5.2.1 execution-log
+	// dashboards: phase, hour, events.
+	ActivityByHour *table.Table
+}
+
+// RunTelemetry simulates the competition and aggregates its telemetry
+// through a platform pipeline.
+func RunTelemetry(seed int64) (*Telemetry, error) {
+	sim := hackathon.Simulate(hackathon.Config{Seed: seed})
+	p := dashboard.NewPlatform()
+	p.Connectors = connector.NewRegistry(connector.Options{
+		Mem: map[string][]byte{
+			"events.csv": sim.EventsCSV(),
+			"teams.csv":  sim.TeamsCSV(),
+		},
+	})
+	f, err := flowfile.Parse("race2insights_telemetry", telemetryFlow)
+	if err != nil {
+		return nil, err
+	}
+	d, err := p.Compile(f, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.Run(); err != nil {
+		return nil, err
+	}
+	t := &Telemetry{Sim: sim}
+	for name, dst := range map[string]**table.Table{
+		"operator_usage":   &t.OperatorUsage,
+		"widget_usage":     &t.WidgetUsage,
+		"practice_vs_runs": &t.PracticeVsRuns,
+		"fork_sizes":       &t.ForkSizes,
+		"activity_by_hour": &t.ActivityByHour,
+	} {
+		tab, ok := d.Endpoint(name)
+		if !ok {
+			return nil, fmt.Errorf("experiments: endpoint %q missing", name)
+		}
+		*dst = tab
+	}
+	return t, nil
+}
+
+// PracticeCorrelation computes the Pearson correlation between practice
+// runs and competition runs across teams — the relationship Figure 32
+// plots.
+func (t *Telemetry) PracticeCorrelation() float64 {
+	var xs, ys []float64
+	for i := 0; i < t.PracticeVsRuns.Len(); i++ {
+		xs = append(xs, t.PracticeVsRuns.Cell(i, "practice_runs").Float())
+		ys = append(ys, t.PracticeVsRuns.Cell(i, "competition_runs").Float())
+	}
+	return pearson(xs, ys)
+}
+
+// PracticeScoreCorrelation correlates practice with judged success: the
+// mean practice-run percentile of winners.
+func (t *Telemetry) WinnersPracticePercentile() float64 {
+	var all []float64
+	var winners []float64
+	for _, tm := range t.Sim.Teams {
+		all = append(all, float64(tm.PracticeRuns))
+		if tm.Winner {
+			winners = append(winners, float64(tm.PracticeRuns))
+		}
+	}
+	if len(winners) == 0 {
+		return 0
+	}
+	mean := 0.0
+	for _, w := range winners {
+		pct := 0.0
+		for _, a := range all {
+			if a <= w {
+				pct++
+			}
+		}
+		mean += pct / float64(len(all))
+	}
+	return mean / float64(len(winners))
+}
+
+func pearson(xs, ys []float64) float64 {
+	n := float64(len(xs))
+	if n == 0 {
+		return 0
+	}
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var cov, vx, vy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestTelemetryFiguresShape(t *testing.T) {
+	tel, err := RunTelemetry(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Figure 31 shape: filter_by tops the operator table, and the first
+	// two entries dwarf joins.
+	if got := tel.OperatorUsage.Cell(0, "operator").Str(); got != "filter_by" {
+		t.Errorf("most popular operator = %q, want filter_by\n%s", got, tel.OperatorUsage.Format(0))
+	}
+	if tel.OperatorUsage.Cell(1, "operator").Str() != "groupby" {
+		t.Errorf("second operator not groupby:\n%s", tel.OperatorUsage.Format(0))
+	}
+	// Figure 32 shape: strong positive practice/competition correlation
+	// and winners in the high-practice region.
+	if r := tel.PracticeCorrelation(); r < 0.5 {
+		t.Errorf("practice correlation = %.2f, want strongly positive", r)
+	}
+	if pct := tel.WinnersPracticePercentile(); pct < 0.6 {
+		t.Errorf("winners' practice percentile = %.2f, want top region", pct)
+	}
+	// Figure 35 shape: 52 fork sizes, all non-trivial.
+	if tel.ForkSizes.Len() != 52 {
+		t.Fatalf("fork sizes rows = %d", tel.ForkSizes.Len())
+	}
+	for i := 0; i < tel.ForkSizes.Len(); i++ {
+		if tel.ForkSizes.Cell(i, "fork_size_bytes").Int() < 200 {
+			t.Errorf("team %v fork size %v too small",
+				tel.ForkSizes.Cell(i, "team"), tel.ForkSizes.Cell(i, "fork_size_bytes"))
+		}
+	}
+}
+
+func TestEffortShape(t *testing.T) {
+	e, err := RunEffort(DefaultSeed, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.OutputsMatch {
+		t.Fatal("flow-file and baseline outputs differ — the effort comparison is invalid")
+	}
+	// The headline claim's shape: the flow-file description is several
+	// times smaller than the hand-coded pipeline.
+	if e.Baseline.Lines < 3*e.FlowFile.Lines {
+		t.Errorf("baseline %d lines vs flow file %d lines — expected >=3x", e.Baseline.Lines, e.FlowFile.Lines)
+	}
+	if e.Baseline.Tokens < 2*e.FlowFile.Tokens {
+		t.Errorf("baseline %d tokens vs flow file %d tokens — expected >=2x", e.Baseline.Tokens, e.FlowFile.Tokens)
+	}
+	// Runtime parity: the platform may be slower than the specialized
+	// loop, but within an order of magnitude.
+	if e.FlowFileRuntime > 20*e.BaselineRuntime {
+		t.Errorf("flow-file runtime %v vs baseline %v — abstraction overhead too high",
+			e.FlowFileRuntime, e.BaselineRuntime)
+	}
+}
+
+func TestAblationShape(t *testing.T) {
+	a, err := RunAblation(DefaultSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Agree {
+		t.Fatal("optimized and unoptimized widget data differ")
+	}
+	if a.OptimizedBytes*5 > a.RawBytes {
+		t.Errorf("transfer reduction too small: optimized %d B vs raw %d B", a.OptimizedBytes, a.RawBytes)
+	}
+	if a.OptimizedInteract > a.RawInteract {
+		t.Errorf("optimized interaction slower: %v vs %v", a.OptimizedInteract, a.RawInteract)
+	}
+}
+
+func TestSharedShape(t *testing.T) {
+	s, err := RunShared(DefaultSeed, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Agree {
+		t.Fatal("shared and inline dashboards disagree")
+	}
+	if s.ConsumptionTime*5 > s.InlineTime {
+		t.Errorf("shared-data feedback speedup too small: consumption %v vs inline %v",
+			s.ConsumptionTime, s.InlineTime)
+	}
+}
+
+func TestTelemetryDeterministic(t *testing.T) {
+	a, err := RunTelemetry(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunTelemetry(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.OperatorUsage.Equal(b.OperatorUsage) || !a.ForkSizes.Equal(b.ForkSizes) {
+		t.Error("telemetry figures are not reproducible for a fixed seed")
+	}
+}

@@ -1,0 +1,601 @@
+// Package expr implements the filter-expression language used by
+// filter_by tasks and computed map columns.
+//
+// The paper shows expressions such as `rating < 3` (Figure 7). This
+// implementation is a small, total language over data-object columns:
+//
+//	literal   := number | 'string' | "string" | true | false | null
+//	primary   := literal | column | '(' expr ')' | '-' primary | not primary
+//	arith     := primary (('*'|'/'|'%') primary)*
+//	sum       := arith (('+'|'-') arith)*
+//	cmp       := sum (('<'|'<='|'>'|'>='|'=='|'!='|'=' | contains | in) sum)?
+//	expr      := cmp ((and|or) cmp)*
+//
+// An expression is parsed once, bound against a schema once (resolving
+// column names to row indices — the "contextual" binding of §3.3), and
+// then evaluated per row with no allocation.
+package expr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"shareinsights/internal/schema"
+	"shareinsights/internal/table"
+	"shareinsights/internal/value"
+)
+
+// ---------------------------------------------------------------------
+// Lexer
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokOp // punctuation operator: < <= > >= == != = + - * / % ( ) ,
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(c):
+			l.pos++
+			for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{kind: tokIdent, text: l.src[start:l.pos], pos: start})
+		case c >= '0' && c <= '9' || c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]):
+			l.pos++
+			for l.pos < len(l.src) && (isDigit(l.src[l.pos]) || l.src[l.pos] == '.' || l.src[l.pos] == 'e' || l.src[l.pos] == 'E' ||
+				((l.src[l.pos] == '+' || l.src[l.pos] == '-') && (l.src[l.pos-1] == 'e' || l.src[l.pos-1] == 'E'))) {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+		case c == '\'' || c == '"':
+			quote := c
+			l.pos++
+			var b strings.Builder
+			for {
+				if l.pos >= len(l.src) {
+					return nil, fmt.Errorf("expr: unterminated string at offset %d", start)
+				}
+				ch := l.src[l.pos]
+				if ch == quote {
+					l.pos++
+					break
+				}
+				if ch == '\\' && l.pos+1 < len(l.src) {
+					l.pos++
+					ch = l.src[l.pos]
+				}
+				b.WriteByte(ch)
+				l.pos++
+			}
+			l.toks = append(l.toks, token{kind: tokString, text: b.String(), pos: start})
+		default:
+			two := ""
+			if l.pos+1 < len(l.src) {
+				two = l.src[l.pos : l.pos+2]
+			}
+			switch two {
+			case "<=", ">=", "==", "!=", "&&", "||":
+				l.pos += 2
+				l.toks = append(l.toks, token{kind: tokOp, text: two, pos: start})
+				continue
+			}
+			switch c {
+			case '<', '>', '=', '+', '-', '*', '/', '%', '(', ')', ',', '!':
+				l.pos++
+				l.toks = append(l.toks, token{kind: tokOp, text: string(c), pos: start})
+			default:
+				return nil, fmt.Errorf("expr: unexpected character %q at offset %d", c, l.pos)
+			}
+		}
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) && (l.src[l.pos] == ' ' || l.src[l.pos] == '\t') {
+		l.pos++
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+func isIdentPart(c byte) bool { return isIdentStart(c) || isDigit(c) || c == '.' }
+func isDigit(c byte) bool     { return c >= '0' && c <= '9' }
+
+// ---------------------------------------------------------------------
+// AST
+
+// Node is an expression AST node.
+type Node interface {
+	// Bind resolves column references against the schema, returning an
+	// evaluator. Binding fails if a referenced column is absent.
+	Bind(s *schema.Schema) (Eval, error)
+	// Columns appends the column names the node references. The DAG
+	// optimizer uses it for projection pruning.
+	Columns(acc map[string]bool)
+	// String renders the node back to source form.
+	String() string
+}
+
+// Eval computes the node's value for one row.
+type Eval func(table.Row) value.V
+
+// Lit is a literal value.
+type Lit struct{ Val value.V }
+
+// Bind implements Node.
+func (n *Lit) Bind(*schema.Schema) (Eval, error) {
+	v := n.Val
+	return func(table.Row) value.V { return v }, nil
+}
+
+// Columns implements Node.
+func (n *Lit) Columns(map[string]bool) {}
+
+// String renders the literal in source form.
+func (n *Lit) String() string {
+	if n.Val.Kind() == value.String {
+		s := strings.ReplaceAll(n.Val.Str(), `\`, `\\`)
+		s = strings.ReplaceAll(s, "'", `\'`)
+		return "'" + s + "'"
+	}
+	if n.Val.IsNull() {
+		return "null"
+	}
+	return n.Val.String()
+}
+
+// Col is a column reference.
+type Col struct{ Name string }
+
+// Bind implements Node.
+func (n *Col) Bind(s *schema.Schema) (Eval, error) {
+	i := s.Index(n.Name)
+	if i < 0 {
+		return nil, fmt.Errorf("expr: column %q not found in %s", n.Name, s)
+	}
+	return func(r table.Row) value.V { return r[i] }, nil
+}
+
+// Columns implements Node.
+func (n *Col) Columns(acc map[string]bool) { acc[n.Name] = true }
+
+// String renders the column reference.
+func (n *Col) String() string { return n.Name }
+
+// Unary is a prefix operator: - or not.
+type Unary struct {
+	Op string
+	X  Node
+}
+
+// Bind implements Node.
+func (n *Unary) Bind(s *schema.Schema) (Eval, error) {
+	x, err := n.X.Bind(s)
+	if err != nil {
+		return nil, err
+	}
+	switch n.Op {
+	case "-":
+		return func(r table.Row) value.V {
+			v := x(r)
+			if v.Kind() == value.Float {
+				return value.NewFloat(-v.Float())
+			}
+			return value.NewInt(-v.Int())
+		}, nil
+	case "not", "!":
+		return func(r table.Row) value.V { return value.NewBool(!x(r).Truthy()) }, nil
+	}
+	return nil, fmt.Errorf("expr: unknown unary operator %q", n.Op)
+}
+
+// Columns implements Node.
+func (n *Unary) Columns(acc map[string]bool) { n.X.Columns(acc) }
+
+// String renders the operator in source form.
+func (n *Unary) String() string {
+	if n.Op == "not" {
+		// Self-parenthesize: `not` parses its operand at comparison
+		// precedence, so a bare "not x % y" would re-parse as
+		// not (x % y) even when this node is (not x) % y.
+		return "(not " + n.X.String() + ")"
+	}
+	return n.Op + n.X.String()
+}
+
+// Tuple is a parenthesized value list — only legal as the right-hand
+// side of `in`: project in ('pig', 'hive').
+type Tuple struct{ Items []Node }
+
+// Bind implements Node; a tuple outside `in` is an error.
+func (n *Tuple) Bind(*schema.Schema) (Eval, error) {
+	return nil, fmt.Errorf("expr: value list is only valid after 'in'")
+}
+
+// Columns implements Node.
+func (n *Tuple) Columns(acc map[string]bool) {
+	for _, it := range n.Items {
+		it.Columns(acc)
+	}
+}
+
+// String renders the value list in source form.
+func (n *Tuple) String() string {
+	parts := make([]string, len(n.Items))
+	for i, it := range n.Items {
+		parts[i] = it.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Binary is an infix operator.
+type Binary struct {
+	Op   string
+	L, R Node
+}
+
+// Columns implements Node.
+func (n *Binary) Columns(acc map[string]bool) {
+	n.L.Columns(acc)
+	n.R.Columns(acc)
+}
+
+// String renders the expression, parenthesized.
+func (n *Binary) String() string {
+	return "(" + n.L.String() + " " + n.Op + " " + n.R.String() + ")"
+}
+
+// Bind implements Node.
+func (n *Binary) Bind(s *schema.Schema) (Eval, error) {
+	l, err := n.L.Bind(s)
+	if err != nil {
+		return nil, err
+	}
+	var r Eval
+	if _, isTuple := n.R.(*Tuple); !isTuple {
+		r, err = n.R.Bind(s)
+		if err != nil {
+			return nil, err
+		}
+	} else if n.Op != "in" {
+		return nil, fmt.Errorf("expr: value list is only valid after 'in'")
+	}
+	switch n.Op {
+	case "and", "&&":
+		return func(row table.Row) value.V {
+			return value.NewBool(l(row).Truthy() && r(row).Truthy())
+		}, nil
+	case "or", "||":
+		return func(row table.Row) value.V {
+			return value.NewBool(l(row).Truthy() || r(row).Truthy())
+		}, nil
+	case "<":
+		return cmpEval(l, r, func(c int) bool { return c < 0 }), nil
+	case "<=":
+		return cmpEval(l, r, func(c int) bool { return c <= 0 }), nil
+	case ">":
+		return cmpEval(l, r, func(c int) bool { return c > 0 }), nil
+	case ">=":
+		return cmpEval(l, r, func(c int) bool { return c >= 0 }), nil
+	case "==", "=":
+		return cmpEval(l, r, func(c int) bool { return c == 0 }), nil
+	case "!=":
+		return cmpEval(l, r, func(c int) bool { return c != 0 }), nil
+	case "contains":
+		return func(row table.Row) value.V {
+			return value.NewBool(strings.Contains(l(row).Str(), r(row).Str()))
+		}, nil
+	case "in":
+		tup, ok := n.R.(*Tuple)
+		if !ok {
+			// A single value after `in` degrades to equality.
+			return cmpEval(l, r, func(c int) bool { return c == 0 }), nil
+		}
+		evals := make([]Eval, len(tup.Items))
+		for i, it := range tup.Items {
+			ev, err := it.Bind(s)
+			if err != nil {
+				return nil, err
+			}
+			evals[i] = ev
+		}
+		return func(row table.Row) value.V {
+			v := l(row)
+			for _, ev := range evals {
+				if value.Equal(v, ev(row)) {
+					return value.VTrue
+				}
+			}
+			return value.VFalse
+		}, nil
+	case "+", "-", "*", "/", "%":
+		op := n.Op
+		return func(row table.Row) value.V { return Arith(op, l(row), r(row)) }, nil
+	}
+	return nil, fmt.Errorf("expr: unknown operator %q", n.Op)
+}
+
+func cmpEval(l, r Eval, ok func(int) bool) Eval {
+	return func(row table.Row) value.V {
+		return value.NewBool(ok(value.Compare(l(row), r(row))))
+	}
+}
+
+// Arith applies an arithmetic operator with the platform's numeric
+// coercion rules: if either side is a float (or a string parsing as one
+// with a fractional part), the result is a float; string concatenation is
+// spelled with '+' when both sides are strings; otherwise int64
+// arithmetic. Division by zero yields null.
+func Arith(op string, a, b value.V) value.V {
+	if op == "+" && a.Kind() == value.String && b.Kind() == value.String {
+		return value.NewString(a.Str() + b.Str())
+	}
+	useFloat := a.Kind() == value.Float || b.Kind() == value.Float
+	if !useFloat {
+		af, bf := a.Float(), b.Float()
+		if af != float64(a.Int()) || bf != float64(b.Int()) {
+			useFloat = true
+		}
+	}
+	if useFloat {
+		af, bf := a.Float(), b.Float()
+		switch op {
+		case "+":
+			return value.NewFloat(af + bf)
+		case "-":
+			return value.NewFloat(af - bf)
+		case "*":
+			return value.NewFloat(af * bf)
+		case "/":
+			if bf == 0 {
+				return value.VNull
+			}
+			return value.NewFloat(af / bf)
+		case "%":
+			// Modulo is integral; a fractional divisor truncates to an
+			// int64 that may be zero even when bf is not.
+			if b.Int() == 0 {
+				return value.VNull
+			}
+			return value.NewInt(a.Int() % b.Int())
+		}
+		return value.VNull
+	}
+	ai, bi := a.Int(), b.Int()
+	switch op {
+	case "+":
+		return value.NewInt(ai + bi)
+	case "-":
+		return value.NewInt(ai - bi)
+	case "*":
+		return value.NewInt(ai * bi)
+	case "/":
+		if bi == 0 {
+			return value.VNull
+		}
+		return value.NewInt(ai / bi)
+	case "%":
+		if bi == 0 {
+			return value.VNull
+		}
+		return value.NewInt(ai % bi)
+	}
+	return value.VNull
+}
+
+// ---------------------------------------------------------------------
+// Parser (precedence climbing)
+
+type parser struct {
+	toks []token
+	pos  int
+	src  string
+}
+
+// Parse parses an expression source string into an AST.
+func Parse(src string) (Node, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: src}
+	n, err := p.parseExpr(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, fmt.Errorf("expr: unexpected %q at offset %d in %q", p.peek().text, p.peek().pos, src)
+	}
+	return n, nil
+}
+
+// Compile parses and binds in one step.
+func Compile(src string, s *schema.Schema) (Eval, error) {
+	n, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return n.Bind(s)
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+// binding powers; higher binds tighter.
+func precedence(t token) int {
+	name := t.text
+	if t.kind == tokIdent {
+		switch name {
+		case "or":
+			return 1
+		case "and":
+			return 2
+		case "contains", "in":
+			return 3
+		default:
+			return 0
+		}
+	}
+	if t.kind != tokOp {
+		return 0
+	}
+	switch name {
+	case "||":
+		return 1
+	case "&&":
+		return 2
+	case "<", "<=", ">", ">=", "==", "!=", "=":
+		return 3
+	case "+", "-":
+		return 4
+	case "*", "/", "%":
+		return 5
+	default:
+		return 0
+	}
+}
+
+func (p *parser) parseExpr(minPrec int) (Node, error) {
+	left, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := p.peek()
+		prec := precedence(op)
+		if prec == 0 || prec < minPrec {
+			return left, nil
+		}
+		p.next()
+		right, err := p.parseExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: op.text, L: left, R: right}
+	}
+}
+
+func (p *parser) parsePrimary() (Node, error) {
+	t := p.next()
+	switch t.kind {
+	case tokNumber:
+		if strings.ContainsAny(t.text, ".eE") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("expr: bad number %q: %v", t.text, err)
+			}
+			return &Lit{Val: value.NewFloat(f)}, nil
+		}
+		i, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("expr: bad number %q: %v", t.text, err)
+		}
+		return &Lit{Val: value.NewInt(i)}, nil
+	case tokString:
+		return &Lit{Val: value.NewString(t.text)}, nil
+	case tokIdent:
+		switch t.text {
+		case "true":
+			return &Lit{Val: value.VTrue}, nil
+		case "false":
+			return &Lit{Val: value.VFalse}, nil
+		case "null", "nil":
+			return &Lit{Val: value.VNull}, nil
+		case "not":
+			x, err := p.parseExpr(3)
+			if err != nil {
+				return nil, err
+			}
+			return &Unary{Op: "not", X: x}, nil
+		default:
+			return &Col{Name: t.text}, nil
+		}
+	case tokOp:
+		switch t.text {
+		case "(":
+			n, err := p.parseExpr(0)
+			if err != nil {
+				return nil, err
+			}
+			if p.peek().text == "," {
+				items := []Node{n}
+				for p.peek().text == "," {
+					p.next()
+					item, err := p.parseExpr(0)
+					if err != nil {
+						return nil, err
+					}
+					items = append(items, item)
+				}
+				if p.peek().text != ")" {
+					return nil, fmt.Errorf("expr: expected ')' at offset %d in %q", p.peek().pos, p.src)
+				}
+				p.next()
+				return &Tuple{Items: items}, nil
+			}
+			if p.peek().text != ")" {
+				return nil, fmt.Errorf("expr: expected ')' at offset %d in %q", p.peek().pos, p.src)
+			}
+			p.next()
+			return n, nil
+		case "-":
+			x, err := p.parsePrimary()
+			if err != nil {
+				return nil, err
+			}
+			return &Unary{Op: "-", X: x}, nil
+		case "!":
+			x, err := p.parsePrimary()
+			if err != nil {
+				return nil, err
+			}
+			return &Unary{Op: "not", X: x}, nil
+		}
+	}
+	return nil, fmt.Errorf("expr: unexpected token %q at offset %d in %q", t.text, t.pos, p.src)
+}
+
+// ReferencedColumns returns the column names referenced by the source
+// expression, or an error if it does not parse.
+func ReferencedColumns(src string) ([]string, error) {
+	n, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	acc := map[string]bool{}
+	n.Columns(acc)
+	out := make([]string, 0, len(acc))
+	for c := range acc {
+		out = append(out, c)
+	}
+	return out, nil
+}

@@ -1,0 +1,257 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"shareinsights/internal/schema"
+	"shareinsights/internal/table"
+	"shareinsights/internal/value"
+)
+
+var testSchema = schema.MustFromNames("rating", "project", "count", "price")
+
+func row(rating int64, project string, count int64, price float64) table.Row {
+	return table.Row{value.NewInt(rating), value.NewString(project), value.NewInt(count), value.NewFloat(price)}
+}
+
+func eval(t *testing.T, src string, r table.Row) value.V {
+	t.Helper()
+	ev, err := Compile(src, testSchema)
+	if err != nil {
+		t.Fatalf("Compile(%q): %v", src, err)
+	}
+	return ev(r)
+}
+
+func TestComparisons(t *testing.T) {
+	r := row(2, "pig", 10, 1.5)
+	cases := map[string]bool{
+		"rating < 3":            true,
+		"rating <= 2":           true,
+		"rating > 2":            false,
+		"rating >= 3":           false,
+		"rating == 2":           true,
+		"rating = 2":            true,
+		"rating != 2":           false,
+		"project == 'pig'":      true,
+		"project != 'hive'":     true,
+		"price > 1":             true,
+		"price < 1.4":           false,
+		"project contains 'ig'": true,
+		"project contains 'zz'": false,
+	}
+	for src, want := range cases {
+		if got := eval(t, src, r).Bool(); got != want {
+			t.Errorf("%q = %v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestBooleanOperators(t *testing.T) {
+	r := row(2, "pig", 10, 1.5)
+	cases := map[string]bool{
+		"rating < 3 and count > 5":           true,
+		"rating < 3 && count > 50":           false,
+		"rating > 3 or count > 5":            true,
+		"rating > 3 || count > 50":           false,
+		"not rating > 3":                     true,
+		"!(rating > 3)":                      true,
+		"rating < 3 and not count > 50":      true,
+		"(rating > 3 or count > 5) and true": true,
+	}
+	for src, want := range cases {
+		if got := eval(t, src, r).Bool(); got != want {
+			t.Errorf("%q = %v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	r := row(2, "pig", 10, 1.5)
+	intCases := map[string]int64{
+		"rating + count":       12,
+		"count - rating":       8,
+		"count * 3":            30,
+		"count / 3":            3,
+		"count % 3":            1,
+		"-rating":              -2,
+		"count + rating * 2":   14, // precedence
+		"(count + rating) * 2": 24,
+	}
+	for src, want := range intCases {
+		if got := eval(t, src, r); got.Kind() != value.Int || got.Int() != want {
+			t.Errorf("%q = %v (%v), want %d", src, got, got.Kind(), want)
+		}
+	}
+	if got := eval(t, "price * 2", r); got.Float() != 3.0 {
+		t.Errorf("price*2 = %v", got)
+	}
+	if got := eval(t, "count / 0", r); !got.IsNull() {
+		t.Errorf("division by zero = %v, want null", got)
+	}
+	if got := eval(t, "project + '!'", r); got.Str() != "pig!" {
+		t.Errorf("string concat = %v", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"", "rating <", "(rating > 1", "rating ?? 2", "'unterminated",
+		"rating > > 2", "and rating",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestBindErrors(t *testing.T) {
+	if _, err := Compile("missing > 1", testSchema); err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Errorf("bind error = %v", err)
+	}
+}
+
+func TestReferencedColumns(t *testing.T) {
+	cols, err := ReferencedColumns("rating < 3 and project == 'pig' or count + rating > 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := map[string]bool{}
+	for _, c := range cols {
+		set[c] = true
+	}
+	for _, want := range []string{"rating", "project", "count"} {
+		if !set[want] {
+			t.Errorf("missing column %q in %v", want, cols)
+		}
+	}
+	if set["pig"] {
+		t.Error("string literal leaked into columns")
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	// Parsing a node's String() form yields an equivalent evaluator.
+	srcs := []string{
+		"rating < 3 and project == 'pig'",
+		"count * 2 + rating",
+		"not (rating > 1 or price < 0.5)",
+		"project contains 'i'",
+	}
+	rows := []table.Row{
+		row(2, "pig", 10, 1.5),
+		row(5, "hive", 0, 0.1),
+		row(0, "", -3, 100),
+	}
+	for _, src := range srcs {
+		n1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		n2, err := Parse(n1.String())
+		if err != nil {
+			t.Fatalf("reparse %q: %v", n1.String(), err)
+		}
+		e1, err := n1.Bind(testSchema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e2, err := n2.Bind(testSchema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rows {
+			if !value.Equal(e1(r), e2(r)) {
+				t.Errorf("%q: round trip changed value on %v", src, r)
+			}
+		}
+	}
+}
+
+func TestQuotedStringEscapes(t *testing.T) {
+	ev, err := Compile(`project == 'o\'brien'`, testSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := table.Row{value.NewInt(0), value.NewString("o'brien"), value.NewInt(0), value.NewFloat(0)}
+	if !ev(r).Bool() {
+		t.Error("escaped quote comparison failed")
+	}
+}
+
+func TestArithProperties(t *testing.T) {
+	// Int addition in the expression language matches Go int64 addition.
+	add := func(a, b int32) bool {
+		got := Arith("+", value.NewInt(int64(a)), value.NewInt(int64(b)))
+		return got.Int() == int64(a)+int64(b)
+	}
+	if err := quick.Check(add, nil); err != nil {
+		t.Errorf("add: %v", err)
+	}
+	// a - a == 0 for all ints.
+	sub := func(a int64) bool {
+		return Arith("-", value.NewInt(a), value.NewInt(a)).Int() == 0
+	}
+	if err := quick.Check(sub, nil); err != nil {
+		t.Errorf("sub: %v", err)
+	}
+	// Division by zero is always null.
+	div := func(a int64) bool {
+		return Arith("/", value.NewInt(a), value.NewInt(0)).IsNull()
+	}
+	if err := quick.Check(div, nil); err != nil {
+		t.Errorf("div: %v", err)
+	}
+}
+
+func TestNullSemantics(t *testing.T) {
+	s := schema.MustFromNames("x")
+	r := table.Row{value.VNull}
+	ev, err := Compile("x == null", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ev(r).Bool() {
+		t.Error("null == null should hold")
+	}
+	ev2, _ := Compile("x < 5", s)
+	if !ev2(r).Bool() {
+		t.Error("null sorts before numbers, so null < 5")
+	}
+}
+
+func TestInOperator(t *testing.T) {
+	r := row(2, "pig", 10, 1.5)
+	cases := map[string]bool{
+		"project in ('pig', 'hive')":    true,
+		"project in ('hive', 'spark')":  false,
+		"rating in (1, 2, 3)":           true,
+		"rating in (4, 5)":              false,
+		"project in ('pig')":            true,
+		"count in (rating, 10)":         true, // column references inside the list
+		"not project in ('pig','hive')": false,
+	}
+	for src, want := range cases {
+		if got := eval(t, src, r).Bool(); got != want {
+			t.Errorf("%q = %v, want %v", src, got, want)
+		}
+	}
+	// Round trip.
+	n, err := Parse("project in ('pig', 'o\\'brien')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Parse(n.String()); err != nil {
+		t.Fatalf("in round trip: %q: %v", n.String(), err)
+	}
+	// A tuple anywhere else is rejected.
+	if _, err := Compile("('a','b') == project", testSchema); err == nil {
+		t.Error("tuple outside in should fail to bind")
+	}
+	if _, err := Compile("rating + (1,2)", testSchema); err == nil {
+		t.Error("tuple in arithmetic should fail to bind")
+	}
+}

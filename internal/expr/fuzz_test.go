@@ -1,0 +1,47 @@
+package expr
+
+import (
+	"testing"
+
+	"shareinsights/internal/table"
+	"shareinsights/internal/value"
+)
+
+// FuzzParseEval drives the expression parser and evaluator with
+// arbitrary sources: never panic, and parseable expressions must
+// round-trip through String() to an equivalent evaluator.
+func FuzzParseEval(f *testing.F) {
+	f.Add("rating < 3 and project == 'pig'")
+	f.Add("count * 2 + rating % 3")
+	f.Add("not (price / 0 == null)")
+	f.Add("project contains 'x' or true")
+	f.Add("-rating >= -5")
+	f.Fuzz(func(t *testing.T, src string) {
+		n, err := Parse(src)
+		if err != nil {
+			return
+		}
+		n2, err := Parse(n.String())
+		if err != nil {
+			t.Fatalf("String() form does not re-parse: %q -> %q: %v", src, n.String(), err)
+		}
+		e1, err1 := n.Bind(testSchema)
+		e2, err2 := n2.Bind(testSchema)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("bind disagreement for %q", src)
+		}
+		if err1 != nil {
+			return
+		}
+		rows := []table.Row{
+			row(2, "pig", 10, 1.5),
+			row(-7, "", 0, 0),
+			{value.VNull, value.VNull, value.VNull, value.VNull},
+		}
+		for _, r := range rows {
+			if !value.Equal(e1(r), e2(r)) {
+				t.Fatalf("round trip changed semantics of %q on %v", src, r)
+			}
+		}
+	})
+}

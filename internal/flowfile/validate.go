@@ -1,0 +1,177 @@
+package flowfile
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ValidationError collects all problems found in a flow file so users see
+// every issue at once — the paper's §5.2 learnings call out error
+// reporting as the platform's weakest point, so validation is thorough
+// and names the offending section entries.
+type ValidationError struct {
+	// Problems are the individual findings.
+	Problems []string
+}
+
+// Error implements error.
+func (e *ValidationError) Error() string {
+	return fmt.Sprintf("flow file invalid: %s", strings.Join(e.Problems, "; "))
+}
+
+func (e *ValidationError) add(format string, args ...any) {
+	e.Problems = append(e.Problems, fmt.Sprintf(format, args...))
+}
+
+// Validate cross-checks the sections of the file:
+//
+//   - every task referenced from a flow or widget source exists in T,
+//   - every data object referenced from a flow or widget source is
+//     declared, produced by a flow, or plausibly a shared (published)
+//     object when allowShared is true,
+//   - filter tasks that name a filter_source widget reference a widget
+//     that exists,
+//   - every layout cell references a widget,
+//   - no data object is produced by two flows.
+//
+// Dangling references to shared objects can only be resolved against the
+// platform catalog at compile time, so Validate with allowShared=true is
+// the editor-save check and the dashboard compiler re-checks strictly.
+func (f *File) Validate(allowShared bool) error {
+	e := &ValidationError{}
+	produced := map[string]int{}
+	for _, fl := range f.Flows {
+		for _, out := range fl.Outputs {
+			produced[out.Name]++
+			if produced[out.Name] > 1 {
+				e.add("data object D.%s is produced by more than one flow", out.Name)
+			}
+		}
+		for _, t := range fl.Pipeline.Tasks {
+			if _, ok := f.Tasks[t.Name]; !ok {
+				e.add("flow for %s references undefined task T.%s", fl.Outputs[0], t.Name)
+			}
+		}
+	}
+	// A data object is locally resolvable if it has source details, a
+	// declared schema (inline/static data) or is produced by a flow.
+	resolvable := func(name string) bool {
+		d, ok := f.Data[name]
+		if ok && (d.Schema != nil || d.Prop("source") != "" || d.Prop("protocol") != "" || produced[name] > 0) {
+			// A declared schema is enough: the object binds to an
+			// uploaded data file or connector at compile time (§4.3.2).
+			return true
+		}
+		return allowShared
+	}
+	for _, fl := range f.Flows {
+		for _, in := range fl.Pipeline.Inputs {
+			if !resolvable(in.Name) {
+				e.add("flow for %s reads D.%s which has no source, producing flow, or shared publication", fl.Outputs[0], in.Name)
+			}
+		}
+	}
+	for _, name := range f.WidgetOrder {
+		w := f.Widgets[name]
+		if w.Source != nil {
+			for _, in := range w.Source.Inputs {
+				if !resolvable(in.Name) {
+					e.add("widget W.%s reads D.%s which is not resolvable", name, in.Name)
+				}
+			}
+			for _, t := range w.Source.Tasks {
+				if _, ok := f.Tasks[t.Name]; !ok {
+					e.add("widget W.%s references undefined task T.%s", name, t.Name)
+				}
+			}
+		}
+	}
+	// Interaction tasks may name widgets as filter sources (§3.5.1).
+	for _, name := range f.TaskOrder {
+		t := f.Tasks[name]
+		if src := t.Config.Str("filter_source"); src != "" {
+			ref, err := ParseRef(src)
+			if err != nil {
+				e.add("task T.%s: bad filter_source %q", name, src)
+				continue
+			}
+			if ref.Section == "W" {
+				if _, ok := f.Widgets[ref.Name]; !ok {
+					e.add("task T.%s filter_source references undefined widget W.%s", name, ref.Name)
+				}
+			}
+		}
+	}
+	if f.Layout != nil {
+		for i, row := range f.Layout.Rows {
+			span := 0
+			for _, cell := range row.Cells {
+				span += cell.Span
+				if _, ok := f.Widgets[cell.Widget]; !ok {
+					e.add("layout row %d references undefined widget W.%s", i+1, cell.Widget)
+				}
+			}
+			if span > 12 {
+				e.add("layout row %d spans %d columns (max 12)", i+1, span)
+			}
+		}
+	}
+	if len(e.Problems) > 0 {
+		return e
+	}
+	return nil
+}
+
+// ProducedBy returns the flow that produces the named data object, or nil.
+func (f *File) ProducedBy(name string) *Flow {
+	for _, fl := range f.Flows {
+		for _, out := range fl.Outputs {
+			if out.Name == name {
+				return fl
+			}
+		}
+	}
+	return nil
+}
+
+// SharedInputs lists the data objects the file reads but neither sources
+// nor produces locally — these must come from the platform's shared
+// catalog (§3.7.2 data-consumption mode).
+func (f *File) SharedInputs() []string {
+	produced := map[string]bool{}
+	for _, fl := range f.Flows {
+		for _, out := range fl.Outputs {
+			produced[out.Name] = true
+		}
+	}
+	need := map[string]bool{}
+	collect := func(p *Pipeline) {
+		for _, in := range p.Inputs {
+			d := f.Data[in.Name]
+			local := produced[in.Name] || (d != nil && (d.Prop("source") != "" || d.Prop("protocol") != ""))
+			if !local {
+				need[in.Name] = true
+			}
+		}
+	}
+	for _, fl := range f.Flows {
+		collect(fl.Pipeline)
+	}
+	for _, name := range f.WidgetOrder {
+		if w := f.Widgets[name]; w.Source != nil {
+			collect(w.Source)
+		}
+	}
+	out := make([]string, 0, len(need))
+	for _, name := range f.DataOrder {
+		if need[name] {
+			out = append(out, name)
+		}
+	}
+	for name := range need {
+		if _, declared := f.Data[name]; !declared {
+			out = append(out, name)
+		}
+	}
+	return out
+}

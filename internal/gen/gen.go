@@ -1,0 +1,275 @@
+// Package gen produces the deterministic synthetic data-sets the
+// examples and benchmarks run on — stand-ins for the paper's proprietary
+// inputs (Gnip tweet streams, Apache project telemetry, enterprise
+// service-desk extracts; see DESIGN.md substitutions).
+//
+// Every generator takes an explicit seed and is pure: the same seed
+// yields byte-identical output, so the experiment harness regenerates
+// the paper's figures reproducibly.
+package gen
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Rand returns the deterministic source used by all generators.
+func Rand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// ---------------------------------------------------------------------
+// IPL tweets (the §3.7 use case)
+
+// Player is one IPL player with name variants fans use in tweets.
+type Player struct {
+	// Name is the standardized player name.
+	Name string
+	// Team is the player's team code.
+	Team string
+	// Variants are the forms appearing in tweet text.
+	Variants []string
+	// popularity weights tweet volume.
+	popularity float64
+}
+
+// Team is one IPL team.
+type Team struct {
+	// Code is the short team code (CSK, MI, …).
+	Code string
+	// FullName is the display name.
+	FullName string
+	// Color is the team's chart color.
+	Color string
+	// City is the home city.
+	City string
+	// State is the home state.
+	State string
+}
+
+// IPLTeams is the fixed team roster (real 2013 teams; public facts).
+var IPLTeams = []Team{
+	{Code: "CSK", FullName: "Chennai Super Kings", Color: "#f9cd05", City: "chennai", State: "Tamil Nadu"},
+	{Code: "MI", FullName: "Mumbai Indians", Color: "#004ba0", City: "mumbai", State: "Maharashtra"},
+	{Code: "RCB", FullName: "Royal Challengers Bangalore", Color: "#d11d1d", City: "bangalore", State: "Karnataka"},
+	{Code: "KKR", FullName: "Kolkata Knight Riders", Color: "#3a225d", City: "kolkata", State: "West Bengal"},
+	{Code: "RR", FullName: "Rajasthan Royals", Color: "#ea1a85", City: "jaipur", State: "Rajasthan"},
+	{Code: "DD", FullName: "Delhi Daredevils", Color: "#00008b", City: "delhi", State: "Delhi"},
+	{Code: "PUN", FullName: "Pune Warriors", Color: "#2f9be3", City: "pune", State: "Maharashtra"},
+	{Code: "SRH", FullName: "Sunrisers Hyderabad", Color: "#ff822a", City: "hyderabad", State: "Telangana"},
+}
+
+// IPLPlayers is a synthetic roster: two star players per team plus a
+// long tail, with nickname variants.
+var IPLPlayers = func() []Player {
+	var out []Player
+	stars := map[string][]Player{
+		"CSK": {{Name: "MS Dhoni", Variants: []string{"dhoni", "msd", "mahi"}, popularity: 1.0},
+			{Name: "Suresh Raina", Variants: []string{"raina"}, popularity: 0.6}},
+		"MI": {{Name: "Rohit Sharma", Variants: []string{"rohit", "hitman"}, popularity: 0.8},
+			{Name: "Kieron Pollard", Variants: []string{"pollard"}, popularity: 0.5}},
+		"RCB": {{Name: "Virat Kohli", Variants: []string{"kohli", "virat"}, popularity: 1.0},
+			{Name: "Chris Gayle", Variants: []string{"gayle", "universeboss"}, popularity: 0.9}},
+		"KKR": {{Name: "Gautam Gambhir", Variants: []string{"gambhir", "gauti"}, popularity: 0.6},
+			{Name: "Sunil Narine", Variants: []string{"narine"}, popularity: 0.5}},
+		"RR": {{Name: "Rahul Dravid", Variants: []string{"dravid", "thewall"}, popularity: 0.7},
+			{Name: "Shane Watson", Variants: []string{"watson", "watto"}, popularity: 0.5}},
+		"DD": {{Name: "Virender Sehwag", Variants: []string{"sehwag", "viru"}, popularity: 0.7},
+			{Name: "David Warner", Variants: []string{"warner"}, popularity: 0.6}},
+		"PUN": {{Name: "Aaron Finch", Variants: []string{"finch"}, popularity: 0.4},
+			{Name: "Yuvraj Singh", Variants: []string{"yuvraj", "yuvi"}, popularity: 0.8}},
+		"SRH": {{Name: "Shikhar Dhawan", Variants: []string{"dhawan", "gabbar"}, popularity: 0.6},
+			{Name: "Dale Steyn", Variants: []string{"steyn"}, popularity: 0.5}},
+	}
+	for _, t := range IPLTeams {
+		for _, p := range stars[t.Code] {
+			p.Team = t.Code
+			out = append(out, p)
+		}
+	}
+	return out
+}()
+
+var tweetPhrases = []string{
+	"what a shot by %s tonight",
+	"%s is on fire",
+	"can %s finish this chase",
+	"brilliant over, %s under pressure",
+	"%s departs, huge wicket",
+	"century for %s, take a bow",
+	"%s with a stunning catch",
+	"poor bowling, %s punishing them",
+}
+
+var fillerPhrases = []string{
+	"great atmosphere at the stadium tonight",
+	"rain delay again, frustrating evening",
+	"traffic terrible around the ground",
+	"who else is watching the match",
+	"this season is the best one yet",
+}
+
+// TweetsOptions parameterize the IPL tweet generator.
+type TweetsOptions struct {
+	// Seed drives all randomness.
+	Seed int64
+	// N is the number of tweets.
+	N int
+	// Start and Days bound postedTime; defaults: 2013-05-02, 26 days.
+	Start time.Time
+	Days  int
+}
+
+func (o *TweetsOptions) defaults() {
+	if o.N == 0 {
+		o.N = 10000
+	}
+	if o.Start.IsZero() {
+		o.Start = time.Date(2013, 5, 2, 0, 0, 0, 0, time.UTC)
+	}
+	if o.Days == 0 {
+		o.Days = 26
+	}
+}
+
+// TweetsCSV renders the synthetic Gnip extract as the CSV payload the
+// ipl example's data object reads: postedTime, body, location.
+func TweetsCSV(opts TweetsOptions) []byte {
+	opts.defaults()
+	rng := Rand(opts.Seed)
+	var buf bytes.Buffer
+	totalPop := 0.0
+	for _, p := range IPLPlayers {
+		totalPop += p.popularity
+	}
+	cities := map[string][]string{}
+	for _, t := range IPLTeams {
+		cities[t.Code] = append(cities[t.Code], t.City)
+	}
+	for i := 0; i < opts.N; i++ {
+		day := rng.Intn(opts.Days)
+		ts := opts.Start.Add(time.Duration(day)*24*time.Hour +
+			time.Duration(rng.Intn(86400))*time.Second)
+		var body, location string
+		if rng.Float64() < 0.8 {
+			p := pickPlayer(rng, totalPop)
+			variant := p.Variants[rng.Intn(len(p.Variants))]
+			body = fmt.Sprintf(tweetPhrases[rng.Intn(len(tweetPhrases))], variant)
+			// Fans tweet mostly from their team's city.
+			if rng.Float64() < 0.7 {
+				location = titleCase(teamByCode(p.Team).City) + ", India"
+			} else {
+				location = titleCase(IPLTeams[rng.Intn(len(IPLTeams))].City) + ", India"
+			}
+			// Some tweets name the team too.
+			if rng.Float64() < 0.5 {
+				body += " #" + p.Team
+			}
+		} else {
+			body = fillerPhrases[rng.Intn(len(fillerPhrases))]
+			location = "somewhere"
+		}
+		fmt.Fprintf(&buf, "%s,%q,%q\n", ts.Format("Mon Jan 02 15:04:05 -0700 2006"), body, location)
+	}
+	return buf.Bytes()
+}
+
+func pickPlayer(rng *rand.Rand, totalPop float64) Player {
+	x := rng.Float64() * totalPop
+	for _, p := range IPLPlayers {
+		x -= p.popularity
+		if x <= 0 {
+			return p
+		}
+	}
+	return IPLPlayers[len(IPLPlayers)-1]
+}
+
+func teamByCode(code string) Team {
+	for _, t := range IPLTeams {
+		if t.Code == code {
+			return t
+		}
+	}
+	return IPLTeams[0]
+}
+
+func titleCase(s string) string {
+	if s == "" {
+		return s
+	}
+	return string(s[0]-'a'+'A') + s[1:]
+}
+
+// PlayersDict renders the player-variant dictionary (players.txt).
+func PlayersDict() []byte {
+	var buf bytes.Buffer
+	for _, p := range IPLPlayers {
+		for _, v := range p.Variants {
+			fmt.Fprintf(&buf, "%s => %s\n", v, p.Name)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TeamsDict renders the team-mention dictionary (teams.csv).
+func TeamsDict() []byte {
+	var buf bytes.Buffer
+	for _, t := range IPLTeams {
+		// Hashtag forms need no entry: the extract operator strips #/@
+		// before the lookup.
+		fmt.Fprintf(&buf, "%s,%s\n", t.Code, t.FullName)
+	}
+	return buf.Bytes()
+}
+
+// CitiesDict renders the gazetteer (cities.ind.csv).
+func CitiesDict() []byte {
+	var buf bytes.Buffer
+	for _, t := range IPLTeams {
+		fmt.Fprintf(&buf, "%s,%s\n", t.City, t.State)
+	}
+	return buf.Bytes()
+}
+
+// DimTeamsCSV renders the team reference data (dim_teams).
+func DimTeamsCSV() []byte {
+	var buf bytes.Buffer
+	for i, t := range IPLTeams {
+		fmt.Fprintf(&buf, "%d,%s,%s,%d,%s,0\n", i+1, t.Code, t.FullName, i+1, t.Color)
+	}
+	return buf.Bytes()
+}
+
+// TeamPlayersCSV renders the player reference data (team_players):
+// player, team_fullName, team, player_id, noOfTweets.
+func TeamPlayersCSV() []byte {
+	var buf bytes.Buffer
+	for i, p := range IPLPlayers {
+		t := teamByCode(p.Team)
+		fmt.Fprintf(&buf, "%q,%q,%s,%d,0\n", p.Name, t.FullName, t.Code, i+1)
+	}
+	return buf.Bytes()
+}
+
+// LatLongCSV renders state centroid coordinates (lat_long): state,
+// point_one ("lat,long" pair).
+func LatLongCSV() []byte {
+	coords := map[string]string{
+		"Tamil Nadu":  "13.08,80.27",
+		"Maharashtra": "19.07,72.87",
+		"Karnataka":   "12.97,77.59",
+		"West Bengal": "22.57,88.36",
+		"Rajasthan":   "26.91,75.78",
+		"Delhi":       "28.61,77.20",
+		"Telangana":   "17.38,78.48",
+	}
+	var buf bytes.Buffer
+	for _, t := range IPLTeams {
+		if c, ok := coords[t.State]; ok {
+			fmt.Fprintf(&buf, "%q,%q\n", t.State, c)
+			delete(coords, t.State)
+		}
+	}
+	return buf.Bytes()
+}

@@ -1,0 +1,159 @@
+package hackathon
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+
+	"shareinsights/internal/flowfile"
+)
+
+func TestSimulateDeterministic(t *testing.T) {
+	a := Simulate(Config{Seed: 42})
+	b := Simulate(Config{Seed: 42})
+	if !bytes.Equal(a.TeamsCSV(), b.TeamsCSV()) {
+		t.Error("same seed produced different team outcomes")
+	}
+	if !bytes.Equal(a.EventsCSV(), b.EventsCSV()) {
+		t.Error("same seed produced different telemetry")
+	}
+	c := Simulate(Config{Seed: 43})
+	if bytes.Equal(a.TeamsCSV(), c.TeamsCSV()) {
+		t.Error("different seeds produced identical outcomes")
+	}
+}
+
+func TestSimulateShape(t *testing.T) {
+	r := Simulate(Config{Seed: 42})
+	if len(r.Teams) != 52 {
+		t.Fatalf("teams = %d, want 52", len(r.Teams))
+	}
+	// Team IDs are a permutation of 1..52.
+	ids := map[int]bool{}
+	for _, tm := range r.Teams {
+		if tm.ID < 1 || tm.ID > 52 || ids[tm.ID] {
+			t.Fatalf("bad team id %d", tm.ID)
+		}
+		ids[tm.ID] = true
+	}
+	// The figure annotations match the paper.
+	if got := r.FinalistIDs(); !equalInts(got, PaperFinalists) {
+		t.Errorf("finalists = %v, want %v", got, PaperFinalists)
+	}
+	if got := r.WinnerIDs(); !equalInts(got, PaperWinners) {
+		t.Errorf("winners = %v, want %v", got, PaperWinners)
+	}
+	// Winners are a subset of finalists.
+	fin := map[int]bool{}
+	for _, id := range r.FinalistIDs() {
+		fin[id] = true
+	}
+	for _, id := range r.WinnerIDs() {
+		if !fin[id] {
+			t.Errorf("winner %d is not a finalist", id)
+		}
+	}
+}
+
+// TestPracticeMatters asserts the Figure 32 relationship: winners sit in
+// the high-practice region.
+func TestPracticeMatters(t *testing.T) {
+	r := Simulate(Config{Seed: 42})
+	var all []int
+	winnersMin := 1 << 30
+	for _, tm := range r.Teams {
+		all = append(all, tm.PracticeRuns)
+		if tm.Winner && tm.PracticeRuns < winnersMin {
+			winnersMin = tm.PracticeRuns
+		}
+	}
+	sort.Ints(all)
+	median := all[len(all)/2]
+	if winnersMin <= median {
+		t.Errorf("a winner practiced only %d runs (median %d) — practice/success correlation lost", winnersMin, median)
+	}
+}
+
+// TestForkToGo asserts the Figure 35 shape: every team starts from a
+// non-trivial forked flow file and sizes vary across teams.
+func TestForkToGo(t *testing.T) {
+	r := Simulate(Config{Seed: 42})
+	minSize, maxSize := 1<<30, 0
+	for _, tm := range r.Teams {
+		if tm.ForkSizeBytes < 200 {
+			t.Errorf("team %d fork size %d is implausibly small", tm.ID, tm.ForkSizeBytes)
+		}
+		if tm.ForkSizeBytes < minSize {
+			minSize = tm.ForkSizeBytes
+		}
+		if tm.ForkSizeBytes > maxSize {
+			maxSize = tm.ForkSizeBytes
+		}
+		// The grown flow file must still parse — teams edit through the
+		// platform editor, which rejects unparseable saves.
+		content, err := tm.Repo.Content("main")
+		if err != nil {
+			t.Fatalf("team %d repo: %v", tm.ID, err)
+		}
+		if _, err := flowfile.Parse(tm.Repo.Name, string(content)); err != nil {
+			t.Errorf("team %d flow file does not parse: %v", tm.ID, err)
+		}
+		if len(content) != tm.ForkSizeBytes {
+			t.Errorf("team %d fork size %d does not match repo content %d", tm.ID, tm.ForkSizeBytes, len(content))
+		}
+	}
+	if maxSize < 2*minSize {
+		t.Errorf("fork sizes do not vary enough: min %d max %d", minSize, maxSize)
+	}
+}
+
+// TestOperatorPopularity asserts the Figure 31 shape: filters and
+// group-bys dominate operator usage.
+func TestOperatorPopularity(t *testing.T) {
+	r := Simulate(Config{Seed: 42})
+	counts := map[string]int{}
+	for _, e := range r.Events {
+		if e.Operator != "" {
+			counts[e.Operator]++
+		}
+	}
+	if counts["filter_by"] <= counts["join"] || counts["groupby"] <= counts["join"] {
+		t.Errorf("operator popularity shape wrong: %v", counts)
+	}
+	if counts["custom"] == 0 {
+		t.Error("no custom-task usage despite high-skill teams (observation 2)")
+	}
+	if counts["custom"] > counts["groupby"]/4 {
+		t.Errorf("custom tasks too common: %v", counts)
+	}
+}
+
+// TestCustomTasksComeFromSkilledTeams checks observation 2: the teams
+// writing custom tasks are skilled ones.
+func TestCustomTasksComeFromSkilledTeams(t *testing.T) {
+	r := Simulate(Config{Seed: 42})
+	n := 0
+	for _, tm := range r.Teams {
+		if tm.WroteCustomTask {
+			n++
+			if tm.Skill <= 0.75 {
+				t.Errorf("team %d wrote a custom task with skill %.2f", tm.ID, tm.Skill)
+			}
+		}
+	}
+	if n == 0 {
+		t.Error("no team wrote a custom task")
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

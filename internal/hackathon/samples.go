@@ -1,0 +1,239 @@
+package hackathon
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// The sample dashboards teams fork from. All three parse and validate;
+// forked flow files must remain loadable in the editor.
+
+const sampleSmall = `# quickstart help dashboard
+D:
+  raw: [category, amount]
+
+D.raw:
+  source: data:raw.csv
+  format: csv
+
+F:
+  +D.by_category: D.raw | T.sum_by_category
+
+T:
+  sum_by_category:
+    type: groupby
+    groupby: [category]
+    aggregates:
+      - operator: sum
+        apply_on: amount
+        out_field: total
+
+W:
+  chart:
+    type: BarChart
+    source: D.by_category
+    x: category
+    y: total
+
+L:
+  description: Quickstart
+  rows:
+    - [span12: W.chart]
+`
+
+const sampleMedium = `# sales analysis sample
+D:
+  orders: [date, region, product, amount]
+  regions: [region, manager]
+
+D.orders:
+  source: data:orders.csv
+  format: csv
+
+D.regions:
+  source: data:regions.csv
+  format: csv
+
+F:
+  +D.by_region: D.orders | T.sum_by_region
+  +D.with_manager: (D.by_region, D.regions) | T.join_regions
+
+T:
+  sum_by_region:
+    type: groupby
+    groupby: [region]
+    aggregates:
+      - operator: sum
+        apply_on: amount
+        out_field: total
+  join_regions:
+    type: join
+    left: by_region by region
+    right: regions by region
+    join_condition: left outer
+    project:
+      by_region_region: region
+      by_region_total: total
+      regions_manager: manager
+  pick_region:
+    type: filter_by
+    filter_by: [region]
+    filter_source: W.region_list
+    filter_val: [text]
+
+W:
+  region_list:
+    type: List
+    source: D.by_region
+    text: region
+  totals:
+    type: BarChart
+    source: D.with_manager | T.pick_region
+    x: region
+    y: total
+  detail:
+    type: Grid
+    source: D.with_manager | T.pick_region
+
+L:
+  description: Sales Sample
+  rows:
+    - [span4: W.region_list, span8: W.totals]
+    - [span12: W.detail]
+`
+
+const sampleLarge = `# ipl tweet analysis sample
+D:
+  ipl_tweets: [postedTime, body, location]
+  players_tweets: [date, player, count]
+  teams_tweets: [date, team, count]
+  tagcloud_tweets_raw: [date, word, count]
+  tagcloud_tweets: [date, word, count]
+
+D.ipl_tweets:
+  source: data:tweets.csv
+  format: csv
+
+F:
+  D.players_tweets: D.ipl_tweets | T.players_pipeline | T.players_count
+  D.teams_tweets: D.ipl_tweets | T.teams_pipeline | T.teams_count
+  D.tagcloud_tweets_raw: D.ipl_tweets | T.word_date_extraction | T.words_count
+  +D.tagcloud_tweets: D.tagcloud_tweets_raw | T.topwords
+
+  D.players_tweets:
+    endpoint: true
+  D.teams_tweets:
+    endpoint: true
+
+T:
+  players_pipeline:
+    parallel: [T.norm_ipldate, T.extract_players]
+  teams_pipeline:
+    parallel: [T.norm_ipldate, T.extract_teams]
+  word_date_extraction:
+    parallel: [T.norm_ipldate, T.extract_words]
+  norm_ipldate:
+    type: map
+    operator: date
+    transform: postedTime
+    input_format: 'E MMM dd HH:mm:ss Z yyyy'
+    output_format: yyyy-MM-dd
+    output: date
+  extract_players:
+    type: map
+    operator: extract
+    transform: body
+    dict: players.txt
+    output: player
+  extract_teams:
+    type: map
+    operator: extract
+    transform: body
+    dict: teams.csv
+    output: team
+  extract_words:
+    type: map
+    operator: extract_words
+    transform: body
+    output: word
+  players_count:
+    type: groupby
+    groupby: [date, player]
+  teams_count:
+    type: groupby
+    groupby: [date, team]
+  words_count:
+    type: groupby
+    groupby: [date, word]
+  topwords:
+    type: topn
+    groupby: [date]
+    orderby_column: [count DESC]
+    limit: 20
+  filter_by_date:
+    type: filter_by
+    filter_by: [date]
+    filter_source: W.duration
+  aggregate_by_player:
+    type: groupby
+    groupby: [player]
+    aggregates:
+      - operator: sum
+        apply_on: count
+        out_field: noOfTweets
+  aggregate_by_word:
+    type: groupby
+    groupby: [word]
+    aggregates:
+      - operator: sum
+        apply_on: count
+        out_field: total
+
+W:
+  duration:
+    type: Slider
+    source: ['2013-05-02', '2013-05-27']
+    static: true
+    range: true
+    slider_type: date
+  players:
+    type: WordCloud
+    source: D.players_tweets | T.filter_by_date | T.aggregate_by_player
+    text: player
+    size: noOfTweets
+  words:
+    type: WordCloud
+    source: D.tagcloud_tweets | T.filter_by_date | T.aggregate_by_word
+    text: word
+    size: total
+
+L:
+  description: IPL Sample
+  rows:
+    - [span12: W.duration]
+    - [span6: W.players, span6: W.words]
+`
+
+// growth snippets appended as teams iterate; each is a complete section
+// fragment that keeps the file parseable.
+var growthSnippets = []string{
+	"\nT:\n  extra_filter_%d:\n    type: filter_by\n    filter_expression: amount > %d\n",
+	"\nT:\n  extra_sort_%d:\n    type: sort\n    orderby_column: [total DESC]\n# tweak %d\n",
+	"\nT:\n  extra_top_%d:\n    type: topn\n    groupby: [category]\n    orderby_column: [total DESC]\n    limit: %d\n",
+	"\nW:\n  extra_grid_%d:\n    type: Grid\n    source: D.raw\n# rev %d\n",
+	"\n# iteration note %d: weights tuned to %d\n",
+}
+
+// growFlowFile simulates a team's practice edits: appending tasks,
+// widgets and notes across edit rounds, as the paper observed flow files
+// growing during practice.
+func growFlowFile(rng *rand.Rand, base []byte, rounds int) []byte {
+	out := append([]byte(nil), base...)
+	for i := 0; i < rounds; i++ {
+		snippet := growthSnippets[rng.Intn(len(growthSnippets))]
+		// The first verb is the entity-name suffix: the round index keeps
+		// names unique so the grown file always re-parses.
+		out = append(out, []byte(fmt.Sprintf(snippet, i, rng.Intn(90)+10))...)
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+
+	"shareinsights/internal/connector"
+	"shareinsights/internal/dashboard"
+	"shareinsights/internal/flowfile"
+	"shareinsights/internal/schema"
+	"shareinsights/internal/table"
+	"shareinsights/internal/value"
+)
+
+func sampleTable() *table.Table {
+	t := table.New(schema.MustFromNames("name", "score", "note"))
+	t.AppendValues(value.NewString("a"), value.NewInt(10), value.VNull)
+	t.AppendValues(value.NewString("b"), value.NewInt(20), value.NewString("x"))
+	t.AppendValues(value.NewString("a"), value.NewInt(30), value.VNull)
+	t.AppendValues(value.NewString("c"), value.NewFloat(40), value.NewString("x"))
+	return t
+}
+
+func TestProfileStats(t *testing.T) {
+	stats := Profile(sampleTable())
+	if len(stats) != 3 {
+		t.Fatalf("columns = %d", len(stats))
+	}
+	name := stats[0]
+	if name.Column != "name" || name.Kind != value.String || name.Distinct != 3 ||
+		name.TopValue != "a" || name.TopCount != 2 || name.Nulls != 0 {
+		t.Errorf("name stats = %+v", name)
+	}
+	score := stats[1]
+	if score.Kind != value.Int || score.Min != "10" || score.Max != "40" || score.Mean != 25 {
+		t.Errorf("score stats = %+v", score)
+	}
+	if score.Stddev < 11 || score.Stddev > 12 {
+		t.Errorf("score stddev = %v", score.Stddev)
+	}
+	note := stats[2]
+	if note.Nulls != 2 || note.Distinct != 1 {
+		t.Errorf("note stats = %+v", note)
+	}
+}
+
+func TestProfileEmptyTable(t *testing.T) {
+	empty := table.New(schema.MustFromNames("a"))
+	stats := Profile(empty)
+	if len(stats) != 1 || stats[0].Rows != 0 || stats[0].Distinct != 0 {
+		t.Errorf("empty stats = %+v", stats)
+	}
+	tab := Table(stats)
+	if tab.Len() != 1 {
+		t.Errorf("table rows = %d", tab.Len())
+	}
+}
+
+func TestBuildMeta(t *testing.T) {
+	// A small real dashboard to profile.
+	p := dashboard.NewPlatform()
+	p.Connectors = connector.NewRegistry(connector.Options{
+		Mem: map[string][]byte{"s.csv": []byte("east,10\nwest,20\neast,\n")},
+	})
+	f, err := flowfile.Parse("sales", `
+D:
+  sales: [region, amount]
+
+D.sales:
+  source: mem:s.csv
+  format: csv
+
+F:
+  +D.by_region: D.sales | T.g
+
+T:
+  g:
+    type: groupby
+    groupby: [region]
+    aggregates:
+      - operator: sum
+        apply_on: amount
+        out_field: total
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := p.Compile(f, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildMeta(d); err == nil {
+		t.Fatal("BuildMeta before Run should fail")
+	}
+	if err := d.Run(); err != nil {
+		t.Fatal(err)
+	}
+	meta, err := BuildMeta(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The meta-dashboard has one profile endpoint per materialized data
+	// object (sales + by_region).
+	eps := meta.EndpointNames()
+	if len(eps) != 2 {
+		t.Fatalf("meta endpoints = %v", eps)
+	}
+	salesProfile, ok := meta.Endpoint("sales_profile")
+	if !ok {
+		t.Fatal("sales_profile missing")
+	}
+	if salesProfile.Len() != 2 { // region, amount
+		t.Fatalf("sales profile rows:\n%s", salesProfile.Format(0))
+	}
+	// The amount column has one null (the cleansing signal §6 cares
+	// about).
+	if got := salesProfile.Cell(1, "nulls").Int(); got != 1 {
+		t.Errorf("amount nulls = %d:\n%s", got, salesProfile.Format(0))
+	}
+	// And it renders like any dashboard.
+	var b strings.Builder
+	if err := meta.RenderHTML(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Data profile: sales") {
+		t.Error("meta dashboard title missing")
+	}
+}

@@ -1,0 +1,94 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewAndLookup(t *testing.T) {
+	s, err := New(Column{Name: "a"}, Column{Name: "b", Path: "user.b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if s.Index("a") != 0 || s.Index("b") != 1 || s.Index("zz") != -1 {
+		t.Error("index lookup wrong")
+	}
+	if !s.Has("b") || s.Has("user.b") {
+		t.Error("Has uses column names, not paths")
+	}
+	if s.Col(1).Source() != "user.b" || s.Col(0).Source() != "a" {
+		t.Error("Source() wrong")
+	}
+	if got := s.String(); got != "[a, user.b => b]" {
+		t.Errorf("String = %s", got)
+	}
+}
+
+func TestDuplicateAndEmptyNames(t *testing.T) {
+	if _, err := New(Column{Name: "a"}, Column{Name: "a"}); err == nil {
+		t.Error("duplicate columns should fail")
+	}
+	if _, err := New(Column{Name: ""}); err == nil {
+		t.Error("empty column name should fail")
+	}
+	if _, err := FromNames("x", "x"); err == nil {
+		t.Error("FromNames duplicate should fail")
+	}
+}
+
+func TestRequire(t *testing.T) {
+	s := MustFromNames("a", "b", "c")
+	idx, err := s.Require("c", "a")
+	if err != nil || idx[0] != 2 || idx[1] != 0 {
+		t.Errorf("Require = %v, %v", idx, err)
+	}
+	_, err = s.Require("a", "nope")
+	if err == nil || !strings.Contains(err.Error(), "nope") || !strings.Contains(err.Error(), "a, b, c") {
+		t.Errorf("Require error should name the column and list available: %v", err)
+	}
+}
+
+func TestProjectExtend(t *testing.T) {
+	s := MustFromNames("a", "b", "c")
+	p, err := s.Project("c", "a")
+	if err != nil || p.String() != "[c, a]" {
+		t.Errorf("Project = %v, %v", p, err)
+	}
+	if _, err := s.Project("zz"); err == nil {
+		t.Error("Project missing column should fail")
+	}
+	e, err := s.Extend("d")
+	if err != nil || e.String() != "[a, b, c, d]" {
+		t.Errorf("Extend = %v, %v", e, err)
+	}
+	if _, err := s.Extend("a"); err == nil {
+		t.Error("Extend existing column should fail")
+	}
+	eos := s.ExtendOrSame("a", "d")
+	if eos.String() != "[a, b, c, d]" {
+		t.Errorf("ExtendOrSame = %v", eos)
+	}
+	// Original untouched.
+	if s.Len() != 3 {
+		t.Error("Extend mutated the receiver")
+	}
+}
+
+func TestEqualClone(t *testing.T) {
+	a := MustFromNames("x", "y")
+	b := MustFromNames("x", "y")
+	c := MustFromNames("y", "x")
+	if !a.Equal(b) || a.Equal(c) {
+		t.Error("Equal is order-sensitive name equality")
+	}
+	cl := a.Clone()
+	if !a.Equal(cl) {
+		t.Error("clone differs")
+	}
+	if &a.cols[0] == &cl.cols[0] {
+		t.Error("clone shares storage")
+	}
+}

@@ -1,0 +1,523 @@
+// Package server exposes the ShareInsights development and data APIs
+// over HTTP — the browser-only development interface of §4.3 and the
+// data API of §4.4.
+//
+//	PUT  /dashboards/{name}                    create/update the flow file (a VCS commit)
+//	GET  /dashboards/{name}                    fetch the flow file
+//	GET  /dashboards                           list dashboards
+//	POST /dashboards/{name}/run                compile and run
+//	GET  /dashboards/{name}/html               rendered page (?device=mobile
+//	                                           for the constrained rendering;
+//	                                           an uploaded style.css applies)
+//	GET  /dashboards/{name}/explore            data explorer (headless tabular view)
+//	GET  /dashboards/{name}/ds                 endpoint data listing        (Figure 27)
+//	GET  /dashboards/{name}/ds/{ds}            endpoint data rows           (Figure 28)
+//	GET  /dashboards/{name}/ds/{ds}/groupby/{col}/{agg}/{vcol}  ad-hoc query (Figure 30)
+//	POST /dashboards/{name}/select/{widget}    record a widget selection
+//	GET  /dashboards/{name}/log                commit history
+//	PUT  /dashboards/{name}/data/{file}        upload a data/dictionary file (§4.3.2)
+//	GET  /dashboards/{name}/profile            §6 data-profile meta-dashboard
+//	GET  /shared                               the published-objects catalog
+//
+// Type-checking and execution errors surface as JSON {error: ...} bodies.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+
+	"shareinsights/internal/connector"
+	"shareinsights/internal/dashboard"
+	"shareinsights/internal/diagnose"
+	"shareinsights/internal/flowfile"
+	"shareinsights/internal/profile"
+	"shareinsights/internal/table"
+	"shareinsights/internal/vcs"
+)
+
+// Server hosts dashboards on one platform instance.
+type Server struct {
+	platform *dashboard.Platform
+
+	mu     sync.RWMutex
+	repos  map[string]*vcs.Repo
+	live   map[string]*dashboard.Dashboard
+	data   map[string]map[string][]byte // dashboard -> uploaded files
+	author func(*http.Request) string
+}
+
+// New builds a server around a platform. The incremental-execution
+// cache is enabled if the platform has none: the editor's save-and-rerun
+// loop is exactly the workload it exists for.
+func New(p *dashboard.Platform) *Server {
+	if p.Cache == nil {
+		p.Cache = dashboard.NewResultCache()
+	}
+	return &Server{
+		platform: p,
+		repos:    map[string]*vcs.Repo{},
+		live:     map[string]*dashboard.Dashboard{},
+		data:     map[string]map[string][]byte{},
+		author: func(r *http.Request) string {
+			if u := r.Header.Get("X-User"); u != "" {
+				return u
+			}
+			return "anonymous"
+		},
+	}
+}
+
+// Handler returns the HTTP handler with all routes installed.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /dashboards", s.handleList)
+	mux.HandleFunc("PUT /dashboards/{name}", s.handlePut)
+	mux.HandleFunc("GET /dashboards/{name}", s.handleGet)
+	mux.HandleFunc("POST /dashboards/{name}/run", s.handleRun)
+	mux.HandleFunc("GET /dashboards/{name}/html", s.handleHTML)
+	mux.HandleFunc("GET /dashboards/{name}/explore", s.handleExplore)
+	mux.HandleFunc("GET /dashboards/{name}/ds", s.handleDatasets)
+	mux.HandleFunc("GET /dashboards/{name}/ds/{ds}", s.handleDataset)
+	mux.HandleFunc("GET /dashboards/{name}/ds/{ds}/groupby/{col}/{agg}/{vcol}", s.handleAdhoc)
+	mux.HandleFunc("POST /dashboards/{name}/select/{widget}", s.handleSelect)
+	mux.HandleFunc("GET /dashboards/{name}/log", s.handleLog)
+	mux.HandleFunc("PUT /dashboards/{name}/data/{file}", s.handleUpload)
+	mux.HandleFunc("GET /dashboards/{name}/profile", s.handleProfile)
+	mux.HandleFunc("GET /shared", s.handleShared)
+	mux.HandleFunc("GET /dashboards/{name}/edit", s.handleEditor)
+	s.vcsRoutes(mux)
+	s.discoveryRoutes(mux)
+	return mux
+}
+
+func jsonError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func jsonOK(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.repos))
+	for n := range s.repos {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	jsonOK(w, map[string]any{"dashboards": names})
+}
+
+// checkParses rejects content that does not parse and validate — the
+// repository only ever holds loadable pipelines.
+func (s *Server) checkParses(name string, body []byte) error {
+	f, err := flowfile.Parse(name, string(body))
+	if err != nil {
+		return err
+	}
+	return f.Validate(true)
+}
+
+// handlePut creates or updates a dashboard's flow file. The body must
+// parse; parse failures reject the commit so the repository only ever
+// holds loadable pipelines.
+func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, err)
+		return
+	}
+	f, err := flowfile.Parse(name, string(body))
+	if err != nil {
+		jsonError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	if err := f.Validate(true); err != nil {
+		jsonError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	s.mu.Lock()
+	repo, ok := s.repos[name]
+	if !ok {
+		repo = vcs.NewRepo(name)
+		s.repos[name] = repo
+	}
+	hash, err := repo.Commit(vcs.DefaultBranch, s.author(r), "save "+name, body)
+	s.mu.Unlock()
+	if err != nil {
+		jsonError(w, http.StatusInternalServerError, err)
+		return
+	}
+	jsonOK(w, map[string]string{"dashboard": name, "commit": hash})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mu.RLock()
+	repo, ok := s.repos[name]
+	s.mu.RUnlock()
+	if !ok {
+		jsonError(w, http.StatusNotFound, fmt.Errorf("no dashboard %q", name))
+		return
+	}
+	content, err := repo.Content(vcs.DefaultBranch)
+	if err != nil {
+		jsonError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write(content)
+}
+
+// handleRun compiles the latest committed flow file and executes it.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	d, err := s.runDashboard(name)
+	if err != nil {
+		jsonError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	type stage struct {
+		Output     string `json:"output"`
+		Stage      string `json:"stage"`
+		Rows       int    `json:"rows"`
+		DurationUS int64  `json:"duration_us"`
+	}
+	var slowest []stage
+	for _, st := range d.Result().Stats.Slowest(5) {
+		slowest = append(slowest, stage{st.Output, st.Stage, st.Rows, st.Duration.Microseconds()})
+	}
+	jsonOK(w, map[string]any{
+		"dashboard":         name,
+		"endpoints":         d.EndpointNames(),
+		"tasks_run":         d.Result().Stats.TasksRun,
+		"transferred_bytes": d.TransferredBytes,
+		"skipped_sinks":     d.Result().Stats.SkippedSinks,
+		"slowest_stages":    slowest,
+	})
+}
+
+func (s *Server) runDashboard(name string) (*dashboard.Dashboard, error) {
+	s.mu.RLock()
+	repo, ok := s.repos[name]
+	uploads := s.data[name]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("no dashboard %q", name)
+	}
+	content, err := repo.Content(vcs.DefaultBranch)
+	if err != nil {
+		return nil, err
+	}
+	f, err := flowfile.Parse(name, string(content))
+	if err != nil {
+		return nil, err
+	}
+	d, err := s.platform.Compile(f, uploads)
+	if err != nil {
+		return nil, diagnosed(f, err)
+	}
+	if err := d.Run(); err != nil {
+		return nil, diagnosed(f, err)
+	}
+	s.mu.Lock()
+	s.live[name] = d
+	s.mu.Unlock()
+	return d, nil
+}
+
+// diagnosed rewrites a compile/run error into flow-file diagnostics so
+// the editor never shows raw engine messages (§6).
+func diagnosed(f *flowfile.File, err error) error {
+	ds := diagnose.Diagnose(f, err)
+	if len(ds) == 0 {
+		return err
+	}
+	lines := make([]string, len(ds))
+	for i, d := range ds {
+		lines[i] = d.String()
+	}
+	return fmt.Errorf("%s", strings.Join(lines, "; "))
+}
+
+func (s *Server) liveDashboard(name string) (*dashboard.Dashboard, error) {
+	s.mu.RLock()
+	d, ok := s.live[name]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("dashboard %q has not been run", name)
+	}
+	return d, nil
+}
+
+func (s *Server) handleHTML(w http.ResponseWriter, r *http.Request) {
+	d, err := s.liveDashboard(r.PathValue("name"))
+	if err != nil {
+		jsonError(w, http.StatusNotFound, err)
+		return
+	}
+	dev := dashboard.Desktop
+	if r.URL.Query().Get("device") == "mobile" {
+		dev = dashboard.Mobile
+	}
+	if css, ok := s.data[r.PathValue("name")]["style.css"]; ok {
+		d.SetStylesheet(string(css))
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if err := d.RenderHTMLFor(dev, w); err != nil {
+		jsonError(w, http.StatusInternalServerError, err)
+	}
+}
+
+// handleExplore is the data explorer: every endpoint data object in
+// tabular text form (Figure 29's headless mode).
+func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
+	d, err := s.liveDashboard(r.PathValue("name"))
+	if err != nil {
+		jsonError(w, http.StatusNotFound, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	for _, ds := range d.EndpointNames() {
+		t, ok := d.Endpoint(ds)
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(w, "== %s (%d rows) ==\n%s\n", ds, t.Len(), t.Format(50))
+	}
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	d, err := s.liveDashboard(r.PathValue("name"))
+	if err != nil {
+		jsonError(w, http.StatusNotFound, err)
+		return
+	}
+	type dsInfo struct {
+		Name    string   `json:"name"`
+		Columns []string `json:"columns"`
+		Rows    int      `json:"rows"`
+	}
+	var out []dsInfo
+	for _, ds := range d.EndpointNames() {
+		if t, ok := d.Endpoint(ds); ok {
+			out = append(out, dsInfo{Name: ds, Columns: t.Schema().Names(), Rows: t.Len()})
+		}
+	}
+	jsonOK(w, map[string]any{"datasets": out})
+}
+
+func (s *Server) handleDataset(w http.ResponseWriter, r *http.Request) {
+	d, err := s.liveDashboard(r.PathValue("name"))
+	if err != nil {
+		jsonError(w, http.StatusNotFound, err)
+		return
+	}
+	t, ok := d.Endpoint(r.PathValue("ds"))
+	if !ok {
+		jsonError(w, http.StatusNotFound, fmt.Errorf("no endpoint data object %q", r.PathValue("ds")))
+		return
+	}
+	writeTable(w, r, t)
+}
+
+func writeTable(w http.ResponseWriter, r *http.Request, t *table.Table) {
+	switch r.URL.Query().Get("format") {
+	case "csv":
+		b, err := connector.EncodeCSV(t)
+		if err != nil {
+			jsonError(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Content-Type", "text/csv")
+		w.Write(b)
+	case "sbin":
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(connector.EncodeSBIN(t))
+	default:
+		b, err := connector.EncodeJSON(t)
+		if err != nil {
+			jsonError(w, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(b)
+	}
+}
+
+func (s *Server) handleAdhoc(w http.ResponseWriter, r *http.Request) {
+	d, err := s.liveDashboard(r.PathValue("name"))
+	if err != nil {
+		jsonError(w, http.StatusNotFound, err)
+		return
+	}
+	out, err := d.AdhocQuery(r.PathValue("ds"), r.PathValue("col"), r.PathValue("agg"), r.PathValue("vcol"))
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeTable(w, r, out)
+}
+
+// handleSelect records a widget selection. Body: {"values": [...]} or
+// {"range": ["lo", "hi"]}.
+func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
+	d, err := s.liveDashboard(r.PathValue("name"))
+	if err != nil {
+		jsonError(w, http.StatusNotFound, err)
+		return
+	}
+	var body struct {
+		Values []string `json:"values"`
+		Range  []string `json:"range"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		jsonError(w, http.StatusBadRequest, err)
+		return
+	}
+	widgetName := r.PathValue("widget")
+	if len(body.Range) == 2 {
+		err = d.SelectRange(widgetName, body.Range[0], body.Range[1])
+	} else {
+		err = d.Select(widgetName, body.Values...)
+	}
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, err)
+		return
+	}
+	jsonOK(w, map[string]any{"widget": widgetName, "dependents": d.Dependents(widgetName)})
+}
+
+func (s *Server) handleLog(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	repo, ok := s.repos[r.PathValue("name")]
+	s.mu.RUnlock()
+	if !ok {
+		jsonError(w, http.StatusNotFound, fmt.Errorf("no dashboard %q", r.PathValue("name")))
+		return
+	}
+	log, err := repo.Log(vcs.DefaultBranch)
+	if err != nil {
+		jsonError(w, http.StatusInternalServerError, err)
+		return
+	}
+	lines := make([]string, len(log))
+	for i, c := range log {
+		lines[i] = c.String()
+	}
+	jsonOK(w, map[string]any{"log": lines})
+}
+
+// handleUpload stores a per-dashboard auxiliary file (data payloads and
+// task dictionaries) — the HTTP equivalent of the paper's SFTP upload
+// interface (§4.3.2).
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	file := r.PathValue("file")
+	if strings.Contains(file, "/") || strings.Contains(file, "..") {
+		jsonError(w, http.StatusBadRequest, fmt.Errorf("bad file name %q", file))
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	if s.data[name] == nil {
+		s.data[name] = map[string][]byte{}
+	}
+	s.data[name][file] = body
+	s.mu.Unlock()
+	jsonOK(w, map[string]any{"dashboard": name, "file": file, "bytes": len(body)})
+}
+
+// handleProfile serves the §6 meta-dashboard: per-column statistics of
+// every materialized data object, as a generated platform dashboard.
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	d, err := s.liveDashboard(r.PathValue("name"))
+	if err != nil {
+		jsonError(w, http.StatusNotFound, err)
+		return
+	}
+	meta, err := profile.BuildMeta(d)
+	if err != nil {
+		jsonError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	for _, name := range meta.EndpointNames() {
+		t, ok := meta.Endpoint(name)
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(w, "== %s ==\n%s\n", name, t.Format(0))
+	}
+}
+
+func (s *Server) handleShared(w http.ResponseWriter, r *http.Request) {
+	type objInfo struct {
+		Name      string   `json:"name"`
+		Dashboard string   `json:"dashboard"`
+		Columns   []string `json:"columns"`
+		Rows      int      `json:"rows"`
+		Version   int      `json:"version"`
+	}
+	var out []objInfo
+	for _, n := range s.platform.Catalog.Names() {
+		if o, ok := s.platform.Catalog.Resolve(n); ok {
+			out = append(out, objInfo{
+				Name: o.Name, Dashboard: o.Dashboard,
+				Columns: o.Schema.Names(), Rows: o.Data.Len(), Version: o.Version,
+			})
+		}
+	}
+	jsonOK(w, map[string]any{"shared": out})
+}
+
+// UploadData seeds a dashboard's auxiliary files programmatically (CLI
+// and tests).
+func (s *Server) UploadData(dashboardName, file string, content []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.data[dashboardName] == nil {
+		s.data[dashboardName] = map[string][]byte{}
+	}
+	s.data[dashboardName][file] = content
+}
+
+// SaveDashboard commits flow-file content programmatically.
+func (s *Server) SaveDashboard(name, author string, content []byte) (string, error) {
+	if _, err := flowfile.Parse(name, string(content)); err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	repo, ok := s.repos[name]
+	if !ok {
+		repo = vcs.NewRepo(name)
+		s.repos[name] = repo
+	}
+	return repo.Commit(vcs.DefaultBranch, author, "save "+name, content)
+}
+
+// Run compiles and runs a saved dashboard programmatically.
+func (s *Server) Run(name string) (*dashboard.Dashboard, error) { return s.runDashboard(name) }
+
+// Repo exposes a dashboard's repository (the CLI's vcs subcommands).
+func (s *Server) Repo(name string) (*vcs.Repo, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.repos[name]
+	return r, ok
+}

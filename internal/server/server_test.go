@@ -1,0 +1,538 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"shareinsights/internal/connector"
+	"shareinsights/internal/dashboard"
+)
+
+const serverFlow = `
+D:
+  sales: [region, product, amount]
+
+D.sales:
+  source: mem:sales.csv
+  format: csv
+
+F:
+  +D.by_region: D.sales | T.sum_by_region
+
+T:
+  sum_by_region:
+    type: groupby
+    groupby: [region]
+    aggregates:
+      - operator: sum
+        apply_on: amount
+        out_field: total
+`
+
+const salesCSV = `east,widget,10
+east,gadget,20
+west,widget,5
+`
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	p := dashboard.NewPlatform()
+	p.Connectors = connector.NewRegistry(connector.Options{
+		Mem: map[string][]byte{"sales.csv": []byte(salesCSV)},
+	})
+	s := New(p)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func do(t *testing.T, method, url, body string) (int, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf strings.Builder
+	if _, err := fmt.Fprint(&buf, readAll(t, resp)); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, []byte(buf.String())
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	var b strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		b.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return b.String()
+}
+
+func TestDashboardLifecycle(t *testing.T) {
+	_, ts := newTestServer(t)
+	base := ts.URL + "/dashboards/sales_dash"
+
+	// Create.
+	code, body := do(t, http.MethodPut, base, serverFlow)
+	if code != 200 {
+		t.Fatalf("PUT = %d: %s", code, body)
+	}
+	// List.
+	code, body = do(t, http.MethodGet, ts.URL+"/dashboards", "")
+	if code != 200 || !strings.Contains(string(body), "sales_dash") {
+		t.Fatalf("list = %d: %s", code, body)
+	}
+	// Fetch the content back.
+	code, body = do(t, http.MethodGet, base, "")
+	if code != 200 || !strings.Contains(string(body), "sum_by_region") {
+		t.Fatalf("GET = %d: %s", code, body)
+	}
+	// Run.
+	code, body = do(t, http.MethodPost, base+"/run", "")
+	if code != 200 {
+		t.Fatalf("run = %d: %s", code, body)
+	}
+	var runResp struct {
+		Endpoints []string `json:"endpoints"`
+		TasksRun  int      `json:"tasks_run"`
+	}
+	if err := json.Unmarshal(body, &runResp); err != nil {
+		t.Fatal(err)
+	}
+	if len(runResp.Endpoints) != 1 || runResp.Endpoints[0] != "by_region" {
+		t.Errorf("endpoints = %v", runResp.Endpoints)
+	}
+	// /ds listing (Figure 27).
+	code, body = do(t, http.MethodGet, base+"/ds", "")
+	if code != 200 || !strings.Contains(string(body), `"by_region"`) {
+		t.Fatalf("/ds = %d: %s", code, body)
+	}
+	// Dataset rows (Figure 28).
+	code, body = do(t, http.MethodGet, base+"/ds/by_region", "")
+	if code != 200 {
+		t.Fatalf("/ds/by_region = %d: %s", code, body)
+	}
+	var rows []map[string]any
+	if err := json.Unmarshal(body, &rows); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0]["total"].(float64) != 30 {
+		t.Errorf("rows = %v", rows)
+	}
+	// CSV form.
+	code, body = do(t, http.MethodGet, base+"/ds/by_region?format=csv", "")
+	if code != 200 || !strings.HasPrefix(string(body), "region,total") {
+		t.Fatalf("csv = %d: %s", code, body)
+	}
+	// Ad-hoc query (Figure 30).
+	code, body = do(t, http.MethodGet, base+"/ds/by_region/groupby/region/sum/total", "")
+	if code != 200 {
+		t.Fatalf("adhoc = %d: %s", code, body)
+	}
+	// Data explorer (Figure 29).
+	code, body = do(t, http.MethodGet, base+"/explore", "")
+	if code != 200 || !strings.Contains(string(body), "by_region") {
+		t.Fatalf("explore = %d: %s", code, body)
+	}
+	// Commit log.
+	code, body = do(t, http.MethodGet, base+"/log", "")
+	if code != 200 || !strings.Contains(string(body), "save sales_dash") {
+		t.Fatalf("log = %d: %s", code, body)
+	}
+}
+
+func TestPutRejectsBadFlowFile(t *testing.T) {
+	_, ts := newTestServer(t)
+	code, body := do(t, http.MethodPut, ts.URL+"/dashboards/bad", "X:\n  nope: 1\n")
+	if code != 422 {
+		t.Fatalf("expected 422, got %d: %s", code, body)
+	}
+	// The rejected save must not create the dashboard.
+	code, _ = do(t, http.MethodGet, ts.URL+"/dashboards/bad", "")
+	if code != 404 {
+		t.Errorf("rejected dashboard exists: %d", code)
+	}
+}
+
+func TestRunFailureSurfacesError(t *testing.T) {
+	_, ts := newTestServer(t)
+	// References a mem source that does not exist.
+	flow := strings.Replace(serverFlow, "mem:sales.csv", "mem:missing.csv", 1)
+	code, _ := do(t, http.MethodPut, ts.URL+"/dashboards/broken", flow)
+	if code != 200 {
+		t.Fatal("PUT failed")
+	}
+	code, body := do(t, http.MethodPost, ts.URL+"/dashboards/broken/run", "")
+	if code != 422 || !strings.Contains(string(body), "missing.csv") {
+		t.Fatalf("run = %d: %s", code, body)
+	}
+}
+
+func TestUploadAndUseDictionary(t *testing.T) {
+	_, ts := newTestServer(t)
+	flow := `
+D:
+  notes: [body]
+
+D.notes:
+  source: data:notes.csv
+  format: csv
+
+F:
+  +D.tags: D.notes | T.tag | T.count_tags
+
+T:
+  tag:
+    type: map
+    operator: extract
+    transform: body
+    dict: tags.txt
+    output: tag
+  count_tags:
+    type: groupby
+    groupby: [tag]
+`
+	base := ts.URL + "/dashboards/notes"
+	if code, body := do(t, http.MethodPut, base, flow); code != 200 {
+		t.Fatalf("PUT = %d: %s", code, body)
+	}
+	if code, body := do(t, http.MethodPut, base+"/data/tags.txt", "widget,Widget\ngadget,Gadget\n"); code != 200 {
+		t.Fatalf("upload = %d: %s", code, body)
+	}
+	if code, body := do(t, http.MethodPut, base+"/data/notes.csv", "\"bought a widget\"\n\"returned a gadget\"\n\"no tags here\"\n"); code != 200 {
+		t.Fatalf("upload notes = %d: %s", code, body)
+	}
+	if code, body := do(t, http.MethodPost, base+"/run", ""); code != 200 {
+		t.Fatalf("run = %d: %s", code, body)
+	}
+	code, body := do(t, http.MethodGet, base+"/ds/tags", "")
+	if code != 200 || !strings.Contains(string(body), "Widget") {
+		t.Fatalf("tags = %d: %s", code, body)
+	}
+}
+
+func TestSharedCatalogEndpoint(t *testing.T) {
+	s, ts := newTestServer(t)
+	flow := serverFlow + "\nD.by_region:\n  publish: region_totals\n"
+	if _, err := s.SaveDashboard("pub", "tester", []byte(flow)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run("pub"); err != nil {
+		t.Fatal(err)
+	}
+	code, body := do(t, http.MethodGet, ts.URL+"/shared", "")
+	if code != 200 || !strings.Contains(string(body), "region_totals") {
+		t.Fatalf("shared = %d: %s", code, body)
+	}
+}
+
+func TestSelectEndpoint(t *testing.T) {
+	s, ts := newTestServer(t)
+	flow := serverFlow + `
+W:
+  regions:
+    type: List
+    source: D.by_region
+    text: region
+
+  totals:
+    type: BarChart
+    source: D.by_region | T.pick_region
+    x: region
+    y: total
+
+T:
+  pick_region:
+    type: filter_by
+    filter_by: [region]
+    filter_source: W.regions
+    filter_val: [text]
+
+L:
+  rows:
+    - [span4: W.regions, span8: W.totals]
+`
+	if _, err := s.SaveDashboard("inter", "tester", []byte(flow)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run("inter"); err != nil {
+		t.Fatal(err)
+	}
+	code, body := do(t, http.MethodPost, ts.URL+"/dashboards/inter/select/regions", `{"values":["east"]}`)
+	if code != 200 || !strings.Contains(string(body), "totals") {
+		t.Fatalf("select = %d: %s", code, body)
+	}
+	code, body = do(t, http.MethodGet, ts.URL+"/dashboards/inter/html", "")
+	if code != 200 || !strings.Contains(string(body), "data-widget=\"totals\"") {
+		t.Fatalf("html = %d", code)
+	}
+	// The bar chart should now only show east.
+	d, _ := s.Run("inter") // rerun resets; select again via API on live dashboard
+	_ = d
+	code, _ = do(t, http.MethodPost, ts.URL+"/dashboards/inter/select/regions", `{"values":["west"]}`)
+	if code != 200 {
+		t.Fatalf("re-select = %d", code)
+	}
+}
+
+func TestProfileEndpoint(t *testing.T) {
+	s, ts := newTestServer(t)
+	if _, err := s.SaveDashboard("prof", "tester", []byte(serverFlow)); err != nil {
+		t.Fatal(err)
+	}
+	// Before run: 404-ish error.
+	code, _ := do(t, http.MethodGet, ts.URL+"/dashboards/prof/profile", "")
+	if code != 404 {
+		t.Fatalf("profile before run = %d", code)
+	}
+	if _, err := s.Run("prof"); err != nil {
+		t.Fatal(err)
+	}
+	code, body := do(t, http.MethodGet, ts.URL+"/dashboards/prof/profile", "")
+	if code != 200 || !strings.Contains(string(body), "by_region_profile") {
+		t.Fatalf("profile = %d: %s", code, body)
+	}
+	if !strings.Contains(string(body), "distinct") {
+		t.Errorf("profile missing stats columns: %s", body)
+	}
+}
+
+func TestRunResponseIncludesTimings(t *testing.T) {
+	_, ts := newTestServer(t)
+	if code, _ := do(t, http.MethodPut, ts.URL+"/dashboards/timed", serverFlow); code != 200 {
+		t.Fatal("PUT failed")
+	}
+	code, body := do(t, http.MethodPost, ts.URL+"/dashboards/timed/run", "")
+	if code != 200 || !strings.Contains(string(body), "slowest_stages") {
+		t.Fatalf("run = %d: %s", code, body)
+	}
+}
+
+func TestDeviceParamAndStylesheet(t *testing.T) {
+	s, ts := newTestServer(t)
+	if _, err := s.SaveDashboard("styled", "tester", []byte(serverFlow+`
+W:
+  g:
+    type: Grid
+    source: D.by_region
+
+L:
+  rows:
+    - [span6: W.g]
+`)); err != nil {
+		t.Fatal(err)
+	}
+	s.UploadData("styled", "style.css", []byte(".widget{background:#123}"))
+	if _, err := s.Run("styled"); err != nil {
+		t.Fatal(err)
+	}
+	code, body := do(t, http.MethodGet, ts.URL+"/dashboards/styled/html?device=mobile", "")
+	if code != 200 || !strings.Contains(string(body), "span12") {
+		t.Fatalf("mobile html = %d", code)
+	}
+	if !strings.Contains(string(body), "background:#123") {
+		t.Errorf("uploaded stylesheet not applied")
+	}
+	// Error payloads carry diagnostics, not raw engine errors.
+	flow := strings.Replace(serverFlow, "apply_on: amount", "apply_on: amout", 1)
+	if code, _ := do(t, http.MethodPut, ts.URL+"/dashboards/typo", flow); code != 200 {
+		t.Fatal("PUT failed")
+	}
+	code, body = do(t, http.MethodPost, ts.URL+"/dashboards/typo/run", "")
+	if code != 422 || !strings.Contains(string(body), "did you mean") {
+		t.Fatalf("diagnosed run = %d: %s", code, body)
+	}
+}
+
+func TestBranchMergeForkOverREST(t *testing.T) {
+	_, ts := newTestServer(t)
+	base := ts.URL + "/dashboards/collab"
+	if code, _ := do(t, http.MethodPut, base, serverFlow); code != 200 {
+		t.Fatal("PUT failed")
+	}
+	// Branch, edit on the branch, diff, merge.
+	if code, body := do(t, http.MethodPost, base+"/branches/feature", ""); code != 200 {
+		t.Fatalf("branch = %d: %s", code, body)
+	}
+	edited := serverFlow + "\n  extra:\n    type: distinct\n"
+	if code, body := do(t, http.MethodPut, base+"/branches/feature", edited); code != 200 {
+		t.Fatalf("branch put = %d: %s", code, body)
+	}
+	code, body := do(t, http.MethodGet, base+"/diff/feature", "")
+	if code != 200 || !strings.Contains(string(body), "+ T.extra") {
+		t.Fatalf("diff = %d: %s", code, body)
+	}
+	code, body = do(t, http.MethodGet, base+"/branches", "")
+	if code != 200 || !strings.Contains(string(body), "feature") {
+		t.Fatalf("branches = %d: %s", code, body)
+	}
+	if code, body := do(t, http.MethodPost, base+"/merge/feature", ""); code != 200 {
+		t.Fatalf("merge = %d: %s", code, body)
+	}
+	code, body = do(t, http.MethodGet, base, "")
+	if code != 200 || !strings.Contains(string(body), "extra:") {
+		t.Fatalf("merged main missing branch content: %s", body)
+	}
+	// Fork into a new dashboard and run it.
+	if code, body := do(t, http.MethodPost, base+"/fork/collab_fork", ""); code != 200 {
+		t.Fatalf("fork = %d: %s", code, body)
+	}
+	if code, body := do(t, http.MethodPost, ts.URL+"/dashboards/collab_fork/run", ""); code != 200 {
+		t.Fatalf("fork run = %d: %s", code, body)
+	}
+	// Forking over an existing dashboard is rejected.
+	if code, _ := do(t, http.MethodPost, base+"/fork/collab_fork", ""); code != 409 {
+		t.Fatalf("duplicate fork = %d", code)
+	}
+}
+
+func TestMergeConflictOverREST(t *testing.T) {
+	_, ts := newTestServer(t)
+	base := ts.URL + "/dashboards/conflict"
+	if code, _ := do(t, http.MethodPut, base, serverFlow); code != 200 {
+		t.Fatal("PUT failed")
+	}
+	if code, _ := do(t, http.MethodPost, base+"/branches/b", ""); code != 200 {
+		t.Fatal("branch failed")
+	}
+	// Divergent edits to the same task.
+	mainEdit := strings.Replace(serverFlow, "groupby: [region]", "groupby: [product]", 1)
+	branchEdit := strings.Replace(serverFlow, "groupby: [region]", "groupby: [region, product]", 1)
+	if code, _ := do(t, http.MethodPut, base, mainEdit); code != 200 {
+		t.Fatal("main edit failed")
+	}
+	if code, _ := do(t, http.MethodPut, base+"/branches/b", branchEdit); code != 200 {
+		t.Fatal("branch edit failed")
+	}
+	code, body := do(t, http.MethodPost, base+"/merge/b", "")
+	if code != 409 || !strings.Contains(string(body), "T.sum_by_region") {
+		t.Fatalf("conflict = %d: %s", code, body)
+	}
+}
+
+func TestDiscoveryRoutes(t *testing.T) {
+	s, ts := newTestServer(t)
+	// Publisher dashboard.
+	pubFlow := serverFlow + "\nD.by_region:\n  publish: region_totals\n"
+	if _, err := s.SaveDashboard("pub", "tester", []byte(pubFlow)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run("pub"); err != nil {
+		t.Fatal(err)
+	}
+	// Search by name and by column.
+	code, body := do(t, http.MethodGet, ts.URL+"/shared/search?q=region", "")
+	if code != 200 || !strings.Contains(string(body), "region_totals") {
+		t.Fatalf("search = %d: %s", code, body)
+	}
+	// A second dashboard whose data shares the region column gets the
+	// suggestion.
+	if _, err := s.SaveDashboard("consumer", "tester", []byte(serverFlow)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run("consumer"); err != nil {
+		t.Fatal(err)
+	}
+	code, body = do(t, http.MethodGet, ts.URL+"/dashboards/consumer/suggest", "")
+	if code != 200 || !strings.Contains(string(body), "region_totals") {
+		t.Fatalf("suggest = %d: %s", code, body)
+	}
+	if !strings.Contains(string(body), `"shared_columns":["region"`) {
+		t.Errorf("suggestion missing join keys: %s", body)
+	}
+}
+
+func TestEditorPage(t *testing.T) {
+	s, ts := newTestServer(t)
+	if _, err := s.SaveDashboard("edit_me", "tester", []byte(serverFlow)); err != nil {
+		t.Fatal(err)
+	}
+	code, body := do(t, http.MethodGet, ts.URL+"/dashboards/edit_me/edit", "")
+	if code != 200 {
+		t.Fatalf("edit = %d", code)
+	}
+	page := string(body)
+	for _, want := range []string{"sum_by_region", "Save &amp; Run", `const name = "edit_me"`} {
+		if !strings.Contains(page, want) {
+			t.Errorf("editor page missing %q", want)
+		}
+	}
+	// A fresh name serves an empty editor — the /create flow.
+	code, body = do(t, http.MethodGet, ts.URL+"/dashboards/brand_new/edit", "")
+	if code != 200 || !strings.Contains(string(body), "brand_new") {
+		t.Fatalf("create flow = %d", code)
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	s, ts := newTestServer(t)
+	// Everything 404s before the dashboard exists / runs.
+	for _, path := range []string{
+		"/dashboards/ghost", "/dashboards/ghost/ds", "/dashboards/ghost/html",
+		"/dashboards/ghost/explore", "/dashboards/ghost/log", "/dashboards/ghost/profile",
+		"/dashboards/ghost/branches", "/dashboards/ghost/suggest",
+	} {
+		if code, _ := do(t, http.MethodGet, ts.URL+path, ""); code != 404 {
+			t.Errorf("GET %s = %d, want 404", path, code)
+		}
+	}
+	if _, err := s.SaveDashboard("e", "t", []byte(serverFlow)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run("e"); err != nil {
+		t.Fatal(err)
+	}
+	// Unknown dataset and bad aggregate on the ad-hoc path.
+	if code, _ := do(t, http.MethodGet, ts.URL+"/dashboards/e/ds/nope", ""); code != 404 {
+		t.Errorf("unknown dataset should 404")
+	}
+	code, body := do(t, http.MethodGet, ts.URL+"/dashboards/e/ds/by_region/groupby/region/p99/total", "")
+	if code != 400 || !strings.Contains(string(body), "p99") {
+		t.Errorf("bad aggregate = %d: %s", code, body)
+	}
+	// Malformed selection body.
+	if code, _ := do(t, http.MethodPost, ts.URL+"/dashboards/e/select/x", "{not json"); code != 400 {
+		t.Errorf("bad json should 400")
+	}
+	// Selecting an unknown widget.
+	if code, _ := do(t, http.MethodPost, ts.URL+"/dashboards/e/select/ghost", `{"values":["a"]}`); code != 400 {
+		t.Errorf("unknown widget should 400")
+	}
+	// Path traversal in uploads.
+	if code, _ := do(t, http.MethodPut, ts.URL+"/dashboards/e/data/..%2Fescape", "x"); code != 400 {
+		t.Errorf("traversal upload should 400")
+	}
+	// Branch operations on unknown branches.
+	if code, _ := do(t, http.MethodGet, ts.URL+"/dashboards/e/branches/nope", ""); code != 404 {
+		t.Errorf("unknown branch should 404")
+	}
+	if code, _ := do(t, http.MethodPost, ts.URL+"/dashboards/e/merge/nope", ""); code != 409 {
+		t.Errorf("merge of unknown branch should conflict")
+	}
+	// Duplicate branch creation.
+	if code, _ := do(t, http.MethodPost, ts.URL+"/dashboards/e/branches/b", ""); code != 200 {
+		t.Fatal("branch create failed")
+	}
+	if code, _ := do(t, http.MethodPost, ts.URL+"/dashboards/e/branches/b", ""); code != 409 {
+		t.Errorf("duplicate branch should 409")
+	}
+	// sbin wire format on the data API.
+	code, body = do(t, http.MethodGet, ts.URL+"/dashboards/e/ds/by_region?format=sbin", "")
+	if code != 200 || !strings.HasPrefix(string(body), "SBIN\x01") {
+		t.Errorf("sbin endpoint = %d, prefix %q", code, string(body[:5]))
+	}
+}

@@ -1,0 +1,278 @@
+// Package table implements the data object: the relation that flows
+// between tasks in a ShareInsights pipeline.
+//
+// The paper makes no distinction between data sources and data sinks
+// ("the system internally makes no differentiation between a data source
+// and a data sink", §3.4) — both are simply tables with a schema, and a
+// sink of one flow can be the source of another.
+package table
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"strings"
+
+	"shareinsights/internal/schema"
+	"shareinsights/internal/value"
+)
+
+// Row is one tuple of a table. Cells align with the table's schema.
+type Row []value.V
+
+// Clone returns an independent copy of the row.
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// Table is an in-memory relation: a schema plus rows.
+type Table struct {
+	schema *schema.Schema
+	rows   []Row
+}
+
+// New returns an empty table with the given schema.
+func New(s *schema.Schema) *Table {
+	return &Table{schema: s}
+}
+
+// FromRows builds a table from pre-built rows. Each row must have exactly
+// one cell per schema column.
+func FromRows(s *schema.Schema, rows []Row) (*Table, error) {
+	for i, r := range rows {
+		if len(r) != s.Len() {
+			return nil, fmt.Errorf("table: row %d has %d cells, schema has %d columns", i, len(r), s.Len())
+		}
+	}
+	return &Table{schema: s, rows: rows}, nil
+}
+
+// Schema returns the table's schema.
+func (t *Table) Schema() *schema.Schema { return t.schema }
+
+// Len returns the number of rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// Rows returns the backing row slice. Callers must treat it as read-only
+// unless they own the table.
+func (t *Table) Rows() []Row { return t.rows }
+
+// Row returns the i'th row.
+func (t *Table) Row(i int) Row { return t.rows[i] }
+
+// Append adds a row. It panics if the arity is wrong — appends are always
+// produced by operators that already know the schema.
+func (t *Table) Append(r Row) {
+	if len(r) != t.schema.Len() {
+		panic(fmt.Sprintf("table: append arity %d != schema %d", len(r), t.schema.Len()))
+	}
+	t.rows = append(t.rows, r)
+}
+
+// AppendValues adds a row built from the given cells.
+func (t *Table) AppendValues(cells ...value.V) { t.Append(Row(cells)) }
+
+// Cell returns the value at (row, named column); the null value if the
+// column does not exist.
+func (t *Table) Cell(row int, col string) value.V {
+	i := t.schema.Index(col)
+	if i < 0 {
+		return value.VNull
+	}
+	return t.rows[row][i]
+}
+
+// Column returns all values of the named column in row order.
+func (t *Table) Column(col string) ([]value.V, error) {
+	i := t.schema.Index(col)
+	if i < 0 {
+		return nil, fmt.Errorf("table: column %q not found", col)
+	}
+	out := make([]value.V, len(t.rows))
+	for r, row := range t.rows {
+		out[r] = row[i]
+	}
+	return out, nil
+}
+
+// Clone returns a deep copy (rows are copied; values are immutable).
+func (t *Table) Clone() *Table {
+	rows := make([]Row, len(t.rows))
+	for i, r := range t.rows {
+		rows[i] = r.Clone()
+	}
+	return &Table{schema: t.schema.Clone(), rows: rows}
+}
+
+// Project returns a new table with only the named columns, in order.
+func (t *Table) Project(names ...string) (*Table, error) {
+	idx, err := t.schema.Require(names...)
+	if err != nil {
+		return nil, err
+	}
+	s, err := t.schema.Project(names...)
+	if err != nil {
+		return nil, err
+	}
+	out := &Table{schema: s, rows: make([]Row, len(t.rows))}
+	for r, row := range t.rows {
+		nr := make(Row, len(idx))
+		for c, i := range idx {
+			nr[c] = row[i]
+		}
+		out.rows[r] = nr
+	}
+	return out, nil
+}
+
+// SortKey describes one sort criterion.
+type SortKey struct {
+	Column string
+	Desc   bool
+}
+
+// Sort sorts the table in place by the given keys (stable).
+func (t *Table) Sort(keys ...SortKey) error {
+	type bound struct {
+		idx  int
+		desc bool
+	}
+	bounds := make([]bound, len(keys))
+	for i, k := range keys {
+		j := t.schema.Index(k.Column)
+		if j < 0 {
+			return fmt.Errorf("table: sort column %q not found", k.Column)
+		}
+		bounds[i] = bound{idx: j, desc: k.Desc}
+	}
+	sort.SliceStable(t.rows, func(a, b int) bool {
+		for _, k := range bounds {
+			c := value.Compare(t.rows[a][k.idx], t.rows[b][k.idx])
+			if c == 0 {
+				continue
+			}
+			if k.desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	return nil
+}
+
+// Head returns a new table with at most n leading rows (sharing row
+// storage with t).
+func (t *Table) Head(n int) *Table {
+	if n > len(t.rows) {
+		n = len(t.rows)
+	}
+	if n < 0 {
+		n = 0
+	}
+	return &Table{schema: t.schema, rows: t.rows[:n]}
+}
+
+// SizeBytes estimates the in-memory footprint of the table. The DAG
+// optimizer and the E6 transfer-ablation bench use it to cost shipping a
+// data object to the client-side cube.
+func (t *Table) SizeBytes() int {
+	n := 0
+	for _, r := range t.rows {
+		for _, v := range r {
+			n += v.Size()
+		}
+	}
+	return n
+}
+
+// Format renders the table as an aligned text grid — the representation
+// the data explorer uses ("runs the dashboard in a headless mode and
+// displays the data in a tabular format", §4.4). At most maxRows rows are
+// shown; maxRows <= 0 means all.
+func (t *Table) Format(maxRows int) string {
+	names := t.schema.Names()
+	widths := make([]int, len(names))
+	for i, n := range names {
+		widths[i] = len(n)
+	}
+	rows := t.rows
+	truncated := 0
+	if maxRows > 0 && len(rows) > maxRows {
+		truncated = len(rows) - maxRows
+		rows = rows[:maxRows]
+	}
+	cells := make([][]string, len(rows))
+	for r, row := range rows {
+		cells[r] = make([]string, len(row))
+		for c, v := range row {
+			s := v.String()
+			cells[r][c] = s
+			if len(s) > widths[c] {
+				widths[c] = len(s)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(fields []string) {
+		for c, f := range fields {
+			if c > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(f)
+			if c < len(fields)-1 { // no trailing padding after the last column
+				for p := len(f); p < widths[c]; p++ {
+					b.WriteByte(' ')
+				}
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(names)
+	sep := make([]string, len(names))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range cells {
+		writeRow(row)
+	}
+	if truncated > 0 {
+		fmt.Fprintf(&b, "... (%d more rows)\n", truncated)
+	}
+	return b.String()
+}
+
+// Fingerprint returns a stable content hash of the table (schema plus
+// every cell, order-sensitive). The incremental-execution cache uses it
+// as a source node's signature: same payload, same fingerprint.
+func (t *Table) Fingerprint() string {
+	h := fnv.New64a()
+	h.Write([]byte(t.schema.String()))
+	for _, r := range t.rows {
+		for _, v := range r {
+			v.HashInto(h)
+		}
+		h.Write([]byte{0xFF})
+	}
+	return strconv.FormatUint(h.Sum64(), 16)
+}
+
+// Equal reports whether two tables have equal schemas and identical rows
+// in the same order. Integration tests use it for golden comparisons.
+func (t *Table) Equal(o *Table) bool {
+	if !t.schema.Equal(o.schema) || len(t.rows) != len(o.rows) {
+		return false
+	}
+	for i := range t.rows {
+		for j := range t.rows[i] {
+			if !value.Equal(t.rows[i][j], o.rows[i][j]) {
+				return false
+			}
+		}
+	}
+	return true
+}

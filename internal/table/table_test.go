@@ -1,0 +1,177 @@
+package table
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"shareinsights/internal/schema"
+	"shareinsights/internal/value"
+)
+
+func sample() *Table {
+	t := New(schema.MustFromNames("name", "score"))
+	t.AppendValues(value.NewString("bob"), value.NewInt(3))
+	t.AppendValues(value.NewString("alice"), value.NewInt(5))
+	t.AppendValues(value.NewString("carol"), value.NewInt(3))
+	return t
+}
+
+func TestAppendAndCell(t *testing.T) {
+	tb := sample()
+	if tb.Len() != 3 {
+		t.Fatalf("len = %d", tb.Len())
+	}
+	if tb.Cell(1, "name").Str() != "alice" || tb.Cell(1, "score").Int() != 5 {
+		t.Error("cell lookup wrong")
+	}
+	if !tb.Cell(0, "missing").IsNull() {
+		t.Error("missing column should be null")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("arity mismatch should panic")
+		}
+	}()
+	tb.Append(Row{value.NewInt(1)})
+}
+
+func TestFromRowsValidatesArity(t *testing.T) {
+	s := schema.MustFromNames("a", "b")
+	_, err := FromRows(s, []Row{{value.NewInt(1)}})
+	if err == nil {
+		t.Error("short row should fail")
+	}
+	tb, err := FromRows(s, []Row{{value.NewInt(1), value.NewInt(2)}})
+	if err != nil || tb.Len() != 1 {
+		t.Errorf("FromRows: %v", err)
+	}
+}
+
+func TestColumn(t *testing.T) {
+	tb := sample()
+	col, err := tb.Column("score")
+	if err != nil || len(col) != 3 || col[1].Int() != 5 {
+		t.Errorf("Column = %v, %v", col, err)
+	}
+	if _, err := tb.Column("zz"); err == nil {
+		t.Error("missing column should fail")
+	}
+}
+
+func TestSortStable(t *testing.T) {
+	tb := sample()
+	if err := tb.Sort(SortKey{Column: "score"}, SortKey{Column: "name"}); err != nil {
+		t.Fatal(err)
+	}
+	got := []string{tb.Cell(0, "name").Str(), tb.Cell(1, "name").Str(), tb.Cell(2, "name").Str()}
+	want := []string{"bob", "carol", "alice"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("sorted = %v, want %v", got, want)
+		}
+	}
+	if err := tb.Sort(SortKey{Column: "score", Desc: true}); err != nil {
+		t.Fatal(err)
+	}
+	if tb.Cell(0, "score").Int() != 5 {
+		t.Error("desc sort wrong")
+	}
+	if err := tb.Sort(SortKey{Column: "zz"}); err == nil {
+		t.Error("sort on missing column should fail")
+	}
+}
+
+func TestProjectHeadClone(t *testing.T) {
+	tb := sample()
+	p, err := tb.Project("score")
+	if err != nil || p.Schema().String() != "[score]" || p.Len() != 3 {
+		t.Errorf("Project: %v %v", p, err)
+	}
+	h := tb.Head(2)
+	if h.Len() != 2 {
+		t.Errorf("Head(2) = %d rows", h.Len())
+	}
+	if tb.Head(99).Len() != 3 || tb.Head(-1).Len() != 0 {
+		t.Error("Head bounds wrong")
+	}
+	cl := tb.Clone()
+	cl.Rows()[0][0] = value.NewString("mutated")
+	if tb.Cell(0, "name").Str() == "mutated" {
+		t.Error("clone shares row storage")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a, b := sample(), sample()
+	if !a.Equal(b) {
+		t.Error("identical tables unequal")
+	}
+	b.Rows()[0][1] = value.NewInt(99)
+	if a.Equal(b) {
+		t.Error("differing tables equal")
+	}
+	c := New(schema.MustFromNames("name", "other"))
+	if a.Equal(c) {
+		t.Error("schema mismatch should be unequal")
+	}
+}
+
+func TestFormat(t *testing.T) {
+	tb := sample()
+	out := tb.Format(2)
+	if !strings.Contains(out, "name") || !strings.Contains(out, "alice") {
+		t.Errorf("format missing content:\n%s", out)
+	}
+	if !strings.Contains(out, "1 more rows") {
+		t.Errorf("format missing truncation notice:\n%s", out)
+	}
+	if strings.Contains(tb.Format(0), "more rows") {
+		t.Error("Format(0) should show everything")
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	tb := sample()
+	if tb.SizeBytes() <= 0 {
+		t.Error("SizeBytes should be positive")
+	}
+	bigger := sample()
+	bigger.AppendValues(value.NewString(strings.Repeat("x", 1000)), value.NewInt(1))
+	if bigger.SizeBytes() <= tb.SizeBytes()+900 {
+		t.Error("SizeBytes should reflect string payloads")
+	}
+}
+
+func TestSortPermutationProperty(t *testing.T) {
+	// Sorting preserves the multiset of rows.
+	f := func(vals []int16) bool {
+		tb := New(schema.MustFromNames("v"))
+		counts := map[int64]int{}
+		for _, v := range vals {
+			tb.AppendValues(value.NewInt(int64(v)))
+			counts[int64(v)]++
+		}
+		if err := tb.Sort(SortKey{Column: "v"}); err != nil {
+			return false
+		}
+		var prev int64 = -1 << 62
+		for _, r := range tb.Rows() {
+			v := r[0].Int()
+			if v < prev {
+				return false
+			}
+			prev = v
+			counts[v]--
+		}
+		for _, c := range counts {
+			if c != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

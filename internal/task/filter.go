@@ -1,0 +1,189 @@
+package task
+
+import (
+	"fmt"
+
+	"shareinsights/internal/expr"
+	"shareinsights/internal/flowfile"
+	"shareinsights/internal/schema"
+	"shareinsights/internal/table"
+	"shareinsights/internal/value"
+)
+
+// Selection is a widget's current selection, as consumed by interaction
+// filters. Range selections (date sliders) carry [lo, hi]; discrete
+// selections carry the chosen values.
+type Selection struct {
+	// Values are the selected values (display form).
+	Values []string
+	// Range marks an interval selection: Values[0]..Values[1] inclusive.
+	Range bool
+}
+
+// FilterSpec implements the filter_by task (Figure 7 and Figure 15). It
+// has two modes:
+//
+//   - expression mode: `filter_expression: rating < 3` keeps rows whose
+//     expression evaluates truthy;
+//   - interaction mode: `filter_by: [cols]` with `filter_source:
+//     W.widget` and `filter_val: [widget columns]` keeps rows whose
+//     column values match the widget's current selection (§3.5.1). With
+//     no selection the filter passes everything — the dashboard's
+//     initial render.
+type FilterSpec struct {
+	// Expression is the filter expression source (expression mode).
+	Expression string
+	// By are the data columns to filter (interaction mode).
+	By []string
+	// SourceWidget is the widget whose selection feeds the filter.
+	SourceWidget string
+	// Val are the widget columns providing values, aligned with By;
+	// empty entries default to the By column.
+	Val []string
+}
+
+func parseFilterBy(cfg *flowfile.Node) (Spec, error) {
+	s := &FilterSpec{
+		Expression: cfg.Str("filter_expression"),
+		By:         cfg.StrList("filter_by"),
+		Val:        cfg.StrList("filter_val"),
+	}
+	if src := cfg.Str("filter_source"); src != "" {
+		ref, err := flowfile.ParseRef(src)
+		if err != nil {
+			return nil, fmt.Errorf("filter_by: bad filter_source: %w", err)
+		}
+		if ref.Section != "W" {
+			return nil, fmt.Errorf("filter_by: filter_source %s must be a widget", ref)
+		}
+		s.SourceWidget = ref.Name
+	}
+	if s.Expression == "" && len(s.By) == 0 {
+		return nil, fmt.Errorf("filter_by: need filter_expression or filter_by columns")
+	}
+	if s.Expression != "" {
+		if _, err := expr.Parse(s.Expression); err != nil {
+			return nil, err
+		}
+	}
+	if len(s.By) > 0 && s.SourceWidget == "" {
+		return nil, fmt.Errorf("filter_by: filter_by columns need a filter_source widget")
+	}
+	if len(s.Val) > 0 && len(s.Val) != len(s.By) {
+		return nil, fmt.Errorf("filter_by: filter_val has %d entries for %d filter_by columns", len(s.Val), len(s.By))
+	}
+	return s, nil
+}
+
+// Type implements Spec.
+func (s *FilterSpec) Type() string { return "filter_by" }
+
+// Out implements Spec: filters preserve columns.
+func (s *FilterSpec) Out(in []Input) (*schema.Schema, error) {
+	one, err := singleInput("filter_by", in)
+	if err != nil {
+		return nil, err
+	}
+	if s.Expression != "" {
+		cols, err := expr.ReferencedColumns(s.Expression)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := one.Schema.Require(cols...); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := one.Schema.Require(s.By...); err != nil {
+		return nil, err
+	}
+	return one.Schema, nil
+}
+
+// BindRow implements RowLocal.
+func (s *FilterSpec) BindRow(env *Env, in Input) (RowFn, *schema.Schema, error) {
+	out, err := s.Out([]Input{in})
+	if err != nil {
+		return nil, nil, err
+	}
+	var preds []func(table.Row) bool
+	if s.Expression != "" {
+		ev, err := expr.Compile(s.Expression, in.Schema)
+		if err != nil {
+			return nil, nil, err
+		}
+		preds = append(preds, func(r table.Row) bool { return ev(r).Truthy() })
+	}
+	for i, col := range s.By {
+		idx := in.Schema.Index(col)
+		valCol := col
+		if i < len(s.Val) && s.Val[i] != "" {
+			valCol = s.Val[i]
+		}
+		pred, err := s.selectionPred(env, idx, valCol)
+		if err != nil {
+			return nil, nil, err
+		}
+		if pred != nil {
+			preds = append(preds, pred)
+		}
+	}
+	fn := func(r table.Row, emit func(table.Row)) error {
+		for _, p := range preds {
+			if !p(r) {
+				return nil
+			}
+		}
+		emit(r)
+		return nil
+	}
+	return fn, out, nil
+}
+
+// selectionPred builds the predicate for one interaction column from the
+// widget's current selection; nil means no selection (pass-through).
+func (s *FilterSpec) selectionPred(env *Env, idx int, widgetCol string) (func(table.Row) bool, error) {
+	if env == nil || env.WidgetValue == nil {
+		return nil, nil
+	}
+	vals, ok := env.WidgetValue(s.SourceWidget, widgetCol)
+	if !ok || len(vals) == 0 {
+		return nil, nil
+	}
+	sel := parseSelection(vals)
+	if sel.Range && len(sel.Values) >= 2 {
+		lo := value.Parse(sel.Values[0])
+		hi := value.Parse(sel.Values[1])
+		return func(r table.Row) bool {
+			v := normalizeForCompare(r[idx], lo)
+			return value.Compare(v, lo) >= 0 && value.Compare(v, hi) <= 0
+		}, nil
+	}
+	set := make(map[string]bool, len(sel.Values))
+	for _, v := range sel.Values {
+		set[v] = true
+	}
+	return func(r table.Row) bool { return set[r[idx].String()] }, nil
+}
+
+// parseSelection decodes the wire form of a widget selection: a leading
+// "range:" marker flags an interval (sliders with range: true).
+func parseSelection(vals []string) Selection {
+	if len(vals) > 0 && vals[0] == "range:" {
+		return Selection{Values: vals[1:], Range: true}
+	}
+	return Selection{Values: vals}
+}
+
+// normalizeForCompare aligns a cell with the selection's kind so that
+// date strings in data compare against time-typed slider bounds.
+func normalizeForCompare(v, bound value.V) value.V {
+	if bound.Kind() == value.Time && v.Kind() == value.String {
+		return value.Parse(v.Str())
+	}
+	return v
+}
+
+// Exec implements Spec.
+func (s *FilterSpec) Exec(env *Env, in []*table.Table, names []string) (*table.Table, error) {
+	return execRowLocal(s, env, in, names)
+}

@@ -1,0 +1,558 @@
+package task
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"shareinsights/internal/flowfile"
+	"shareinsights/internal/schema"
+	"shareinsights/internal/table"
+	"shareinsights/internal/value"
+)
+
+// Accumulator folds a bag of values into one value — the paper's "user
+// defined aggregates" task category (§4.2 item 2).
+type Accumulator interface {
+	Add(v value.V)
+	// Merge folds a peer accumulator of the same type in; engines use it
+	// for parallel partial aggregation.
+	Merge(other Accumulator)
+	Result() value.V
+}
+
+// AggregateFactory creates a fresh accumulator per group.
+type AggregateFactory func() Accumulator
+
+var (
+	aggMu   sync.RWMutex
+	aggImpl = map[string]AggregateFactory{
+		"sum":            func() Accumulator { return &sumAcc{} },
+		"count":          func() Accumulator { return &countAcc{} },
+		"avg":            func() Accumulator { return &avgAcc{} },
+		"min":            func() Accumulator { return &minAcc{} },
+		"max":            func() Accumulator { return &maxAcc{} },
+		"count_distinct": func() Accumulator { return &distinctAcc{seen: map[uint64]bool{}} },
+		"first":          func() Accumulator { return &firstAcc{} },
+		"last":           func() Accumulator { return &lastAcc{} },
+		"stddev":         func() Accumulator { return &stddevAcc{} },
+		"median":         func() Accumulator { return &medianAcc{} },
+	}
+)
+
+// RegisterAggregate adds a user-defined aggregate operator. Platform
+// aggregates cannot be replaced.
+func RegisterAggregate(name string, f AggregateFactory) error {
+	aggMu.Lock()
+	defer aggMu.Unlock()
+	if _, exists := aggImpl[name]; exists {
+		return fmt.Errorf("task: aggregate %q already registered", name)
+	}
+	aggImpl[name] = f
+	return nil
+}
+
+// Aggregates lists the registered aggregate operators, sorted.
+func Aggregates() []string {
+	aggMu.RLock()
+	defer aggMu.RUnlock()
+	out := make([]string, 0, len(aggImpl))
+	for n := range aggImpl {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func aggregateFactory(name string) (AggregateFactory, error) {
+	aggMu.RLock()
+	defer aggMu.RUnlock()
+	f, ok := aggImpl[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown aggregate operator %q (have %s)", name, strings.Join(Aggregates(), ", "))
+	}
+	return f, nil
+}
+
+type sumAcc struct {
+	f       float64
+	i       int64
+	isFloat bool
+	n       int
+}
+
+func (a *sumAcc) Add(v value.V) {
+	if v.IsNull() {
+		return
+	}
+	a.n++
+	if v.Kind() == value.Float {
+		a.isFloat = true
+	}
+	a.f += v.Float()
+	a.i += v.Int()
+}
+
+func (a *sumAcc) Merge(o Accumulator) {
+	b := o.(*sumAcc)
+	a.f += b.f
+	a.i += b.i
+	a.n += b.n
+	a.isFloat = a.isFloat || b.isFloat
+}
+
+func (a *sumAcc) Result() value.V {
+	if a.isFloat {
+		return value.NewFloat(a.f)
+	}
+	return value.NewInt(a.i)
+}
+
+type countAcc struct{ n int64 }
+
+func (a *countAcc) Add(value.V)         { a.n++ }
+func (a *countAcc) Merge(o Accumulator) { a.n += o.(*countAcc).n }
+func (a *countAcc) Result() value.V     { return value.NewInt(a.n) }
+
+type avgAcc struct {
+	sum float64
+	n   int64
+}
+
+func (a *avgAcc) Add(v value.V) {
+	if v.IsNull() {
+		return
+	}
+	a.sum += v.Float()
+	a.n++
+}
+func (a *avgAcc) Merge(o Accumulator) { b := o.(*avgAcc); a.sum += b.sum; a.n += b.n }
+func (a *avgAcc) Result() value.V {
+	if a.n == 0 {
+		return value.VNull
+	}
+	return value.NewFloat(a.sum / float64(a.n))
+}
+
+type minAcc struct {
+	v   value.V
+	set bool
+}
+
+func (a *minAcc) Add(v value.V) {
+	if v.IsNull() {
+		return
+	}
+	if !a.set || value.Less(v, a.v) {
+		a.v, a.set = v, true
+	}
+}
+func (a *minAcc) Merge(o Accumulator) {
+	b := o.(*minAcc)
+	if b.set {
+		a.Add(b.v)
+	}
+}
+func (a *minAcc) Result() value.V {
+	if !a.set {
+		return value.VNull
+	}
+	return a.v
+}
+
+type maxAcc struct {
+	v   value.V
+	set bool
+}
+
+func (a *maxAcc) Add(v value.V) {
+	if v.IsNull() {
+		return
+	}
+	if !a.set || value.Less(a.v, v) {
+		a.v, a.set = v, true
+	}
+}
+func (a *maxAcc) Merge(o Accumulator) {
+	b := o.(*maxAcc)
+	if b.set {
+		a.Add(b.v)
+	}
+}
+func (a *maxAcc) Result() value.V {
+	if !a.set {
+		return value.VNull
+	}
+	return a.v
+}
+
+type distinctAcc struct{ seen map[uint64]bool }
+
+func (a *distinctAcc) Add(v value.V) { a.seen[v.Hash()] = true }
+func (a *distinctAcc) Merge(o Accumulator) {
+	for k := range o.(*distinctAcc).seen {
+		a.seen[k] = true
+	}
+}
+func (a *distinctAcc) Result() value.V { return value.NewInt(int64(len(a.seen))) }
+
+type firstAcc struct {
+	v   value.V
+	set bool
+}
+
+func (a *firstAcc) Add(v value.V) {
+	if !a.set {
+		a.v, a.set = v, true
+	}
+}
+func (a *firstAcc) Merge(o Accumulator) {
+	b := o.(*firstAcc)
+	if !a.set && b.set {
+		a.v, a.set = b.v, true
+	}
+}
+func (a *firstAcc) Result() value.V {
+	if !a.set {
+		return value.VNull
+	}
+	return a.v
+}
+
+type lastAcc struct {
+	v   value.V
+	set bool
+}
+
+func (a *lastAcc) Add(v value.V) { a.v, a.set = v, true }
+func (a *lastAcc) Merge(o Accumulator) {
+	b := o.(*lastAcc)
+	if b.set {
+		a.v, a.set = b.v, true
+	}
+}
+func (a *lastAcc) Result() value.V {
+	if !a.set {
+		return value.VNull
+	}
+	return a.v
+}
+
+// stddevAcc computes population standard deviation via Chan et al.'s
+// parallel variance merge, so Merge stays exact.
+type stddevAcc struct {
+	n    float64
+	mean float64
+	m2   float64
+}
+
+func (a *stddevAcc) Add(v value.V) {
+	if v.IsNull() {
+		return
+	}
+	x := v.Float()
+	a.n++
+	d := x - a.mean
+	a.mean += d / a.n
+	a.m2 += d * (x - a.mean)
+}
+
+func (a *stddevAcc) Merge(o Accumulator) {
+	b := o.(*stddevAcc)
+	if b.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = *b
+		return
+	}
+	n := a.n + b.n
+	d := b.mean - a.mean
+	a.m2 += b.m2 + d*d*a.n*b.n/n
+	a.mean += d * b.n / n
+	a.n = n
+}
+
+func (a *stddevAcc) Result() value.V {
+	if a.n == 0 {
+		return value.VNull
+	}
+	return value.NewFloat(math.Sqrt(a.m2 / a.n))
+}
+
+// medianAcc keeps all values and sorts at Result — exact, not sketched;
+// groups in dashboard workloads are small.
+type medianAcc struct{ vals []float64 }
+
+func (a *medianAcc) Add(v value.V) {
+	if v.IsNull() {
+		return
+	}
+	a.vals = append(a.vals, v.Float())
+}
+
+func (a *medianAcc) Merge(o Accumulator) {
+	a.vals = append(a.vals, o.(*medianAcc).vals...)
+}
+
+func (a *medianAcc) Result() value.V {
+	if len(a.vals) == 0 {
+		return value.VNull
+	}
+	sort.Float64s(a.vals)
+	n := len(a.vals)
+	if n%2 == 1 {
+		return value.NewFloat(a.vals[n/2])
+	}
+	return value.NewFloat((a.vals[n/2-1] + a.vals[n/2]) / 2)
+}
+
+// ---------------------------------------------------------------------
+// GroupBy spec
+
+// AggSpec is one entry of a groupby's aggregates list (Figure 8).
+type AggSpec struct {
+	// Operator names the aggregate (sum, count, …).
+	Operator string
+	// ApplyOn is the input column the aggregate folds; optional for
+	// count.
+	ApplyOn string
+	// OutField is the output column name.
+	OutField string
+}
+
+// GroupBySpec implements the groupby task. With no aggregates configured
+// it counts group members into a "count" column, matching Figure 23
+// where `groupby: [date, player]` yields the players_tweets schema
+// [date, player, count].
+type GroupBySpec struct {
+	// GroupBy are the grouping key columns.
+	GroupBy []string
+	// Aggs are the configured aggregates.
+	Aggs []AggSpec
+	// OrderByAggregates sorts output by the first aggregate descending
+	// (used by the tag cloud pipeline in Appendix A.2).
+	OrderByAggregates bool
+}
+
+func parseGroupBy(cfg *flowfile.Node) (Spec, error) {
+	s := &GroupBySpec{
+		GroupBy:           cfg.StrList("groupby"),
+		OrderByAggregates: cfg.Bool("orderby_aggregates"),
+	}
+	if len(s.GroupBy) == 0 {
+		return nil, fmt.Errorf("groupby: no groupby columns")
+	}
+	if aggs := cfg.Get("aggregates"); aggs != nil {
+		if aggs.Kind != flowfile.ListNode {
+			return nil, fmt.Errorf("groupby: aggregates must be a list")
+		}
+		for _, it := range aggs.Items {
+			a := AggSpec{
+				Operator: it.Str("operator"),
+				ApplyOn:  it.Str("apply_on"),
+				OutField: it.Str("out_field"),
+			}
+			if it.Bool("orderby_aggregates") {
+				s.OrderByAggregates = true
+			}
+			if a.Operator == "" {
+				return nil, fmt.Errorf("groupby: aggregate entry missing operator")
+			}
+			if _, err := aggregateFactory(a.Operator); err != nil {
+				return nil, fmt.Errorf("groupby: %w", err)
+			}
+			if a.OutField == "" {
+				a.OutField = a.Operator
+				if a.ApplyOn != "" {
+					a.OutField = a.Operator + "_" + a.ApplyOn
+				}
+			}
+			if a.ApplyOn == "" && a.Operator != "count" {
+				return nil, fmt.Errorf("groupby: aggregate %q needs apply_on", a.Operator)
+			}
+			s.Aggs = append(s.Aggs, a)
+		}
+	}
+	if len(s.Aggs) == 0 {
+		s.Aggs = []AggSpec{{Operator: "count", OutField: "count"}}
+	}
+	return s, nil
+}
+
+// Type implements Spec.
+func (s *GroupBySpec) Type() string { return "groupby" }
+
+// Out implements Spec: group keys followed by aggregate out_fields.
+func (s *GroupBySpec) Out(in []Input) (*schema.Schema, error) {
+	one, err := singleInput("groupby", in)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := one.Schema.Require(s.GroupBy...); err != nil {
+		return nil, err
+	}
+	cols := make([]schema.Column, 0, len(s.GroupBy)+len(s.Aggs))
+	for _, g := range s.GroupBy {
+		cols = append(cols, schema.Column{Name: g})
+	}
+	for _, a := range s.Aggs {
+		if a.ApplyOn != "" {
+			if _, err := one.Schema.Require(a.ApplyOn); err != nil {
+				return nil, err
+			}
+		}
+		cols = append(cols, schema.Column{Name: a.OutField})
+	}
+	return schema.New(cols...)
+}
+
+// hashGrouper is the Grouper for GroupBySpec.
+type hashGrouper struct {
+	spec   *GroupBySpec
+	out    *schema.Schema
+	keyIdx []int
+	aggIdx []int // input column per aggregate (-1 for bare count)
+	facs   []AggregateFactory
+	groups map[string]*group
+	order  []string // insertion order for stability pre-sort
+}
+
+type group struct {
+	key  []value.V
+	accs []Accumulator
+}
+
+// NewGrouper implements Grouped.
+func (s *GroupBySpec) NewGrouper(env *Env, in Input) (Grouper, error) {
+	out, err := s.Out([]Input{in})
+	if err != nil {
+		return nil, err
+	}
+	g := &hashGrouper{spec: s, out: out, groups: map[string]*group{}}
+	g.keyIdx, _ = in.Schema.Require(s.GroupBy...)
+	for _, a := range s.Aggs {
+		idx := -1
+		if a.ApplyOn != "" {
+			idx = in.Schema.Index(a.ApplyOn)
+		}
+		g.aggIdx = append(g.aggIdx, idx)
+		f, err := aggregateFactory(a.Operator)
+		if err != nil {
+			return nil, err
+		}
+		g.facs = append(g.facs, f)
+	}
+	return g, nil
+}
+
+func (g *hashGrouper) keyOf(r table.Row) string {
+	var b strings.Builder
+	for i, idx := range g.keyIdx {
+		if i > 0 {
+			b.WriteByte(0)
+		}
+		b.WriteByte(byte(r[idx].Kind()))
+		b.WriteString(r[idx].String())
+	}
+	return b.String()
+}
+
+// Add implements Grouper.
+func (g *hashGrouper) Add(r table.Row) error {
+	k := g.keyOf(r)
+	grp, ok := g.groups[k]
+	if !ok {
+		key := make([]value.V, len(g.keyIdx))
+		for i, idx := range g.keyIdx {
+			key[i] = r[idx]
+		}
+		accs := make([]Accumulator, len(g.facs))
+		for i, f := range g.facs {
+			accs[i] = f()
+		}
+		grp = &group{key: key, accs: accs}
+		g.groups[k] = grp
+		g.order = append(g.order, k)
+	}
+	for i, idx := range g.aggIdx {
+		if idx >= 0 {
+			grp.accs[i].Add(r[idx])
+		} else {
+			grp.accs[i].Add(value.VNull)
+		}
+	}
+	return nil
+}
+
+// Merge implements Grouper.
+func (g *hashGrouper) Merge(other Grouper) error {
+	o, ok := other.(*hashGrouper)
+	if !ok {
+		return fmt.Errorf("groupby: cannot merge %T", other)
+	}
+	for _, k := range o.order {
+		og := o.groups[k]
+		grp, exists := g.groups[k]
+		if !exists {
+			g.groups[k] = og
+			g.order = append(g.order, k)
+			continue
+		}
+		for i := range grp.accs {
+			grp.accs[i].Merge(og.accs[i])
+		}
+	}
+	return nil
+}
+
+// Result implements Grouper: rows sorted by group key (or by the first
+// aggregate descending when orderby_aggregates is set).
+func (g *hashGrouper) Result() (*table.Table, error) {
+	t := table.New(g.out)
+	for _, k := range g.order {
+		grp := g.groups[k]
+		row := make(table.Row, 0, len(grp.key)+len(grp.accs))
+		row = append(row, grp.key...)
+		for _, a := range grp.accs {
+			row = append(row, a.Result())
+		}
+		t.Append(row)
+	}
+	keys := make([]table.SortKey, 0, len(g.spec.GroupBy)+1)
+	if g.spec.OrderByAggregates && len(g.spec.Aggs) > 0 {
+		keys = append(keys, table.SortKey{Column: g.spec.Aggs[0].OutField, Desc: true})
+	}
+	for _, c := range g.spec.GroupBy {
+		keys = append(keys, table.SortKey{Column: c})
+	}
+	if err := t.Sort(keys...); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Exec implements Spec.
+func (s *GroupBySpec) Exec(env *Env, in []*table.Table, names []string) (*table.Table, error) {
+	t, name, err := oneTable("groupby", in, names)
+	if err != nil {
+		return nil, err
+	}
+	g, err := s.NewGrouper(env, Input{Name: name, Schema: t.Schema()})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range t.Rows() {
+		if err := g.Add(r); err != nil {
+			return nil, err
+		}
+	}
+	res, err := g.Result()
+	if err != nil {
+		return nil, err
+	}
+	env.trace("groupby", res.Len())
+	return res, nil
+}

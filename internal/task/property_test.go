@@ -1,0 +1,171 @@
+package task
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"shareinsights/internal/schema"
+	"shareinsights/internal/table"
+	"shareinsights/internal/value"
+)
+
+// TestGroupBySumInvariant: for any input, the groupby sums per key equal
+// a manual fold, and the total over groups equals the total over rows.
+func TestGroupBySumInvariant(t *testing.T) {
+	spec := parseSpec(t, `
+g:
+  type: groupby
+  groupby: [k]
+  aggregates:
+    - operator: sum
+      apply_on: v
+      out_field: total
+`)
+	f := func(keys []uint8, vals []int16) bool {
+		n := len(keys)
+		if len(vals) < n {
+			n = len(vals)
+		}
+		in := table.New(schema.MustFromNames("k", "v"))
+		want := map[string]int64{}
+		var grand int64
+		for i := 0; i < n; i++ {
+			k := fmt.Sprintf("k%d", keys[i]%5)
+			in.AppendValues(value.NewString(k), value.NewInt(int64(vals[i])))
+			want[k] += int64(vals[i])
+			grand += int64(vals[i])
+		}
+		out, err := spec.Exec(&Env{}, []*table.Table{in}, nil)
+		if err != nil {
+			return false
+		}
+		if out.Len() != len(want) {
+			return false
+		}
+		var got int64
+		for i := 0; i < out.Len(); i++ {
+			k := out.Cell(i, "k").Str()
+			total := out.Cell(i, "total").Int()
+			if want[k] != total {
+				return false
+			}
+			got += total
+		}
+		return got == grand
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFilterPartitionInvariant: a filter and its negation partition the
+// input exactly.
+func TestFilterPartitionInvariant(t *testing.T) {
+	pos := parseSpec(t, "p:\n  type: filter_by\n  filter_expression: v >= 0\n")
+	neg := parseSpec(t, "n:\n  type: filter_by\n  filter_expression: not v >= 0\n")
+	f := func(vals []int16) bool {
+		in := table.New(schema.MustFromNames("v"))
+		for _, v := range vals {
+			in.AppendValues(value.NewInt(int64(v)))
+		}
+		a, err := pos.Exec(&Env{}, []*table.Table{in}, nil)
+		if err != nil {
+			return false
+		}
+		b, err := neg.Exec(&Env{}, []*table.Table{in}, nil)
+		if err != nil {
+			return false
+		}
+		return a.Len()+b.Len() == in.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSortIdempotentInvariant: sorting twice equals sorting once.
+func TestSortIdempotentInvariant(t *testing.T) {
+	spec := parseSpec(t, "s:\n  type: sort\n  orderby_column: [v ASC]\n")
+	f := func(vals []int16) bool {
+		in := table.New(schema.MustFromNames("v"))
+		for _, v := range vals {
+			in.AppendValues(value.NewInt(int64(v)))
+		}
+		once, err := spec.Exec(&Env{}, []*table.Table{in}, nil)
+		if err != nil {
+			return false
+		}
+		twice, err := spec.Exec(&Env{}, []*table.Table{once}, nil)
+		if err != nil {
+			return false
+		}
+		return once.Equal(twice)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDistinctIdempotentInvariant: distinct is idempotent and never
+// grows the input.
+func TestDistinctIdempotentInvariant(t *testing.T) {
+	spec := parseSpec(t, "d:\n  type: distinct\n")
+	f := func(vals []uint8) bool {
+		in := table.New(schema.MustFromNames("v"))
+		for _, v := range vals {
+			in.AppendValues(value.NewInt(int64(v % 16)))
+		}
+		once, err := spec.Exec(&Env{}, []*table.Table{in}, nil)
+		if err != nil {
+			return false
+		}
+		twice, err := spec.Exec(&Env{}, []*table.Table{once}, nil)
+		if err != nil {
+			return false
+		}
+		return once.Equal(twice) && once.Len() <= in.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTopNBoundInvariant: topn never emits more than limit rows per
+// group and all emitted rows come from the input.
+func TestTopNBoundInvariant(t *testing.T) {
+	spec := parseSpec(t, `
+t:
+  type: topn
+  groupby: [k]
+  orderby_column: [v DESC]
+  limit: 3
+`)
+	f := func(keys []uint8, vals []int16) bool {
+		n := len(keys)
+		if len(vals) < n {
+			n = len(vals)
+		}
+		in := table.New(schema.MustFromNames("k", "v"))
+		for i := 0; i < n; i++ {
+			in.AppendValues(value.NewString(fmt.Sprintf("k%d", keys[i]%4)), value.NewInt(int64(vals[i])))
+		}
+		out, err := spec.Exec(&Env{}, []*table.Table{in}, nil)
+		if err != nil {
+			return false
+		}
+		perGroup := map[string]int{}
+		for i := 0; i < out.Len(); i++ {
+			perGroup[out.Cell(i, "k").Str()]++
+		}
+		for _, c := range perGroup {
+			if c > 3 {
+				return false
+			}
+		}
+		return out.Len() <= in.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

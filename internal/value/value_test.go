@@ -1,0 +1,234 @@
+package value
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestKindsAndAccessors(t *testing.T) {
+	ts := time.Date(2013, 5, 10, 18, 30, 0, 0, time.UTC)
+	cases := []struct {
+		v    V
+		kind Kind
+		str  string
+	}{
+		{VNull, Null, ""},
+		{VTrue, Bool, "true"},
+		{VFalse, Bool, "false"},
+		{NewInt(-42), Int, "-42"},
+		{NewFloat(2.5), Float, "2.5"},
+		{NewString("hi"), String, "hi"},
+		{NewTime(ts), Time, "2013-05-10T18:30:00Z"},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("%v kind = %v, want %v", c.v, c.v.Kind(), c.kind)
+		}
+		if c.v.String() != c.str {
+			t.Errorf("%v String() = %q, want %q", c.v, c.v.String(), c.str)
+		}
+	}
+	if NewInt(7).Float() != 7 || NewFloat(7.9).Int() != 7 {
+		t.Error("numeric coercion wrong")
+	}
+	if NewString("12.5").Float() != 12.5 || NewString("12").Int() != 12 {
+		t.Error("string numeric coercion wrong")
+	}
+	if !NewTime(ts).Time().Equal(ts) {
+		t.Error("time round trip failed")
+	}
+	if NewString("x").Time() != (time.Time{}) {
+		t.Error("non-time Time() should be zero")
+	}
+}
+
+func TestTruthy(t *testing.T) {
+	truthy := []V{VTrue, NewInt(1), NewInt(-1), NewFloat(0.1), NewString("x"), NewTime(time.Now())}
+	falsy := []V{VNull, VFalse, NewInt(0), NewFloat(0), NewString("")}
+	for _, v := range truthy {
+		if !v.Truthy() {
+			t.Errorf("%v should be truthy", v)
+		}
+	}
+	for _, v := range falsy {
+		if v.Truthy() {
+			t.Errorf("%v should be falsy", v)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b V
+		want int
+	}{
+		{VNull, VNull, 0},
+		{VNull, NewInt(0), -1},
+		{NewInt(0), VNull, 1},
+		{NewInt(1), NewInt(2), -1},
+		{NewInt(2), NewInt(2), 0},
+		{NewFloat(1.5), NewInt(2), -1},
+		{NewInt(2), NewFloat(1.5), 1},
+		{VTrue, NewInt(1), 0}, // bools compare numerically
+		{NewString("a"), NewString("b"), -1},
+		{NewString("10"), NewInt(9), 1}, // numeric string vs number
+		{NewInt(9), NewString("10"), -1},
+		{NewTime(time.Unix(1, 0)), NewTime(time.Unix(2, 0)), -1},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareProperties(t *testing.T) {
+	gen := func(tag uint8, i int64, f float64, s string) V {
+		switch tag % 5 {
+		case 0:
+			return VNull
+		case 1:
+			return NewBool(i%2 == 0)
+		case 2:
+			return NewInt(i)
+		case 3:
+			if math.IsNaN(f) {
+				f = 0
+			}
+			return NewFloat(f)
+		default:
+			return NewString(s)
+		}
+	}
+	// Antisymmetry: Compare(a,b) == -Compare(b,a).
+	anti := func(ta uint8, ia int64, fa float64, sa string, tb uint8, ib int64, fb float64, sb string) bool {
+		a := gen(ta, ia, fa, sa)
+		b := gen(tb, ib, fb, sb)
+		return Compare(a, b) == -Compare(b, a)
+	}
+	if err := quick.Check(anti, nil); err != nil {
+		t.Errorf("antisymmetry: %v", err)
+	}
+	// Reflexivity: Compare(a,a) == 0.
+	refl := func(ta uint8, ia int64, fa float64, sa string) bool {
+		a := gen(ta, ia, fa, sa)
+		return Compare(a, a) == 0
+	}
+	if err := quick.Check(refl, nil); err != nil {
+		t.Errorf("reflexivity: %v", err)
+	}
+	// Hash consistency: Equal values hash equal.
+	hash := func(ta uint8, ia int64, fa float64, sa string) bool {
+		a := gen(ta, ia, fa, sa)
+		b := gen(ta, ia, fa, sa)
+		return !Equal(a, b) || a.Hash() == b.Hash()
+	}
+	if err := quick.Check(hash, nil); err != nil {
+		t.Errorf("hash consistency: %v", err)
+	}
+}
+
+func TestHashDiscriminatesKinds(t *testing.T) {
+	if NewString("1").Hash() == NewInt(1).Hash() {
+		t.Error("string \"1\" and int 1 hash identically")
+	}
+	if NewFloat(0).Hash() != NewFloat(math.Copysign(0, -1)).Hash() {
+		t.Error("+0 and -0 should hash identically")
+	}
+}
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		in   string
+		kind Kind
+	}{
+		{"", Null},
+		{"  ", Null},
+		{"true", Bool},
+		{"FALSE", Bool},
+		{"42", Int},
+		{"-17", Int},
+		{"3.14", Float},
+		{"1e6", Float},
+		{"2013-05-10", Time},
+		{"2013-05-10 18:30:00", Time},
+		{"2013-05-10T18:30:00Z", Time},
+		{"hello", String},
+		{"12abc", String},
+	}
+	for _, c := range cases {
+		if got := Parse(c.in).Kind(); got != c.kind {
+			t.Errorf("Parse(%q) kind = %v, want %v", c.in, got, c.kind)
+		}
+	}
+}
+
+func TestFromAny(t *testing.T) {
+	if FromAny(nil).Kind() != Null {
+		t.Error("nil should be Null")
+	}
+	if v := FromAny(float64(3)); v.Kind() != Int || v.Int() != 3 {
+		t.Errorf("integral float64 should become Int, got %v %v", v.Kind(), v)
+	}
+	if v := FromAny(3.5); v.Kind() != Float {
+		t.Errorf("3.5 should stay Float, got %v", v.Kind())
+	}
+	if v := FromAny([]int{1}); v.Kind() != String {
+		t.Errorf("unsupported types fall back to string, got %v", v.Kind())
+	}
+}
+
+func TestParseRoundTripProperty(t *testing.T) {
+	// Parsing a value's display form yields an equal value for ints and
+	// plain strings.
+	f := func(i int64) bool {
+		return Equal(Parse(NewInt(i).String()), NewInt(i))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Errorf("int round trip: %v", err)
+	}
+}
+
+func TestKindStringAndSize(t *testing.T) {
+	kinds := map[Kind]string{
+		Null: "null", Bool: "bool", Int: "int", Float: "float",
+		String: "string", Time: "time", Kind(99): "kind(99)",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if NewString("abcd").Size() <= NewInt(1).Size() {
+		t.Error("string size should include payload")
+	}
+}
+
+func TestFromAnyMoreTypes(t *testing.T) {
+	ts := time.Date(2015, 2, 1, 0, 0, 0, 0, time.UTC)
+	if v := FromAny(ts); v.Kind() != Time || !v.Time().Equal(ts) {
+		t.Errorf("FromAny(time) = %v", v)
+	}
+	if v := FromAny(int64(7)); v.Int() != 7 {
+		t.Errorf("FromAny(int64) = %v", v)
+	}
+	if v := FromAny(true); !v.Bool() {
+		t.Errorf("FromAny(bool) = %v", v)
+	}
+	orig := NewFloat(2.5)
+	if v := FromAny(orig); !Equal(v, orig) {
+		t.Errorf("FromAny(V) = %v", v)
+	}
+	// Huge float64 stays float (beyond exact int range).
+	if v := FromAny(1e18); v.Kind() != Float {
+		t.Errorf("FromAny(1e18) = %v kind %v", v, v.Kind())
+	}
+}
+
+func TestStrOfNonStrings(t *testing.T) {
+	if NewInt(5).Str() != "5" || VTrue.Str() != "true" || VNull.Str() != "" {
+		t.Error("Str display forms wrong")
+	}
+}

@@ -1,0 +1,103 @@
+// Package shareinsights is a full-stack data-processing platform: one
+// textual representation — the flow file — describes an entire pipeline
+// from data ingestion through transformation to interactive dashboards,
+// and the platform compiles and runs it end to end.
+//
+// It reproduces the system of Deshpande, Ray, Dixit and Agasti,
+// "ShareInsights: An Unified Approach to Full-stack Data Processing"
+// (SIGMOD 2015). A flow file has five sections: D (data objects), F
+// (flows — Unix-pipe chains of tasks over data objects), T (task
+// configurations), W (widgets, which are themselves data objects that
+// interaction flows can filter by) and L (a twelve-column dashboard
+// layout). See README.md for a tour and DESIGN.md for the architecture.
+//
+// Quick start:
+//
+//	p := shareinsights.NewPlatform()
+//	f, err := shareinsights.ParseFlowFile("sales", flowText)
+//	if err != nil { ... }
+//	d, err := p.Compile(f, nil)
+//	if err != nil { ... }
+//	if err := d.Run(); err != nil { ... }
+//	t, _ := d.Endpoint("by_region")
+//	fmt.Println(t.Format(20))
+//
+// The package is a thin facade: the subsystems live in internal/
+// packages (flowfile, task, dag, engine/batch, engine/cube, connector,
+// widget, dashboard, share, server, vcs) and are re-exported here as
+// type aliases so downstream code sees one coherent API.
+package shareinsights
+
+import (
+	"shareinsights/internal/connector"
+	"shareinsights/internal/dashboard"
+	"shareinsights/internal/flowfile"
+	"shareinsights/internal/schema"
+	"shareinsights/internal/server"
+	"shareinsights/internal/share"
+	"shareinsights/internal/table"
+	"shareinsights/internal/task"
+	"shareinsights/internal/value"
+	"shareinsights/internal/vcs"
+)
+
+// Core model types.
+type (
+	// FlowFile is a parsed flow file — the unified pipeline description.
+	FlowFile = flowfile.File
+	// Schema is a data object's column structure.
+	Schema = schema.Schema
+	// Table is a materialized data object.
+	Table = table.Table
+	// Row is one tuple of a Table.
+	Row = table.Row
+	// Value is a dynamically typed cell value.
+	Value = value.V
+)
+
+// Platform services.
+type (
+	// Platform bundles the task registry, connectors, shared catalog and
+	// engine configuration a dashboard compiles against.
+	Platform = dashboard.Platform
+	// Dashboard is a compiled, runnable flow file.
+	Dashboard = dashboard.Dashboard
+	// Catalog is the platform-wide registry of published data objects.
+	Catalog = share.Catalog
+	// ConnectorRegistry resolves protocols and payload formats.
+	ConnectorRegistry = connector.Registry
+	// ConnectorOptions configure NewConnectorRegistry.
+	ConnectorOptions = connector.Options
+	// TaskRegistry resolves task types, including user extensions.
+	TaskRegistry = task.Registry
+	// TaskEnv carries runtime context (resources, widget selections)
+	// into task execution.
+	TaskEnv = task.Env
+	// Server exposes the development and data REST APIs.
+	Server = server.Server
+	// Repo versions one dashboard's flow file (branch/merge/fork).
+	Repo = vcs.Repo
+)
+
+// NewPlatform returns a platform with the standard task library,
+// connector set and an empty shared catalog, optimization enabled.
+func NewPlatform() *Platform { return dashboard.NewPlatform() }
+
+// ParseFlowFile parses flow-file source text.
+func ParseFlowFile(name, src string) (*FlowFile, error) { return flowfile.Parse(name, src) }
+
+// NewConnectorRegistry builds a connector registry; see ConnectorOptions
+// for the file/mem/http configuration.
+func NewConnectorRegistry(opts ConnectorOptions) *ConnectorRegistry {
+	return connector.NewRegistry(opts)
+}
+
+// NewServer wraps a platform in the REST API of §4.3/§4.4.
+func NewServer(p *Platform) *Server { return server.New(p) }
+
+// NewRepo creates a flow-file repository for the branch-and-merge
+// collaboration model of §4.5.1.
+func NewRepo(name string) *Repo { return vcs.NewRepo(name) }
+
+// NewCatalog creates an empty shared-object catalog.
+func NewCatalog() *Catalog { return share.NewCatalog() }
