@@ -129,6 +129,49 @@ func TestCLIDiagnostics(t *testing.T) {
 	}
 }
 
+func TestCLILint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := writeFlowDir(t)
+
+	// The shipped flow lints clean, exit 0.
+	out, err := runCLI(t, "shareinsights", "lint", filepath.Join(dir, "demo.flow"))
+	if err != nil || !strings.Contains(out, "clean") {
+		t.Fatalf("lint clean flow: %v\n%s", err, out)
+	}
+
+	// A misspelled column in a filter expression is an error: rule ID,
+	// task entity, line, did-you-mean hint, exit code 1 — and the
+	// pipeline never executes (no sales.csv read is needed).
+	bad := strings.Replace(cliFlow, "D.sales | T.sum", "D.sales | T.keep | T.sum", 1) +
+		"  keep:\n    type: filter_by\n    filter_expression: amont > 3\n"
+	badPath := filepath.Join(dir, "bad.flow")
+	if err := os.WriteFile(badPath, []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err = runCLI(t, "shareinsights", "lint", badPath)
+	if err == nil {
+		t.Fatalf("lint of broken flow should exit nonzero:\n%s", out)
+	}
+	for _, want := range []string{"FL003", "T.keep", "line ", `did you mean "amount"?`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("lint output missing %q:\n%s", want, out)
+		}
+	}
+
+	// JSON mode emits the structured findings.
+	out, err = runCLI(t, "shareinsights", "lint", "-json", badPath)
+	if err == nil {
+		t.Fatalf("lint -json of broken flow should exit nonzero:\n%s", out)
+	}
+	for _, want := range []string{`"rule": "FL003"`, `"severity": "error"`, `"entity": "T.keep"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("lint -json output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestCLIRace2Insights(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds binaries")

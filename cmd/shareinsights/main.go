@@ -2,6 +2,10 @@
 //
 //	shareinsights run <flow-file>        compile, run, print endpoint data
 //	shareinsights validate <flow-file>   parse and cross-check the sections
+//	shareinsights lint [-json] <flow-file>
+//	                                     static analysis: type-check every
+//	                                     expression, find dead entities,
+//	                                     bad properties (docs/LINTING.md)
 //	shareinsights fmt <flow-file>        print the canonical form
 //	shareinsights plan <flow-file>       print the compiled DAG
 //	shareinsights explore <flow-file>    run and print every endpoint table
@@ -20,6 +24,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -30,6 +35,7 @@ import (
 	"time"
 
 	"shareinsights"
+	"shareinsights/internal/analyze"
 	"shareinsights/internal/dag"
 	"shareinsights/internal/diagnose"
 	"shareinsights/internal/profile"
@@ -68,6 +74,38 @@ func main() {
 		}
 		fmt.Printf("%s: ok (%d data objects, %d flows, %d tasks, %d widgets)\n",
 			f.Name, len(f.Data), len(f.Flows), len(f.Tasks), len(f.Widgets))
+	case "lint":
+		fs := flag.NewFlagSet("lint", flag.ExitOnError)
+		asJSON := fs.Bool("json", false, "emit findings as JSON")
+		fs.Parse(args)
+		path := mustArg(fs.Args(), "flow file")
+		f := mustParse(path)
+		p := platformFor(path)
+		report := analyze.Lint(f, analyze.Options{
+			Tasks:      p.Tasks,
+			Connectors: p.Connectors,
+			Shared:     p.Catalog.ResolveSchema,
+		})
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(report); err != nil {
+				log.Fatal(err)
+			}
+		} else {
+			for _, fd := range report.Findings {
+				fmt.Println(fd)
+			}
+			errs, warns, infos := report.Counts()
+			if len(report.Findings) == 0 {
+				fmt.Printf("%s: clean\n", f.Name)
+			} else {
+				fmt.Printf("%s: %d error(s), %d warning(s), %d info(s)\n", f.Name, errs, warns, infos)
+			}
+		}
+		if report.HasErrors() {
+			os.Exit(1)
+		}
 	case "fmt":
 		f := mustParse(mustArg(args, "flow file"))
 		fmt.Print(f.String())
@@ -139,7 +177,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: shareinsights {run|validate|fmt|plan|explore|render|time|profile|serve|library} [args]")
+	fmt.Fprintln(os.Stderr, "usage: shareinsights {run|validate|lint|fmt|plan|explore|render|time|profile|serve|library} [args]")
 	os.Exit(2)
 }
 

@@ -1,0 +1,557 @@
+// Package analyze is flowlint: a schema-aware static analyzer for flow
+// files. It runs over a parsed file plus the task registry — never the
+// data — and reports everything it can prove wrong (or suspicious)
+// before a single row moves: misspelled columns in filter expressions,
+// type-mismatched comparisons, dead data objects, unknown widget
+// properties, joins whose keys cannot match.
+//
+// The paper's §5.2 hackathon learnings single out error reporting as the
+// platform's weakest point ("error reporting … leaked the abstraction");
+// diagnose maps failures after they happen, analyze moves the same
+// vocabulary to before execution. Findings reuse the diagnose
+// conventions: an entity reference (D./T./W.), the declaring line, the
+// problem in flow-file terms, and a did-you-mean hint.
+package analyze
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"shareinsights/internal/connector"
+	"shareinsights/internal/dag"
+	"shareinsights/internal/diagnose"
+	"shareinsights/internal/flowfile"
+	"shareinsights/internal/schema"
+	"shareinsights/internal/task"
+	"shareinsights/internal/widget"
+)
+
+// Severity grades a finding.
+type Severity int
+
+// Severity levels, least severe first so Report.Max is a plain max.
+const (
+	Info Severity = iota
+	Warning
+	Error
+)
+
+// String returns the lower-case severity name.
+func (s Severity) String() string {
+	switch s {
+	case Error:
+		return "error"
+	case Warning:
+		return "warning"
+	}
+	return "info"
+}
+
+// MarshalJSON encodes the severity as its name.
+func (s Severity) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// Finding is one lint result.
+type Finding struct {
+	// Rule is the stable rule ID (FL000–FL051, see docs/LINTING.md).
+	Rule string `json:"rule"`
+	// Severity grades the finding; only errors fail the lint.
+	Severity Severity `json:"severity"`
+	// Entity is the flow-file reference ("T.players_count"), "" if global.
+	Entity string `json:"entity,omitempty"`
+	// Line is the 1-based flow-file line (0 unknown).
+	Line int `json:"line,omitempty"`
+	// Message describes the problem in flow-file vocabulary.
+	Message string `json:"message"`
+	// Hint is an optional suggestion ("did you mean …?").
+	Hint string `json:"hint,omitempty"`
+}
+
+// String renders the finding as the CLI prints it:
+//
+//	FL003 error: T.by_region (line 12): column "regon" not found — did you mean "region"?
+func (f Finding) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s: ", f.Rule, f.Severity)
+	if f.Entity != "" {
+		b.WriteString(f.Entity)
+		if f.Line > 0 {
+			fmt.Fprintf(&b, " (line %d)", f.Line)
+		}
+		b.WriteString(": ")
+	} else if f.Line > 0 {
+		fmt.Fprintf(&b, "(line %d): ", f.Line)
+	}
+	b.WriteString(f.Message)
+	if f.Hint != "" {
+		b.WriteString(" — ")
+		b.WriteString(f.Hint)
+	}
+	return b.String()
+}
+
+// Report is the ordered finding list for one flow file.
+type Report struct {
+	Findings []Finding `json:"findings"`
+}
+
+// HasErrors reports whether any finding is error-severity — the lint
+// exit-code condition.
+func (r *Report) HasErrors() bool {
+	for _, f := range r.Findings {
+		if f.Severity == Error {
+			return true
+		}
+	}
+	return false
+}
+
+// Counts returns the number of errors, warnings and infos.
+func (r *Report) Counts() (errors, warnings, infos int) {
+	for _, f := range r.Findings {
+		switch f.Severity {
+		case Error:
+			errors++
+		case Warning:
+			warnings++
+		default:
+			infos++
+		}
+	}
+	return
+}
+
+// Options configures a lint run. Tasks is required; the rest degrade
+// gracefully: without Connectors protocol/format values are not checked,
+// without Shared unresolved inputs are assumed published.
+type Options struct {
+	// Tasks resolves task types, including user extensions.
+	Tasks *task.Registry
+	// Connectors validates protocol/format property values.
+	Connectors *connector.Registry
+	// Shared resolves published data-object schemas (may be nil).
+	Shared dag.SharedResolver
+}
+
+// Lint analyzes the file and returns every finding, ordered by line.
+func Lint(f *flowfile.File, opts Options) *Report {
+	l := &linter{
+		f:       f,
+		opts:    opts,
+		report:  &Report{},
+		schemas: map[string]*schema.Schema{},
+		types:   map[string]typeEnv{},
+		specs:   map[string]task.Spec{},
+		broken:  map[string]bool{},
+	}
+	l.validation()
+	l.parseTasks()
+	l.resolveAndWalk()
+	l.checkWidgets()
+	l.checkDataProps()
+	l.checkDeadEntities()
+	sort.SliceStable(l.report.Findings, func(i, j int) bool {
+		a, b := l.report.Findings[i], l.report.Findings[j]
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Entity < b.Entity
+	})
+	return l.report
+}
+
+// linter holds one run's state.
+type linter struct {
+	f      *flowfile.File
+	opts   Options
+	report *Report
+	// schemas maps resolved data-object names to their column structure.
+	schemas map[string]*schema.Schema
+	// types maps resolved data-object names to inferred column types.
+	types map[string]typeEnv
+	// specs maps task names to parsed specs (absent on parse failure).
+	specs map[string]task.Spec
+	// broken marks tasks whose configuration failed to parse, so
+	// pipelines through them are skipped without double-reporting.
+	broken map[string]bool
+}
+
+func (l *linter) add(f Finding) { l.report.Findings = append(l.report.Findings, f) }
+
+// validation folds structural Validate problems in as FL000 errors, so
+// one lint pass shows everything — dangling references included.
+func (l *linter) validation() {
+	err := l.f.Validate(true)
+	if err == nil {
+		return
+	}
+	for _, d := range diagnose.Diagnose(l.f, err) {
+		l.add(Finding{Rule: "FL000", Severity: Error, Entity: d.Entity, Line: d.Line, Message: d.Problem, Hint: d.Hint})
+	}
+}
+
+// parseTasks type-checks every task definition against the registry:
+// FL001 unknown type, FL002 invalid configuration.
+func (l *linter) parseTasks() {
+	if l.opts.Tasks == nil {
+		return
+	}
+	known := append(l.opts.Tasks.Types(), "parallel")
+	for _, name := range l.f.TaskOrder {
+		def := l.f.Tasks[name]
+		sp, err := l.opts.Tasks.Parse(l.f, def)
+		if err == nil {
+			l.specs[name] = sp
+			continue
+		}
+		l.broken[name] = true
+		msg := cleanMsg(err.Error())
+		if strings.Contains(msg, "unknown type") || strings.Contains(msg, "unknown task type") {
+			fd := Finding{Rule: "FL001", Severity: Error, Entity: "T." + name, Line: def.Line,
+				Message: fmt.Sprintf("unknown task type %q", def.Type)}
+			if hint := diagnose.Nearest(def.Type, known); hint != "" {
+				fd.Hint = fmt.Sprintf("did you mean %q?", hint)
+			}
+			l.add(fd)
+			continue
+		}
+		fd := Finding{Rule: "FL002", Severity: Error, Entity: "T." + name, Line: def.Line, Message: msg}
+		if strings.Contains(msg, "empty orderby_column") {
+			fd.Hint = "topn needs an orderby_column to rank rows within each group"
+		}
+		l.add(fd)
+	}
+}
+
+// checkDataProps validates connector properties on data objects: FL040
+// bad protocol/format value, FL041 unknown property key.
+func (l *linter) checkDataProps() {
+	knownProps := []string{"source", "protocol", "format", "separator", "request_type"}
+	for _, name := range l.f.DataOrder {
+		d := l.f.Data[name]
+		for _, key := range d.PropOrder {
+			if hasString(knownProps, key) || strings.HasPrefix(key, "http_headers.") {
+				continue
+			}
+			fd := Finding{Rule: "FL041", Severity: Warning, Entity: "D." + name, Line: d.Line,
+				Message: fmt.Sprintf("unknown data property %q", key)}
+			if hint := diagnose.Nearest(key, knownProps); hint != "" {
+				fd.Hint = fmt.Sprintf("did you mean %q?", hint)
+			}
+			l.add(fd)
+		}
+		if l.opts.Connectors == nil {
+			continue
+		}
+		if p := d.Prop("protocol"); p != "" && !hasString(l.opts.Connectors.Protocols(), p) {
+			fd := Finding{Rule: "FL040", Severity: Error, Entity: "D." + name, Line: d.Line,
+				Message: fmt.Sprintf("unknown connector protocol %q", p)}
+			if hint := diagnose.Nearest(p, l.opts.Connectors.Protocols()); hint != "" {
+				fd.Hint = fmt.Sprintf("did you mean %q?", hint)
+			}
+			l.add(fd)
+		}
+		if fm := d.Prop("format"); fm != "" && !hasString(l.opts.Connectors.Formats(), strings.ToLower(fm)) {
+			fd := Finding{Rule: "FL040", Severity: Error, Entity: "D." + name, Line: d.Line,
+				Message: fmt.Sprintf("unknown data format %q", fm)}
+			if hint := diagnose.Nearest(fm, l.opts.Connectors.Formats()); hint != "" {
+				fd.Hint = fmt.Sprintf("did you mean %q?", hint)
+			}
+			l.add(fd)
+		}
+	}
+}
+
+// visualAttrs are widget configuration keys consumed by renderers and
+// the interaction layer, beyond the per-type data attributes.
+var visualAttrs = []string{
+	"type", "source", "static", "description",
+	"default_selection", "default_selection_value", "range",
+	"country", "fill_color", "latlong_value", "markers", "markersize",
+	"show_tooltip", "slider_type", "tag", "body", "rows", "tabs", "name",
+}
+
+// checkWidgets validates widget definitions: FL030 unknown type, FL031
+// unknown property, FL032 missing required attribute or source, FL033
+// data attribute bound to a column missing from the source output.
+func (l *linter) checkWidgets() {
+	for _, name := range l.f.WidgetOrder {
+		w := l.f.Widgets[name]
+		entity := "W." + name
+		desc, ok := widget.Lookup(w.Type)
+		if !ok {
+			fd := Finding{Rule: "FL030", Severity: Error, Entity: entity, Line: w.Line,
+				Message: fmt.Sprintf("unknown widget type %q", w.Type)}
+			if hint := diagnose.Nearest(w.Type, widget.Types()); hint != "" {
+				fd.Hint = fmt.Sprintf("did you mean %q?", hint)
+			}
+			l.add(fd)
+			continue
+		}
+		allowed := append([]string{}, visualAttrs...)
+		for _, a := range desc.DataAttrs {
+			allowed = append(allowed, a.Name)
+			if a.Required && w.Attr(a.Name) == "" {
+				l.add(Finding{Rule: "FL032", Severity: Error, Entity: entity, Line: w.Line,
+					Message: fmt.Sprintf("widget type %s requires data attribute %q", w.Type, a.Name)})
+			}
+		}
+		if desc.NeedsSource && w.Source == nil && len(w.Static) == 0 {
+			l.add(Finding{Rule: "FL032", Severity: Error, Entity: entity, Line: w.Line,
+				Message: fmt.Sprintf("widget type %s needs a source pipeline or static rows", w.Type)})
+		}
+		if w.Config != nil && w.Config.Kind == flowfile.MapNode {
+			for _, e := range w.Config.Entries {
+				if hasString(allowed, e.Key) {
+					continue
+				}
+				fd := Finding{Rule: "FL031", Severity: Warning, Entity: entity,
+					Line:    entryLine(e, w.Line),
+					Message: fmt.Sprintf("unknown widget property %q for type %s", e.Key, w.Type)}
+				if hint := diagnose.Nearest(e.Key, allowed); hint != "" {
+					fd.Hint = fmt.Sprintf("did you mean %q?", hint)
+				}
+				l.add(fd)
+			}
+		}
+		// Bind data attributes against the source pipeline's output.
+		if w.Source == nil {
+			continue
+		}
+		out, env, resolved := l.walkPipeline(w.Source, entity, w.Line)
+		_ = env
+		if !resolved || out == nil {
+			continue
+		}
+		for _, a := range desc.DataAttrs {
+			col := w.Attr(a.Name)
+			if col == "" || out.Index(col) >= 0 {
+				continue
+			}
+			fd := Finding{Rule: "FL033", Severity: Error, Entity: entity, Line: w.Line,
+				Message: fmt.Sprintf("data attribute %s binds to column %q, not produced by the source pipeline (have %s)",
+					a.Name, col, strings.Join(out.Names(), ", "))}
+			if hint := diagnose.Nearest(col, out.Names()); hint != "" {
+				fd.Hint = fmt.Sprintf("did you mean %q?", hint)
+			}
+			l.add(fd)
+		}
+	}
+}
+
+// checkDeadEntities hand-assembles a dag.Graph (tolerating the errors
+// dag.Build rejects) and reports FL010 dead data objects, FL011 unused
+// tasks, FL012 unused widgets.
+func (l *linter) checkDeadEntities() {
+	g := &dag.Graph{Nodes: map[string]*dag.Node{}, File: l.f}
+	node := func(name string) *dag.Node {
+		if n, ok := g.Nodes[name]; ok {
+			return n
+		}
+		def := l.f.Data[name]
+		if def == nil {
+			def = &flowfile.DataDef{Name: name}
+		}
+		n := &dag.Node{Name: name, Def: def}
+		g.Nodes[name] = n
+		return n
+	}
+	for _, name := range l.f.DataOrder {
+		node(name)
+	}
+	for _, fl := range l.f.Flows {
+		if fl.Pipeline == nil {
+			continue
+		}
+		var inputs []string
+		for _, in := range fl.Pipeline.Inputs {
+			inputs = append(inputs, in.Name)
+		}
+		for _, out := range fl.Outputs {
+			n := node(out.Name)
+			if n.Flow == nil {
+				n.Flow = fl
+				n.Inputs = inputs
+			}
+		}
+	}
+	for _, wname := range l.f.WidgetOrder {
+		w := l.f.Widgets[wname]
+		if w.Source == nil {
+			continue
+		}
+		for _, in := range w.Source.Inputs {
+			node(in.Name).Consumers = append(node(in.Name).Consumers, "widget:"+wname)
+		}
+	}
+	for name, n := range g.Nodes {
+		for _, in := range n.Inputs {
+			node(in).Consumers = append(node(in).Consumers, name)
+		}
+	}
+	g.Order = append(g.Order, l.f.DataOrder...)
+	var extra []string
+	seen := map[string]bool{}
+	for _, name := range g.Order {
+		seen[name] = true
+	}
+	for name := range g.Nodes {
+		if !seen[name] {
+			extra = append(extra, name)
+		}
+	}
+	sort.Strings(extra)
+	g.Order = append(g.Order, extra...)
+
+	for _, name := range g.DeadSinks() {
+		l.add(Finding{Rule: "FL010", Severity: Warning, Entity: "D." + name, Line: defLine(l.f, name),
+			Message: "computed but never read: not an endpoint, not published, feeds no flow or widget",
+			Hint:    "mark it +D." + name + " to expose it, or remove the flow"})
+	}
+	for _, name := range g.DeadSources() {
+		l.add(Finding{Rule: "FL010", Severity: Warning, Entity: "D." + name, Line: defLine(l.f, name),
+			Message: "declared but never read by any flow or widget"})
+	}
+
+	// FL011: tasks referenced by no flow or widget pipeline (following
+	// parallel sub-task references transitively).
+	usedTasks := map[string]bool{}
+	var markTask func(name string)
+	markTask = func(name string) {
+		if usedTasks[name] {
+			return
+		}
+		usedTasks[name] = true
+		if def, ok := l.f.Tasks[name]; ok {
+			for _, sub := range def.Config.StrList("parallel") {
+				if ref, err := flowfile.ParseRef(sub); err == nil && ref.Section == "T" {
+					markTask(ref.Name)
+				}
+			}
+		}
+	}
+	for _, fl := range l.f.Flows {
+		if fl.Pipeline == nil {
+			continue
+		}
+		for _, t := range fl.Pipeline.Tasks {
+			markTask(t.Name)
+		}
+	}
+	for _, wname := range l.f.WidgetOrder {
+		if w := l.f.Widgets[wname]; w.Source != nil {
+			for _, t := range w.Source.Tasks {
+				markTask(t.Name)
+			}
+		}
+	}
+	for _, name := range l.f.TaskOrder {
+		if !usedTasks[name] {
+			l.add(Finding{Rule: "FL011", Severity: Warning, Entity: "T." + name, Line: l.f.Tasks[name].Line,
+				Message: "task is referenced by no flow or widget pipeline"})
+		}
+	}
+
+	// FL012: widgets reachable from no layout cell (only meaningful when
+	// the file has a layout; data-processing files render nothing).
+	if l.f.Layout == nil {
+		return
+	}
+	usedWidgets := map[string]bool{}
+	var markWidget func(name string)
+	markWidget = func(name string) {
+		if usedWidgets[name] {
+			return
+		}
+		usedWidgets[name] = true
+		w, ok := l.f.Widgets[name]
+		if !ok {
+			return
+		}
+		// Layout and TabLayout widgets nest other widgets inside their
+		// configuration; any scalar matching a widget name is a reference.
+		markWidgetRefs(w.Config, l.f, markWidget)
+	}
+	for _, row := range l.f.Layout.Rows {
+		for _, cell := range row.Cells {
+			markWidget(cell.Widget)
+		}
+	}
+	// Widgets driving interaction filters are in use even off-layout.
+	for _, name := range l.f.TaskOrder {
+		if !usedTasks[name] {
+			continue
+		}
+		if src := l.f.Tasks[name].Config.Str("filter_source"); src != "" {
+			if ref, err := flowfile.ParseRef(src); err == nil && ref.Section == "W" {
+				markWidget(ref.Name)
+			}
+		}
+	}
+	for _, name := range l.f.WidgetOrder {
+		if !usedWidgets[name] {
+			l.add(Finding{Rule: "FL012", Severity: Warning, Entity: "W." + name, Line: l.f.Widgets[name].Line,
+				Message: "widget appears in no layout cell and drives no interaction filter"})
+		}
+	}
+}
+
+// markWidgetRefs walks a widget's config node marking every scalar that
+// names an existing widget — how Layout rows and TabLayout tabs refer to
+// their children.
+func markWidgetRefs(n *flowfile.Node, f *flowfile.File, mark func(string)) {
+	if n == nil {
+		return
+	}
+	if n.Scalar != "" {
+		if _, ok := f.Widgets[n.Scalar]; ok {
+			mark(n.Scalar)
+		}
+	}
+	for _, e := range n.Entries {
+		if _, ok := f.Widgets[e.Key]; ok {
+			mark(e.Key)
+		}
+		markWidgetRefs(e.Value, f, mark)
+	}
+	for _, it := range n.Items {
+		markWidgetRefs(it, f, mark)
+	}
+}
+
+// defLine returns a data object's declaring line (0 if undeclared).
+func defLine(f *flowfile.File, name string) int {
+	if d, ok := f.Data[name]; ok {
+		return d.Line
+	}
+	return 0
+}
+
+// entryLine returns a map entry's value line, falling back when absent.
+func entryLine(e flowfile.MapEntry, fallback int) int {
+	if e.Value != nil && e.Value.Line > 0 {
+		return e.Value.Line
+	}
+	return fallback
+}
+
+// cleanMsg strips engine prefixes, mirroring diagnose.
+func cleanMsg(msg string) string {
+	for _, prefix := range []string{"batch: ", "dag: ", "connector: ", "expr: ", "schema: ", "cube: ", "task: "} {
+		msg = strings.ReplaceAll(msg, prefix, "")
+	}
+	return msg
+}
+
+func hasString(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}

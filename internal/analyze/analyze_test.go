@@ -1,0 +1,630 @@
+package analyze
+
+import (
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+
+	"shareinsights/internal/connector"
+	"shareinsights/internal/flowfile"
+	"shareinsights/internal/task"
+)
+
+func lintSrc(t *testing.T, src string) *Report {
+	t.Helper()
+	f, err := flowfile.Parse("demo", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Lint(f, Options{
+		Tasks:      task.NewRegistry(),
+		Connectors: connector.NewRegistry(connector.Options{DataDir: "."}),
+	})
+}
+
+func findRule(r *Report, rule string) []Finding {
+	var out []Finding
+	for _, f := range r.Findings {
+		if f.Rule == rule {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// TestRules exercises every rule family with a minimal failing flow.
+func TestRules(t *testing.T) {
+	cases := []struct {
+		name     string
+		src      string
+		rule     string
+		severity Severity
+		entity   string
+		msgPart  string
+		hintPart string
+		wantLine bool
+		minCount int
+	}{
+		{
+			name: "FL000 dangling task reference",
+			src: `
+D:
+  src: [region, amount]
+D.src:
+  source: mem:src.csv
+F:
+  +D.out: D.src | T.missing
+`,
+			rule: "FL000", severity: Error, msgPart: "T.missing", wantLine: true,
+		},
+		{
+			name: "FL001 unknown task type with hint",
+			src: `
+D:
+  src: [region, amount]
+D.src:
+  source: mem:src.csv
+F:
+  +D.out: D.src | T.agg
+T:
+  agg:
+    type: groupbyy
+    groupby: [region]
+`,
+			rule: "FL001", severity: Error, entity: "T.agg",
+			msgPart: "groupbyy", hintPart: `"groupby"`, wantLine: true,
+		},
+		{
+			name: "FL002 topn without orderby_column",
+			src: `
+D:
+  src: [region, amount]
+D.src:
+  source: mem:src.csv
+F:
+  +D.out: D.src | T.top
+T:
+  top:
+    type: topn
+    groupby: [region]
+    limit: 5
+`,
+			rule: "FL002", severity: Error, entity: "T.top",
+			msgPart: "orderby_column", hintPart: "rank rows", wantLine: true,
+		},
+		{
+			name: "FL003 misspelled filter column with hint",
+			src: `
+D:
+  src: [region, amount]
+D.src:
+  source: mem:src.csv
+F:
+  +D.out: D.src | T.keep
+T:
+  keep:
+    type: filter_by
+    filter_expression: amont > 3
+`,
+			rule: "FL003", severity: Error, entity: "T.keep",
+			msgPart: `"amont" not found`, hintPart: `"amount"`, wantLine: true,
+		},
+		{
+			name: "FL003 source without schema",
+			src: `
+D.src:
+  source: mem:src.csv
+F:
+  +D.out: D.src | T.agg
+T:
+  agg:
+    type: groupby
+    groupby: [region]
+`,
+			rule: "FL003", severity: Error, entity: "D.src",
+			msgPart: "no declared schema", wantLine: true,
+		},
+		{
+			name: "FL004 number compared with text",
+			src: `
+D:
+  src: [region, amount]
+D.src:
+  source: mem:src.csv
+F:
+  +D.out: D.src | T.agg | T.keep
+T:
+  agg:
+    type: groupby
+    groupby: [region]
+  keep:
+    type: filter_by
+    filter_expression: count > 'many'
+`,
+			rule: "FL004", severity: Warning, entity: "T.keep",
+			msgPart: "compares count (number) with 'many' (text)", wantLine: true,
+		},
+		{
+			name: "FL010 dead computed sink",
+			src: `
+D:
+  src: [region, amount]
+D.src:
+  source: mem:src.csv
+F:
+  +D.out: D.src | T.agg
+  D.tmp: D.src | T.agg2
+T:
+  agg:
+    type: groupby
+    groupby: [region]
+  agg2:
+    type: groupby
+    groupby: [region]
+`,
+			rule: "FL010", severity: Warning, entity: "D.tmp",
+			msgPart: "never read", wantLine: true,
+		},
+		{
+			name: "FL010 dead declared source",
+			src: `
+D:
+  src: [region, amount]
+  spare: [a, b]
+D.src:
+  source: mem:src.csv
+D.spare:
+  source: mem:spare.csv
+F:
+  +D.out: D.src | T.agg
+T:
+  agg:
+    type: groupby
+    groupby: [region]
+`,
+			rule: "FL010", severity: Warning, entity: "D.spare",
+			msgPart: "never read", wantLine: true,
+		},
+		{
+			name: "FL011 unused task",
+			src: `
+D:
+  src: [region, amount]
+D.src:
+  source: mem:src.csv
+F:
+  +D.out: D.src | T.agg
+T:
+  agg:
+    type: groupby
+    groupby: [region]
+  leftover:
+    type: filter_by
+    filter_expression: amount > 0
+`,
+			rule: "FL011", severity: Warning, entity: "T.leftover", wantLine: true,
+		},
+		{
+			name: "FL012 widget off the layout",
+			src: `
+D:
+  src: [region, amount]
+D.src:
+  source: mem:src.csv
+F:
+  +D.out: D.src | T.agg
+T:
+  agg:
+    type: groupby
+    groupby: [region]
+W:
+  shown:
+    type: Pie
+    source: D.out
+    text: region
+    size: count
+  hidden:
+    type: Pie
+    source: D.out
+    text: region
+    size: count
+L:
+  rows:
+    - [span12: W.shown]
+`,
+			rule: "FL012", severity: Warning, entity: "W.hidden", wantLine: true,
+		},
+		{
+			name: "FL020 aggregate output collides with group key",
+			src: `
+D:
+  src: [region, amount]
+D.src:
+  source: mem:src.csv
+F:
+  +D.out: D.src | T.agg
+T:
+  agg:
+    type: groupby
+    groupby: [region]
+    aggregates:
+      - operator: sum
+        apply_on: amount
+        out_field: region
+`,
+			rule: "FL020", severity: Error, entity: "T.agg",
+			msgPart: "duplicate column", wantLine: true,
+		},
+		{
+			name: "FL021 join keys of different types",
+			src: `
+D:
+  src: [region, amount]
+  other: [body]
+  left: [region, count]
+  right: [body, word]
+D.src:
+  source: mem:src.csv
+D.other:
+  source: mem:other.csv
+F:
+  D.left: D.src | T.agg
+  D.right: D.other | T.upper_word
+  +D.joined: (D.left, D.right) | T.j
+T:
+  agg:
+    type: groupby
+    groupby: [region]
+  upper_word:
+    type: map
+    operator: upper
+    transform: body
+    output: word
+  j:
+    type: join
+    left: left by count
+    right: right by word
+`,
+			rule: "FL021", severity: Warning, entity: "T.j",
+			msgPart: "different types", wantLine: true,
+		},
+		{
+			name: "FL030 unknown widget type with hint",
+			src: `
+D:
+  src: [region, amount]
+D.src:
+  source: mem:src.csv
+F:
+  +D.out: D.src | T.agg
+T:
+  agg:
+    type: groupby
+    groupby: [region]
+W:
+  chart:
+    type: BubleChart
+    source: D.out
+    text: region
+    size: count
+L:
+  rows:
+    - [span12: W.chart]
+`,
+			rule: "FL030", severity: Error, entity: "W.chart",
+			msgPart: "BubleChart", hintPart: `"BubbleChart"`, wantLine: true,
+		},
+		{
+			name: "FL031 unknown widget property with hint",
+			src: `
+D:
+  src: [region, amount]
+D.src:
+  source: mem:src.csv
+F:
+  +D.out: D.src | T.agg
+T:
+  agg:
+    type: groupby
+    groupby: [region]
+W:
+  chart:
+    type: Pie
+    source: D.out
+    txt: region
+    size: count
+L:
+  rows:
+    - [span12: W.chart]
+`,
+			rule: "FL031", severity: Warning, entity: "W.chart",
+			msgPart: `"txt"`, hintPart: `"text"`, wantLine: true,
+		},
+		{
+			name: "FL032 missing required data attribute",
+			src: `
+D:
+  src: [region, amount]
+D.src:
+  source: mem:src.csv
+F:
+  +D.out: D.src | T.agg
+T:
+  agg:
+    type: groupby
+    groupby: [region]
+W:
+  chart:
+    type: Pie
+    source: D.out
+    text: region
+L:
+  rows:
+    - [span12: W.chart]
+`,
+			rule: "FL032", severity: Error, entity: "W.chart",
+			msgPart: `requires data attribute "size"`, wantLine: true,
+		},
+		{
+			name: "FL033 data attribute bound to missing column",
+			src: `
+D:
+  src: [region, amount]
+D.src:
+  source: mem:src.csv
+F:
+  +D.out: D.src | T.agg
+T:
+  agg:
+    type: groupby
+    groupby: [region]
+W:
+  chart:
+    type: Pie
+    source: D.out
+    text: regon
+    size: count
+L:
+  rows:
+    - [span12: W.chart]
+`,
+			rule: "FL033", severity: Error, entity: "W.chart",
+			msgPart: `"regon"`, hintPart: `"region"`, wantLine: true,
+		},
+		{
+			name: "FL040 unknown protocol with hint",
+			src: `
+D:
+  src: [region, amount]
+D.src:
+  source: src.csv
+  protocol: files
+F:
+  +D.out: D.src | T.agg
+T:
+  agg:
+    type: groupby
+    groupby: [region]
+`,
+			rule: "FL040", severity: Error, entity: "D.src",
+			msgPart: `"files"`, hintPart: `"file"`, wantLine: true,
+		},
+		{
+			name: "FL041 unknown data property with hint",
+			src: `
+D:
+  src: [region, amount]
+D.src:
+  source: mem:src.csv
+  formt: csv
+F:
+  +D.out: D.src | T.agg
+T:
+  agg:
+    type: groupby
+    groupby: [region]
+`,
+			rule: "FL041", severity: Warning, entity: "D.src",
+			msgPart: `"formt"`, hintPart: `"format"`, wantLine: true,
+		},
+		{
+			name: "FL050 filter blocked behind a producing stage",
+			src: `
+D:
+  src: [region, amount]
+D.src:
+  source: mem:src.csv
+F:
+  +D.out: D.src | T.agg | T.keep
+T:
+  agg:
+    type: groupby
+    groupby: [region]
+  keep:
+    type: filter_by
+    filter_expression: count > 3
+`,
+			rule: "FL050", severity: Info, entity: "T.keep",
+			msgPart: "cannot be pushed ahead of T.agg", wantLine: true,
+		},
+		{
+			name: "FL051 topn ordered by its own group key",
+			src: `
+D:
+  src: [region, amount]
+D.src:
+  source: mem:src.csv
+F:
+  +D.out: D.src | T.top
+T:
+  top:
+    type: topn
+    groupby: [region]
+    orderby_column: [region DESC]
+    limit: 5
+`,
+			rule: "FL051", severity: Info, entity: "T.top",
+			msgPart: "grouping key", wantLine: true,
+		},
+		{
+			name: "FL051 sort feeding a limit",
+			src: `
+D:
+  src: [region, amount]
+D.src:
+  source: mem:src.csv
+F:
+  +D.out: D.src | T.bysize | T.first10
+T:
+  bysize:
+    type: sort
+    orderby_column: [amount DESC]
+  first10:
+    type: limit
+    limit: 10
+`,
+			rule: "FL051", severity: Info, entity: "T.bysize",
+			msgPart: "topn task computes the same result", wantLine: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			report := lintSrc(t, tc.src)
+			got := findRule(report, tc.rule)
+			if len(got) == 0 {
+				t.Fatalf("no %s finding; report:\n%s", tc.rule, renderReport(report))
+			}
+			f := got[0]
+			if tc.entity != "" {
+				f = Finding{}
+				for _, cand := range got {
+					if cand.Entity == tc.entity {
+						f = cand
+						break
+					}
+				}
+				if f.Rule == "" {
+					t.Fatalf("no %s finding for %s; report:\n%s", tc.rule, tc.entity, renderReport(report))
+				}
+			}
+			if f.Severity != tc.severity {
+				t.Errorf("severity = %s, want %s", f.Severity, tc.severity)
+			}
+			if tc.msgPart != "" && !strings.Contains(f.Message, tc.msgPart) {
+				t.Errorf("message = %q, want it to contain %q", f.Message, tc.msgPart)
+			}
+			if tc.hintPart != "" && !strings.Contains(f.Hint, tc.hintPart) {
+				t.Errorf("hint = %q, want it to contain %q", f.Hint, tc.hintPart)
+			}
+			if tc.wantLine && f.Line == 0 {
+				t.Errorf("finding has no line: %s", f)
+			}
+			if tc.minCount > 0 && len(got) < tc.minCount {
+				t.Errorf("got %d %s findings, want at least %d", len(got), tc.rule, tc.minCount)
+			}
+		})
+	}
+}
+
+func renderReport(r *Report) string {
+	var b strings.Builder
+	for _, f := range r.Findings {
+		b.WriteString(f.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestCleanFlowHasNoFindings pins the zero-noise property: a wired-up
+// dashboard lints clean.
+func TestCleanFlowHasNoFindings(t *testing.T) {
+	const src = `
+D:
+  src: [region, amount]
+
+D.src:
+  source: mem:src.csv
+  format: csv
+
+F:
+  +D.out: D.src | T.agg
+
+T:
+  agg:
+    type: groupby
+    groupby: [region]
+    aggregates:
+      - operator: sum
+        apply_on: amount
+        out_field: total
+
+W:
+  chart:
+    type: Pie
+    source: D.out
+    text: region
+    size: total
+
+L:
+  rows:
+    - [span12: W.chart]
+`
+	report := lintSrc(t, src)
+	if len(report.Findings) != 0 {
+		t.Fatalf("want a clean report, got:\n%s", renderReport(report))
+	}
+}
+
+// TestFindingString pins the rendered form the CLI prints.
+func TestFindingString(t *testing.T) {
+	f := Finding{Rule: "FL003", Severity: Error, Entity: "T.keep", Line: 12,
+		Message: `column "amont" not found`, Hint: `did you mean "amount"?`}
+	want := `FL003 error: T.keep (line 12): column "amont" not found — did you mean "amount"?`
+	if f.String() != want {
+		t.Fatalf("String() = %q, want %q", f.String(), want)
+	}
+}
+
+// TestGoldenIPLExample lints the shipped §3.7 example dashboards — both
+// the data-processing and the data-consumption flow must stay clean, so
+// the linter never nags about idiomatic files.
+func TestGoldenIPLExample(t *testing.T) {
+	src, err := os.ReadFile("../../examples/ipl/main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := regexp.MustCompile("(?s)const (processingFlow|consumptionFlow) = `(.*?)`")
+	matches := re.FindAllStringSubmatch(string(src), -1)
+	if len(matches) != 2 {
+		t.Fatalf("found %d flow constants in examples/ipl/main.go, want 2", len(matches))
+	}
+	for _, m := range matches {
+		name, flow := m[1], m[2]
+		t.Run(name, func(t *testing.T) {
+			report := lintSrc(t, flow)
+			if len(report.Findings) != 0 {
+				t.Fatalf("examples/ipl %s lints dirty:\n%s", name, renderReport(report))
+			}
+		})
+	}
+}
+
+// TestLintToleratesBrokenFiles pins that Lint never panics and keeps
+// reporting whatever it can on structurally damaged input.
+func TestLintToleratesBrokenFiles(t *testing.T) {
+	srcs := []string{
+		"",
+		"D:\n  x: [a]\n",
+		"F:\n  +D.out: D.ghost | T.ghost\n",
+		"W:\n  w:\n    type: Nope\n",
+		"L:\n  rows:\n    - [span12: W.nobody]\n",
+	}
+	for _, src := range srcs {
+		f, err := flowfile.Parse("broken", src)
+		if err != nil {
+			continue
+		}
+		_ = Lint(f, Options{Tasks: task.NewRegistry()})
+	}
+}

@@ -1,0 +1,259 @@
+package analyze
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+
+	"shareinsights/internal/dag"
+	"shareinsights/internal/diagnose"
+	"shareinsights/internal/flowfile"
+	"shareinsights/internal/schema"
+	"shareinsights/internal/task"
+)
+
+// resolveAndWalk resolves every data object's schema and walks every
+// flow pipeline stage by stage. Unlike dag.Build — which aborts on the
+// first error — the walk is a tolerant fixpoint: each flow binds as soon
+// as its inputs resolve, failures are attributed to the specific task
+// and line, and downstream flows of a failed one are skipped silently
+// (their root cause is already reported).
+func (l *linter) resolveAndWalk() {
+	produced := map[string]bool{}
+	for _, fl := range l.f.Flows {
+		for _, out := range fl.Outputs {
+			produced[out.Name] = true
+		}
+	}
+	// Seed source schemas: declared inline, or resolved from the shared
+	// catalog. Source column types are unknown — values are parsed
+	// dynamically — so inference starts at the first deriving task.
+	for _, name := range l.f.DataOrder {
+		if produced[name] {
+			continue
+		}
+		d := l.f.Data[name]
+		if d.Schema != nil {
+			l.schemas[name] = d.Schema
+			l.types[name] = typeEnv{}
+			continue
+		}
+		if l.opts.Shared != nil {
+			if s, ok := l.opts.Shared(name); ok {
+				l.schemas[name] = s
+				l.types[name] = typeEnv{}
+				continue
+			}
+		}
+		if d.Prop("source") != "" || d.Prop("protocol") != "" {
+			l.add(Finding{Rule: "FL003", Severity: Error, Entity: "D." + name, Line: d.Line,
+				Message: "data object has a source but no declared schema, so its columns cannot be resolved",
+				Hint:    "add a schema: block listing the source's columns"})
+		} else {
+			l.add(Finding{Rule: "FL003", Severity: Warning, Entity: "D." + name, Line: d.Line,
+				Message: "data object is not resolvable locally; assuming a shared publication — its pipelines cannot be checked"})
+		}
+	}
+	// Fixpoint: bind flows whose inputs have all resolved.
+	pending := map[int]bool{}
+	for i, fl := range l.f.Flows {
+		if fl.Pipeline != nil && len(fl.Outputs) > 0 {
+			pending[i] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for i, fl := range l.f.Flows {
+			if !pending[i] || !l.inputsReady(fl.Pipeline) {
+				continue
+			}
+			pending[i] = false
+			changed = true
+			out, env, ok := l.walkPipeline(fl.Pipeline, "D."+fl.Outputs[0].Name, fl.Line)
+			if !ok {
+				continue
+			}
+			for _, o := range fl.Outputs {
+				l.schemas[o.Name] = out
+				l.types[o.Name] = env
+			}
+		}
+	}
+}
+
+// inputsReady reports whether every pipeline input has a resolved schema.
+func (l *linter) inputsReady(p *flowfile.Pipeline) bool {
+	for _, in := range p.Inputs {
+		if l.schemas[in.Name] == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// walkPipeline steps a pipeline's spec chain, mirroring dag.BindPipeline
+// but collecting findings instead of failing fast. It returns the final
+// schema and type environment; ok is false when the walk aborted (a
+// missing input, unparsed task, or bind error — all reported elsewhere
+// or here).
+func (l *linter) walkPipeline(p *flowfile.Pipeline, owner string, ownerLine int) (*schema.Schema, typeEnv, bool) {
+	ins := make([]task.Input, 0, len(p.Inputs))
+	envs := make([]typeEnv, 0, len(p.Inputs))
+	for _, in := range p.Inputs {
+		s := l.schemas[in.Name]
+		if s == nil {
+			return nil, nil, false
+		}
+		ins = append(ins, task.Input{Name: in.Name, Schema: s})
+		env := l.types[in.Name]
+		if env == nil {
+			env = typeEnv{}
+		}
+		envs = append(envs, env)
+	}
+	specs := make([]task.Spec, 0, len(p.Tasks))
+	defs := make([]*flowfile.TaskDef, 0, len(p.Tasks))
+	for _, t := range p.Tasks {
+		def, ok := l.f.Tasks[t.Name]
+		if !ok || l.broken[t.Name] {
+			// Undefined (FL000) or unparsable (FL001/FL002): already
+			// reported; the chain past this point has no schema.
+			return nil, nil, false
+		}
+		specs = append(specs, l.specs[t.Name])
+		defs = append(defs, def)
+	}
+	for k, sp := range specs {
+		l.checkStage(specs, k, defs[k], p.Tasks[k].Name, ins, envs)
+		out, err := sp.Out(ins)
+		if err != nil {
+			l.reportBindError(p.Tasks[k].Name, defs[k], err, ins)
+			return nil, nil, false
+		}
+		env := l.outTypes(sp, defs[k], ins, envs, out)
+		ins = []task.Input{{Name: ins[0].Name, Schema: out}}
+		envs = []typeEnv{env}
+	}
+	// Advisories over the whole chain: filters the optimizer cannot hoist.
+	for _, bf := range dag.BlockedFilters(specs) {
+		name := p.Tasks[bf.Index].Name
+		blocker := p.Tasks[bf.Blocker].Name
+		msg := fmt.Sprintf("filter cannot be pushed ahead of T.%s", blocker)
+		if len(bf.Columns) > 0 {
+			msg += fmt.Sprintf(" (it reads %s, which T.%s produces)", quoteJoin(bf.Columns), blocker)
+		}
+		l.add(Finding{Rule: "FL050", Severity: Info, Entity: "T." + name, Line: defs[bf.Index].Line,
+			Message: msg + "; every row flows through that stage before it can be discarded"})
+	}
+	if len(ins) != 1 {
+		// A multi-input pipeline whose chain never merged them (e.g. no
+		// tasks at all): no single output schema to propagate.
+		return nil, nil, false
+	}
+	return ins[0].Schema, envs[0], true
+}
+
+// checkStage runs the per-stage rules that need the input environment:
+// FL004 expression type mismatches, FL021 join key mismatches, FL051
+// ordering advisories.
+func (l *linter) checkStage(specs []task.Spec, k int, def *flowfile.TaskDef, name string, ins []task.Input, envs []typeEnv) {
+	entity := "T." + name
+	switch t := specs[k].(type) {
+	case *task.FilterSpec:
+		if t.Expression != "" {
+			l.checkExprTypes(t.Expression, envs[0], entity, configLine(def, "filter_expression"))
+		}
+	case *task.MapSpec:
+		if t.Operator == "expr" {
+			l.checkExprTypes(def.Config.Str("expression"), envs[0], entity, configLine(def, "expression"))
+		}
+	case *task.ParallelSpec:
+		for i, sub := range t.Subs {
+			ms, ok := sub.(*task.MapSpec)
+			if !ok || ms.Operator != "expr" || i >= len(t.Names) {
+				continue
+			}
+			if sdef, ok := l.f.Tasks[t.Names[i]]; ok {
+				l.checkExprTypes(sdef.Config.Str("expression"), envs[0], "T."+t.Names[i], configLine(sdef, "expression"))
+			}
+		}
+	case *task.JoinSpec:
+		l.checkJoinKeys(t, entity, def, ins, envs)
+	case *task.TopNSpec:
+		for _, key := range t.OrderBy {
+			if hasString(t.GroupBy, key.Column) {
+				l.add(Finding{Rule: "FL051", Severity: Info, Entity: entity, Line: def.Line,
+					Message: fmt.Sprintf("orderby column %q is also a grouping key — it is constant within each group and cannot rank rows", key.Column)})
+			}
+		}
+	case *task.SortSpec:
+		if k+1 < len(specs) {
+			if lim, ok := specs[k+1].(*task.LimitSpec); ok {
+				l.add(Finding{Rule: "FL051", Severity: Info, Entity: entity, Line: def.Line,
+					Message: fmt.Sprintf("sort feeding a limit keeps only %d rows; a topn task computes the same result without sorting the full input", lim.N)})
+			}
+		}
+	}
+}
+
+// checkJoinKeys compares the inferred types of paired join keys: FL021.
+func (l *linter) checkJoinKeys(j *task.JoinSpec, entity string, def *flowfile.TaskDef, ins []task.Input, envs []typeEnv) {
+	if len(ins) != 2 || len(envs) != 2 {
+		return
+	}
+	left, right := envs[0], envs[1]
+	if ins[0].Name == j.RightName && ins[1].Name == j.LeftName && j.LeftName != j.RightName {
+		left, right = right, left
+	}
+	for i := 0; i < len(j.LeftKeys) && i < len(j.RightKeys); i++ {
+		lt, rt := left[j.LeftKeys[i]], right[j.RightKeys[i]]
+		if conflict(lt, rt) {
+			l.add(Finding{Rule: "FL021", Severity: Warning, Entity: entity, Line: def.Line,
+				Message: fmt.Sprintf("join keys %q (%s) and %q (%s) have different types; rows will never match",
+					j.LeftKeys[i], lt, j.RightKeys[i], rt)})
+		}
+	}
+}
+
+var bindColumnRe = regexp.MustCompile(`column "([^"]+)" not found \(have ([^)]*)\)`)
+
+// reportBindError classifies a spec's Out failure: FL020 duplicate
+// output columns, FL003 everything else (missing columns get a
+// did-you-mean hint against the in-scope schema).
+func (l *linter) reportBindError(name string, def *flowfile.TaskDef, err error, ins []task.Input) {
+	msg := cleanMsg(err.Error())
+	rule := "FL003"
+	if strings.Contains(msg, "duplicate column") {
+		rule = "FL020"
+	}
+	fd := Finding{Rule: rule, Severity: Error, Entity: "T." + name, Line: def.Line, Message: msg}
+	if m := bindColumnRe.FindStringSubmatch(msg); m != nil {
+		if hint := diagnose.Nearest(m[1], strings.Split(m[2], ",")); hint != "" {
+			fd.Hint = fmt.Sprintf("did you mean %q?", hint)
+		}
+	} else if m := regexp.MustCompile(`column "([^"]+)" not found`).FindStringSubmatch(msg); m != nil && len(ins) > 0 {
+		if hint := diagnose.Nearest(m[1], ins[0].Schema.Names()); hint != "" {
+			fd.Hint = fmt.Sprintf("did you mean %q?", hint)
+		}
+	}
+	l.add(fd)
+}
+
+// configLine returns the line of a task's configuration key, falling
+// back to the task declaration.
+func configLine(def *flowfile.TaskDef, key string) int {
+	if def.Config != nil {
+		if n := def.Config.Get(key); n != nil && n.Line > 0 {
+			return n.Line
+		}
+	}
+	return def.Line
+}
+
+func quoteJoin(cols []string) string {
+	parts := make([]string, len(cols))
+	for i, c := range cols {
+		parts[i] = fmt.Sprintf("%q", c)
+	}
+	return strings.Join(parts, ", ")
+}

@@ -53,6 +53,89 @@ func (g *Graph) DeadSinks() []string {
 	return out
 }
 
+// DeadSources returns the source data objects nothing consumes: not an
+// endpoint, not published, feeding no flow and no widget. The complement
+// of DeadSinks — a declared ingest that no pipeline ever reads is almost
+// always a leftover from editing, so the linter flags it.
+func (g *Graph) DeadSources() []string {
+	var out []string
+	for _, name := range g.Order {
+		n := g.Nodes[name]
+		if !n.IsSource() || n.Def.Endpoint || n.Def.Publish != "" {
+			continue
+		}
+		if len(n.Consumers) == 0 {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// BlockedFilter describes an expression filter that PushdownFilters
+// cannot hoist to the head of its chain: an earlier stage produces a
+// column the filter reads, so every row must flow through that stage
+// before it can be discarded.
+type BlockedFilter struct {
+	// Index is the filter's position in the spec chain.
+	Index int
+	// Blocker is the position of the nearest stage the filter cannot
+	// commute past.
+	Blocker int
+	// Columns are the filter's referenced columns that the blocking stage
+	// produces (empty when the blocker is simply not a map stage).
+	Columns []string
+}
+
+// BlockedFilters reports, for each expression filter in the chain that is
+// not already first, how far PushdownFilters can move it and what stops
+// it. Filters that reach position 0 are not reported — the optimizer
+// handles them; the remainder are lint advisories.
+func BlockedFilters(specs []task.Spec) []BlockedFilter {
+	var out []BlockedFilter
+	for i, sp := range specs {
+		f, ok := sp.(*task.FilterSpec)
+		if !ok || f.Expression == "" || f.SourceWidget != "" || i == 0 {
+			continue
+		}
+		cols, err := expr.ReferencedColumns(f.Expression)
+		if err != nil {
+			continue
+		}
+		need := map[string]bool{}
+		for _, c := range cols {
+			need[c] = true
+		}
+		j := i
+		for j > 0 && commutesWithFilter(specs[j-1], need) {
+			j--
+		}
+		if j == 0 {
+			continue
+		}
+		var produced []string
+		switch t := specs[j-1].(type) {
+		case *task.MapSpec:
+			for _, c := range mapOutColumns(t) {
+				if need[c] {
+					produced = append(produced, c)
+				}
+			}
+		case *task.ParallelSpec:
+			for _, sub := range t.Subs {
+				if ms, ok := sub.(*task.MapSpec); ok {
+					for _, c := range mapOutColumns(ms) {
+						if need[c] {
+							produced = append(produced, c)
+						}
+					}
+				}
+			}
+		}
+		out = append(out, BlockedFilter{Index: i, Blocker: j - 1, Columns: produced})
+	}
+	return out
+}
+
 // SplitAtInteraction divides a widget source pipeline into the stages
 // that can run once on the server (producing the widget's endpoint data)
 // and the stages that must re-run in the client data cube on every

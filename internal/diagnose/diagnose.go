@@ -68,7 +68,14 @@ func Diagnose(f *flowfile.File, err error) []Diagnostic {
 	var out []Diagnostic
 	if ve, ok := err.(*flowfile.ValidationError); ok {
 		for _, p := range ve.Problems {
-			out = append(out, diagnoseOne(f, p))
+			d := diagnoseOne(f, p.Message)
+			if p.Line > 0 {
+				// The problem records the offending reference's own line
+				// (flow, task or layout row), which is more precise than
+				// the referenced entity's declaration.
+				d.Line = p.Line
+			}
+			out = append(out, d)
 		}
 		return out
 	}
@@ -124,6 +131,11 @@ func cleanMessage(msg string) string {
 	}
 	return msg
 }
+
+// Nearest picks the closest candidate within edit distance 2 ("" when
+// nothing is close). The static analyzer (internal/analyze) reuses it
+// for did-you-mean hints so lint and runtime diagnostics agree.
+func Nearest(target string, candidates []string) string { return nearest(target, candidates) }
 
 // nearest picks the closest candidate within edit distance 2.
 func nearest(target string, candidates []string) string {

@@ -586,6 +586,28 @@ func (p *parser) parsePrimary() (Node, error) {
 
 // ReferencedColumns returns the column names referenced by the source
 // expression, or an error if it does not parse.
+// Walk calls fn for n and then every descendant, depth-first. The
+// static analyzer (internal/analyze) uses it to inspect expression
+// shape — literal kinds, operator operands — without re-implementing
+// the traversal for each AST node type.
+func Walk(n Node, fn func(Node)) {
+	if n == nil {
+		return
+	}
+	fn(n)
+	switch t := n.(type) {
+	case *Unary:
+		Walk(t.X, fn)
+	case *Tuple:
+		for _, it := range t.Items {
+			Walk(it, fn)
+		}
+	case *Binary:
+		Walk(t.L, fn)
+		Walk(t.R, fn)
+	}
+}
+
 func ReferencedColumns(src string) ([]string, error) {
 	n, err := Parse(src)
 	if err != nil {

@@ -5,26 +5,60 @@ import (
 	"strings"
 )
 
+// Problem is one validation finding with the source line it refers to —
+// the line of the offending flow, task, widget or layout row, so the
+// editor and the lint report render validation and analysis findings
+// uniformly.
+type Problem struct {
+	// Line is the 1-based source line (0 when unknown).
+	Line int
+	// Message describes the problem in flow-file vocabulary.
+	Message string
+}
+
+// String renders the problem with its line prefix.
+func (p Problem) String() string {
+	if p.Line > 0 {
+		return fmt.Sprintf("line %d: %s", p.Line, p.Message)
+	}
+	return p.Message
+}
+
 // ValidationError collects all problems found in a flow file so users see
 // every issue at once — the paper's §5.2 learnings call out error
 // reporting as the platform's weakest point, so validation is thorough
 // and names the offending section entries.
 type ValidationError struct {
 	// Problems are the individual findings.
-	Problems []string
+	Problems []Problem
 }
 
 // Error implements error.
 func (e *ValidationError) Error() string {
-	return fmt.Sprintf("flow file invalid: %s", strings.Join(e.Problems, "; "))
+	msgs := make([]string, len(e.Problems))
+	for i, p := range e.Problems {
+		msgs[i] = p.String()
+	}
+	return fmt.Sprintf("flow file invalid: %s", strings.Join(msgs, "; "))
 }
 
-func (e *ValidationError) add(format string, args ...any) {
-	e.Problems = append(e.Problems, fmt.Sprintf(format, args...))
+func (e *ValidationError) add(line int, format string, args ...any) {
+	e.Problems = append(e.Problems, Problem{Line: line, Message: fmt.Sprintf(format, args...)})
+}
+
+// label names a flow by its first output for messages, guarding against
+// programmatically built flows with no outputs (the parser always
+// produces at least one, but Validate must not panic on any File).
+func (fl *Flow) label() string {
+	if len(fl.Outputs) == 0 {
+		return "(no outputs)"
+	}
+	return fl.Outputs[0].String()
 }
 
 // Validate cross-checks the sections of the file:
 //
+//   - every flow has at least one output and a pipeline,
 //   - every task referenced from a flow or widget source exists in T,
 //   - every data object referenced from a flow or widget source is
 //     declared, produced by a flow, or plausibly a shared (published)
@@ -41,15 +75,22 @@ func (f *File) Validate(allowShared bool) error {
 	e := &ValidationError{}
 	produced := map[string]int{}
 	for _, fl := range f.Flows {
+		if len(fl.Outputs) == 0 {
+			e.add(fl.Line, "flow has no output data objects")
+		}
+		if fl.Pipeline == nil {
+			e.add(fl.Line, "flow for %s has no pipeline", fl.label())
+			continue
+		}
 		for _, out := range fl.Outputs {
 			produced[out.Name]++
 			if produced[out.Name] > 1 {
-				e.add("data object D.%s is produced by more than one flow", out.Name)
+				e.add(fl.Line, "data object D.%s is produced by more than one flow", out.Name)
 			}
 		}
 		for _, t := range fl.Pipeline.Tasks {
 			if _, ok := f.Tasks[t.Name]; !ok {
-				e.add("flow for %s references undefined task T.%s", fl.Outputs[0], t.Name)
+				e.add(fl.Line, "flow for %s references undefined task T.%s", fl.label(), t.Name)
 			}
 		}
 	}
@@ -65,9 +106,12 @@ func (f *File) Validate(allowShared bool) error {
 		return allowShared
 	}
 	for _, fl := range f.Flows {
+		if fl.Pipeline == nil {
+			continue
+		}
 		for _, in := range fl.Pipeline.Inputs {
 			if !resolvable(in.Name) {
-				e.add("flow for %s reads D.%s which has no source, producing flow, or shared publication", fl.Outputs[0], in.Name)
+				e.add(fl.Line, "flow for %s reads D.%s which has no source, producing flow, or shared publication", fl.label(), in.Name)
 			}
 		}
 	}
@@ -76,12 +120,12 @@ func (f *File) Validate(allowShared bool) error {
 		if w.Source != nil {
 			for _, in := range w.Source.Inputs {
 				if !resolvable(in.Name) {
-					e.add("widget W.%s reads D.%s which is not resolvable", name, in.Name)
+					e.add(w.Line, "widget W.%s reads D.%s which is not resolvable", name, in.Name)
 				}
 			}
 			for _, t := range w.Source.Tasks {
 				if _, ok := f.Tasks[t.Name]; !ok {
-					e.add("widget W.%s references undefined task T.%s", name, t.Name)
+					e.add(w.Line, "widget W.%s references undefined task T.%s", name, t.Name)
 				}
 			}
 		}
@@ -92,12 +136,12 @@ func (f *File) Validate(allowShared bool) error {
 		if src := t.Config.Str("filter_source"); src != "" {
 			ref, err := ParseRef(src)
 			if err != nil {
-				e.add("task T.%s: bad filter_source %q", name, src)
+				e.add(t.Line, "task T.%s: bad filter_source %q", name, src)
 				continue
 			}
 			if ref.Section == "W" {
 				if _, ok := f.Widgets[ref.Name]; !ok {
-					e.add("task T.%s filter_source references undefined widget W.%s", name, ref.Name)
+					e.add(t.Line, "task T.%s filter_source references undefined widget W.%s", name, ref.Name)
 				}
 			}
 		}
@@ -108,11 +152,11 @@ func (f *File) Validate(allowShared bool) error {
 			for _, cell := range row.Cells {
 				span += cell.Span
 				if _, ok := f.Widgets[cell.Widget]; !ok {
-					e.add("layout row %d references undefined widget W.%s", i+1, cell.Widget)
+					e.add(f.Layout.Line, "layout row %d references undefined widget W.%s", i+1, cell.Widget)
 				}
 			}
 			if span > 12 {
-				e.add("layout row %d spans %d columns (max 12)", i+1, span)
+				e.add(f.Layout.Line, "layout row %d spans %d columns (max 12)", i+1, span)
 			}
 		}
 	}
@@ -146,6 +190,9 @@ func (f *File) SharedInputs() []string {
 	}
 	need := map[string]bool{}
 	collect := func(p *Pipeline) {
+		if p == nil {
+			return
+		}
 		for _, in := range p.Inputs {
 			d := f.Data[in.Name]
 			local := produced[in.Name] || (d != nil && (d.Prop("source") != "" || d.Prop("protocol") != ""))

@@ -1,0 +1,93 @@
+package flowfile
+
+import (
+	"strings"
+	"testing"
+)
+
+// A programmatically built flow with no outputs must be reported, not
+// panic Validate (the parser always produces at least one output, but
+// Validate is also called on synthesized files).
+func TestValidateZeroOutputFlow(t *testing.T) {
+	f := &File{
+		Name: "synth",
+		Data: map[string]*DataDef{},
+		Flows: []*Flow{{
+			Line:     3,
+			Pipeline: &Pipeline{Inputs: []Ref{{Section: "D", Name: "src"}}},
+		}},
+		Tasks:   map[string]*TaskDef{},
+		Widgets: map[string]*WidgetDef{},
+	}
+	err := f.Validate(true)
+	if err == nil {
+		t.Fatal("want a validation error for a flow with no outputs")
+	}
+	if !strings.Contains(err.Error(), "no output data objects") {
+		t.Fatalf("error = %q, want it to mention missing outputs", err)
+	}
+}
+
+// A flow without a pipeline must also be reported without panicking.
+func TestValidateNilPipelineFlow(t *testing.T) {
+	f := &File{
+		Name:    "synth",
+		Data:    map[string]*DataDef{},
+		Flows:   []*Flow{{Line: 7, Outputs: []Ref{{Section: "D", Name: "out"}}}},
+		Tasks:   map[string]*TaskDef{},
+		Widgets: map[string]*WidgetDef{},
+	}
+	err := f.Validate(true)
+	if err == nil {
+		t.Fatal("want a validation error for a flow with no pipeline")
+	}
+	if !strings.Contains(err.Error(), "has no pipeline") {
+		t.Fatalf("error = %q, want it to mention the missing pipeline", err)
+	}
+	// SharedInputs walks the same flows and must tolerate the nil too.
+	if got := f.SharedInputs(); len(got) != 0 {
+		t.Fatalf("SharedInputs = %v, want none", got)
+	}
+}
+
+// Validation problems carry the offending reference's source line, so
+// the CLI, editor and linter all render "line N" uniformly.
+func TestValidateProblemsCarryLines(t *testing.T) {
+	const src = `
+D:
+  sales: [region, amount]
+
+D.sales:
+  source: sales.csv
+
+F:
+  +D.out: D.sales | T.missing
+`
+	f, err := Parse("demo", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verr := f.Validate(true)
+	if verr == nil {
+		t.Fatal("want a validation error for the dangling task reference")
+	}
+	ve, ok := verr.(*ValidationError)
+	if !ok {
+		t.Fatalf("error type = %T, want *ValidationError", verr)
+	}
+	found := false
+	for _, p := range ve.Problems {
+		if strings.Contains(p.Message, "T.missing") {
+			found = true
+			if p.Line == 0 {
+				t.Fatalf("problem %q has no line", p.Message)
+			}
+			if !strings.Contains(p.String(), "line ") {
+				t.Fatalf("problem String() = %q, want a line prefix", p.String())
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no problem mentions T.missing: %v", ve.Problems)
+	}
+}

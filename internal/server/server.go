@@ -17,6 +17,7 @@
 //	GET  /dashboards/{name}/log                commit history
 //	PUT  /dashboards/{name}/data/{file}        upload a data/dictionary file (§4.3.2)
 //	GET  /dashboards/{name}/profile            §6 data-profile meta-dashboard
+//	GET  /dashboards/{name}/lint               static analysis findings (docs/LINTING.md)
 //	GET  /shared                               the published-objects catalog
 //
 // Type-checking and execution errors surface as JSON {error: ...} bodies.
@@ -31,6 +32,7 @@ import (
 	"strings"
 	"sync"
 
+	"shareinsights/internal/analyze"
 	"shareinsights/internal/connector"
 	"shareinsights/internal/dashboard"
 	"shareinsights/internal/diagnose"
@@ -88,6 +90,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /dashboards/{name}/log", s.handleLog)
 	mux.HandleFunc("PUT /dashboards/{name}/data/{file}", s.handleUpload)
 	mux.HandleFunc("GET /dashboards/{name}/profile", s.handleProfile)
+	mux.HandleFunc("GET /dashboards/{name}/lint", s.handleLint)
 	mux.HandleFunc("GET /shared", s.handleShared)
 	mux.HandleFunc("GET /dashboards/{name}/edit", s.handleEditor)
 	s.vcsRoutes(mux)
@@ -158,7 +161,55 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 		jsonError(w, http.StatusInternalServerError, err)
 		return
 	}
-	jsonOK(w, map[string]string{"dashboard": name, "commit": hash})
+	resp := map[string]any{"dashboard": name, "commit": hash}
+	// The save already passed validation, so lint findings here are
+	// advisory: the commit stands either way, the editor just shows them.
+	if report := s.lintFile(f); len(report.Findings) > 0 {
+		resp["lint"] = report.Findings
+	}
+	jsonOK(w, resp)
+}
+
+// lintFile runs the static analyzer against the platform's registries
+// and shared catalog.
+func (s *Server) lintFile(f *flowfile.File) *analyze.Report {
+	opts := analyze.Options{Tasks: s.platform.Tasks, Connectors: s.platform.Connectors}
+	if s.platform.Catalog != nil {
+		opts.Shared = s.platform.Catalog.ResolveSchema
+	}
+	return analyze.Lint(f, opts)
+}
+
+// handleLint re-analyzes the latest committed flow file on demand —
+// the editor's "check my dashboard" button, no execution involved.
+func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mu.RLock()
+	repo, ok := s.repos[name]
+	s.mu.RUnlock()
+	if !ok {
+		jsonError(w, http.StatusNotFound, fmt.Errorf("no dashboard %q", name))
+		return
+	}
+	content, err := repo.Content(vcs.DefaultBranch)
+	if err != nil {
+		jsonError(w, http.StatusInternalServerError, err)
+		return
+	}
+	f, err := flowfile.Parse(name, string(content))
+	if err != nil {
+		jsonError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	report := s.lintFile(f)
+	errs, warns, infos := report.Counts()
+	jsonOK(w, map[string]any{
+		"dashboard": name,
+		"findings":  report.Findings,
+		"errors":    errs,
+		"warnings":  warns,
+		"infos":     infos,
+	})
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {

@@ -168,6 +168,82 @@ func TestPutRejectsBadFlowFile(t *testing.T) {
 	}
 }
 
+// A valid save with a lintable mistake still commits, but the response
+// carries the advisory findings — the editor's non-blocking warnings.
+func TestPutReturnsLintFindings(t *testing.T) {
+	_, ts := newTestServer(t)
+	flow := strings.Replace(serverFlow, "+D.by_region: D.sales | T.sum_by_region",
+		"+D.by_region: D.sales | T.keep | T.sum_by_region", 1) +
+		"  keep:\n    type: filter_by\n    filter_expression: amont > 3\n"
+	code, body := do(t, http.MethodPut, ts.URL+"/dashboards/warned", flow)
+	if code != 200 {
+		t.Fatalf("PUT = %d: %s", code, body)
+	}
+	var resp struct {
+		Commit string `json:"commit"`
+		Lint   []struct {
+			Rule   string `json:"rule"`
+			Entity string `json:"entity"`
+			Hint   string `json:"hint"`
+		} `json:"lint"`
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Commit == "" {
+		t.Fatal("lint findings must not block the commit")
+	}
+	found := false
+	for _, f := range resp.Lint {
+		if f.Rule == "FL003" && f.Entity == "T.keep" && strings.Contains(f.Hint, `"amount"`) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("PUT response lacks the FL003 finding: %s", body)
+	}
+	// A clean save carries no lint key at all.
+	code, body = do(t, http.MethodPut, ts.URL+"/dashboards/clean", serverFlow)
+	if code != 200 || strings.Contains(string(body), `"lint"`) {
+		t.Fatalf("clean PUT = %d: %s", code, body)
+	}
+}
+
+func TestLintRoute(t *testing.T) {
+	_, ts := newTestServer(t)
+	flow := strings.Replace(serverFlow, "+D.by_region: D.sales | T.sum_by_region",
+		"+D.by_region: D.sales | T.keep | T.sum_by_region", 1) +
+		"  keep:\n    type: filter_by\n    filter_expression: amont > 3\n"
+	if code, body := do(t, http.MethodPut, ts.URL+"/dashboards/lintme", flow); code != 200 {
+		t.Fatalf("PUT = %d: %s", code, body)
+	}
+	code, body := do(t, http.MethodGet, ts.URL+"/dashboards/lintme/lint", "")
+	if code != 200 {
+		t.Fatalf("GET lint = %d: %s", code, body)
+	}
+	var resp struct {
+		Findings []struct {
+			Rule     string `json:"rule"`
+			Severity string `json:"severity"`
+			Line     int    `json:"line"`
+		} `json:"findings"`
+		Errors int `json:"errors"`
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Errors == 0 || len(resp.Findings) == 0 {
+		t.Fatalf("lint route reports nothing: %s", body)
+	}
+	if resp.Findings[0].Rule == "" || resp.Findings[0].Severity == "" || resp.Findings[0].Line == 0 {
+		t.Fatalf("finding missing fields: %s", body)
+	}
+	// Unknown dashboards 404.
+	if code, _ := do(t, http.MethodGet, ts.URL+"/dashboards/ghost/lint", ""); code != 404 {
+		t.Fatalf("lint of unknown dashboard = %d, want 404", code)
+	}
+}
+
 func TestRunFailureSurfacesError(t *testing.T) {
 	_, ts := newTestServer(t)
 	// References a mem source that does not exist.
