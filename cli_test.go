@@ -185,3 +185,43 @@ func TestCLIRace2Insights(t *testing.T) {
 		t.Fatalf("obs: %v\n%s", err, out)
 	}
 }
+
+// TestCLITraceAndTime drives the observability surfaces of the CLI:
+// run -trace prints the execution span tree, -trace-json writes a
+// Chrome trace-event file, and time reports cache hits and
+// optimizer-skipped sinks alongside the slowest stages.
+func TestCLITraceAndTime(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := writeFlowDir(t)
+	flow := filepath.Join(dir, "demo.flow")
+
+	out, err := runCLI(t, "shareinsights", "run", "-trace", flow)
+	if err != nil {
+		t.Fatalf("run -trace: %v\n%s", err, out)
+	}
+	for _, want := range []string{"execution trace:", "run demo", "source D.sales", "node D.by_region", "stage groupby region"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("run -trace output missing %q:\n%s", want, out)
+		}
+	}
+
+	traceFile := filepath.Join(dir, "trace.json")
+	out, err = runCLI(t, "shareinsights", "run", "-trace-json", traceFile, flow)
+	if err != nil || !strings.Contains(out, "wrote "+traceFile) {
+		t.Fatalf("run -trace-json: %v\n%s", err, out)
+	}
+	b, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(strings.TrimSpace(string(b)), "[") || !strings.Contains(string(b), `"ph":"X"`) {
+		t.Errorf("trace file is not Chrome trace-event JSON:\n%s", b)
+	}
+
+	out, err = runCLI(t, "shareinsights", "time", flow)
+	if err != nil || !strings.Contains(out, "cache hits: none") || !strings.Contains(out, "skipped sinks: none") {
+		t.Fatalf("time: %v\n%s", err, out)
+	}
+}

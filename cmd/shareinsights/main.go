@@ -52,7 +52,17 @@ func main() {
 	cmd, args := os.Args[1], os.Args[2:]
 	switch cmd {
 	case "run", "explore":
-		d := mustRun(mustArg(args, "flow file"))
+		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+		showTrace := fs.Bool("trace", false, "print the run's execution span tree")
+		traceJSON := fs.String("trace-json", "", "write the run's trace as Chrome trace-event JSON to `file`")
+		fs.Parse(args)
+		var trace *shareinsights.Trace
+		d := mustRunTraced(mustArg(fs.Args(), "flow file"), func(p *shareinsights.Platform, name string) {
+			if *showTrace || *traceJSON != "" {
+				trace = shareinsights.NewTrace(name)
+				p.Tracer = trace
+			}
+		})
 		for _, name := range d.EndpointNames() {
 			t, ok := d.Endpoint(name)
 			if !ok {
@@ -63,6 +73,23 @@ func main() {
 				limit = 0
 			}
 			fmt.Printf("== D.%s (%d rows) ==\n%s\n", name, t.Len(), t.Format(limit))
+		}
+		if *showTrace {
+			fmt.Println("execution trace:")
+			trace.Format(os.Stdout)
+		}
+		if *traceJSON != "" {
+			fd, err := os.Create(*traceJSON)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := trace.WriteChrome(fd); err != nil {
+				log.Fatal(err)
+			}
+			if err := fd.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println("wrote", *traceJSON)
 		}
 	case "validate":
 		f := mustParse(mustArg(args, "flow file"))
@@ -146,9 +173,23 @@ func main() {
 		log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
 	case "time":
 		d := mustRun(mustArg(args, "flow file"))
+		st := d.Result().Stats
 		fmt.Println("slowest pipeline stages:")
-		for _, st := range d.Result().Stats.Slowest(10) {
-			fmt.Printf("  %-12v  D.%-20s  %6d rows  %s\n", st.Duration.Round(time.Microsecond), st.Output, st.Rows, st.Stage)
+		for _, s := range st.Slowest(10) {
+			fmt.Printf("  %-12v  D.%-20s  %6d rows  %s\n", s.Duration.Round(time.Microsecond), s.Output, s.Rows, s.Stage)
+		}
+		// RunWithCache also reports what did NOT run: cached nodes and
+		// optimizer-eliminated sinks are as bottleneck-relevant as the
+		// slow stages.
+		if len(st.CacheHits) > 0 {
+			fmt.Printf("cache hits: %s\n", strings.Join(st.CacheHits, ", "))
+		} else {
+			fmt.Println("cache hits: none")
+		}
+		if len(st.SkippedSinks) > 0 {
+			fmt.Printf("skipped sinks: %s\n", strings.Join(st.SkippedSinks, ", "))
+		} else {
+			fmt.Println("skipped sinks: none")
 		}
 	case "profile":
 		d := mustRun(mustArg(args, "flow file"))
@@ -212,8 +253,17 @@ func platformFor(path string) *shareinsights.Platform {
 }
 
 func mustRun(path string) *shareinsights.Dashboard {
+	return mustRunTraced(path, nil)
+}
+
+// mustRunTraced is mustRun with a pre-run platform hook (the run
+// command uses it to attach an execution tracer).
+func mustRunTraced(path string, configure func(*shareinsights.Platform, string)) *shareinsights.Dashboard {
 	f := mustParse(path)
 	p := platformFor(path)
+	if configure != nil {
+		configure(p, f.Name)
+	}
 	// Every regular file beside the flow file is available as a task
 	// resource (dictionaries) and via the data: scheme.
 	resources := map[string][]byte{}

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"shareinsights/internal/flowfile"
+	"shareinsights/internal/obs"
 	"shareinsights/internal/schema"
 	"shareinsights/internal/table"
 )
@@ -198,6 +199,13 @@ func (r *Registry) Decode(d *flowfile.DataDef, s *schema.Schema, payload []byte)
 // Load fetches and decodes a data object. The definition must declare a
 // schema (the explicit schema call-out of §3.2).
 func (r *Registry) Load(d *flowfile.DataDef, s *schema.Schema) (*table.Table, error) {
+	return r.LoadTraced(d, s, nil, 0)
+}
+
+// LoadTraced is Load with execution tracing: one span for the protocol
+// fetch and one for the payload decode, opened under parent on tr. A
+// nil tr traces nothing and adds no allocations.
+func (r *Registry) LoadTraced(d *flowfile.DataDef, s *schema.Schema, tr obs.Tracer, parent int) (*table.Table, error) {
 	if s == nil {
 		return nil, fmt.Errorf("connector: D.%s has no declared schema", d.Name)
 	}
@@ -205,7 +213,15 @@ func (r *Registry) Load(d *flowfile.DataDef, s *schema.Schema) (*table.Table, er
 	if err != nil {
 		return nil, err
 	}
+	fid := 0
+	if tr != nil {
+		fid = tr.StartSpan(parent, "fetch "+pname)
+	}
 	payload, err := p.Fetch(d)
+	if tr != nil {
+		tr.SpanInt(fid, "bytes", int64(len(payload)))
+		tr.EndSpan(fid)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("connector: D.%s via %s: %w", d.Name, pname, err)
 	}
@@ -213,7 +229,17 @@ func (r *Registry) Load(d *flowfile.DataDef, s *schema.Schema) (*table.Table, er
 	if err != nil {
 		return nil, err
 	}
+	did := 0
+	if tr != nil {
+		did = tr.StartSpan(parent, "decode "+fname)
+	}
 	t, err := f.Decode(d, s, payload)
+	if tr != nil {
+		if t != nil {
+			tr.SpanInt(did, "rows_out", int64(t.Len()))
+		}
+		tr.EndSpan(did)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("connector: D.%s as %s: %w", d.Name, fname, err)
 	}

@@ -26,6 +26,7 @@ import (
 	"shareinsights/internal/dag"
 	"shareinsights/internal/engine/batch"
 	"shareinsights/internal/flowfile"
+	"shareinsights/internal/obs"
 	"shareinsights/internal/schema"
 	"shareinsights/internal/share"
 	"shareinsights/internal/table"
@@ -60,6 +61,15 @@ type Platform struct {
 	// Trace receives task-execution telemetry (feeds the Figure 31
 	// platform-usage dashboard).
 	Trace func(taskType string, outRows int)
+	// Tracer receives structured execution spans for every run on the
+	// platform (run → connector fetch → task stage → widget render).
+	// nil disables tracing; per-run tracers can be set on a Dashboard
+	// with SetTracer, which takes precedence. See internal/obs.
+	Tracer obs.Tracer
+	// Metrics, when non-nil, receives engine counters and histograms
+	// (runs, stage timings, rows produced, cache hits). The server
+	// exposes it at GET /metrics.
+	Metrics *obs.Registry
 }
 
 // NewPlatform returns a platform with default services and optimization
@@ -93,6 +103,9 @@ type widgetPlan struct {
 	cube *cubePlan
 }
 
+// StageTiming re-exports the engine's per-stage telemetry record.
+type StageTiming = batch.StageTiming
+
 // Dashboard is a compiled flow file ready to run.
 type Dashboard struct {
 	// Name is the dashboard name.
@@ -107,6 +120,7 @@ type Dashboard struct {
 	plans    map[string]*widgetPlan
 	widgets  map[string]*widget.Instance
 	result   *batch.Result
+	tracer   obs.Tracer
 
 	// TransferredBytes counts endpoint-data bytes shipped from the
 	// processing context to the interactive context in the last Run.
@@ -251,3 +265,17 @@ func (d *Dashboard) Endpoints() []string { return d.Graph.Endpoints() }
 
 // Result exposes the last batch execution.
 func (d *Dashboard) Result() *batch.Result { return d.result }
+
+// SetTracer attaches a per-run tracer to this dashboard, overriding
+// the platform's. The next Run (and subsequent widget refreshes)
+// record their spans on it; nil reverts to the platform tracer.
+func (d *Dashboard) SetTracer(tr obs.Tracer) { d.tracer = tr }
+
+// Tracer returns the effective tracer: the dashboard's own if set,
+// else the platform's (which may be nil — tracing disabled).
+func (d *Dashboard) Tracer() obs.Tracer {
+	if d.tracer != nil {
+		return d.tracer
+	}
+	return d.platform.Tracer
+}

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"shareinsights/internal/engine/batch"
 	"shareinsights/internal/engine/cube"
+	"shareinsights/internal/obs"
 	"shareinsights/internal/table"
 	"shareinsights/internal/task"
 )
@@ -15,43 +17,50 @@ import (
 // execute the flow DAG, publish shared sinks, materialize every widget's
 // endpoint data, and evaluate the widgets' interaction pipelines for the
 // initial selections.
+//
+// When a tracer is attached (platform-wide or via SetTracer) the run
+// records a span tree — run → source fetch/decode → DAG node → task
+// stage → widget endpoint/render — and when the platform carries a
+// metrics registry the run feeds the engine counters and histograms
+// documented in docs/OBSERVABILITY.md.
 func (d *Dashboard) Run() error {
+	tr := d.Tracer()
+	runSpan := 0
+	start := time.Now()
+	if tr != nil {
+		runSpan = tr.StartSpan(0, "run "+d.Name)
+	}
+	err := d.run(tr, runSpan)
+	if tr != nil {
+		if err != nil {
+			tr.SpanFlag(runSpan, "error")
+		}
+		tr.EndSpan(runSpan)
+	}
+	d.recordRunMetrics(time.Since(start), err)
+	return err
+}
+
+func (d *Dashboard) run(tr obs.Tracer, runSpan int) error {
 	sources := map[string]*table.Table{}
 	for _, name := range d.Graph.Sources() {
-		n := d.Graph.Nodes[name]
-		if n.Shared {
-			obj, ok := d.platform.Catalog.Resolve(name)
-			if !ok {
-				return fmt.Errorf("dashboard %s: shared data object %q disappeared from the catalog", d.Name, name)
-			}
-			sources[name] = obj.Data
-			continue
+		srcSpan := 0
+		if tr != nil {
+			srcSpan = tr.StartSpan(runSpan, "source D."+name)
 		}
-		// Sources in the dashboard's data folder (§4.3.2: uploaded files
-		// "can be referred in the data object configuration") resolve
-		// from the compile-time resources under the data: scheme.
-		if src, ok := strings.CutPrefix(n.Def.Prop("source"), "data:"); ok || n.Def.Prop("protocol") == "data" {
-			if !ok {
-				src = n.Def.Prop("source")
+		t, err := d.loadSource(name, tr, srcSpan)
+		if tr != nil {
+			if t != nil {
+				tr.SpanInt(srcSpan, "rows_out", int64(t.Len()))
 			}
-			payload, found := d.env.Resource(src)
-			if !found {
-				return fmt.Errorf("dashboard %s: D.%s: no uploaded data file %q", d.Name, name, src)
-			}
-			t, err := d.platform.Connectors.Decode(n.Def, n.Schema, payload)
-			if err != nil {
-				return fmt.Errorf("dashboard %s: %w", d.Name, err)
-			}
-			sources[name] = t
-			continue
+			tr.EndSpan(srcSpan)
 		}
-		t, err := d.platform.Connectors.Load(n.Def, n.Schema)
 		if err != nil {
-			return fmt.Errorf("dashboard %s: %w", d.Name, err)
+			return err
 		}
 		sources[name] = t
 	}
-	exec := &batch.Executor{Parallelism: d.platform.Parallelism, Optimize: d.platform.Optimize}
+	exec := &batch.Executor{Parallelism: d.platform.Parallelism, Optimize: d.platform.Optimize, Tracer: tr, TraceParent: runSpan}
 	var sigs map[string]string
 	cached := map[string]*table.Table{}
 	if d.platform.Cache != nil {
@@ -111,7 +120,18 @@ func (d *Dashboard) Run() error {
 			}
 			ins[i] = t
 		}
-		out, _, err := exec.RunPipeline(d.env, plan.server, ins, plan.inputs)
+		epSpan := 0
+		if tr != nil {
+			epSpan = tr.StartSpan(runSpan, "widget W."+name+" endpoint")
+		}
+		out, _, err := exec.RunPipelineTraced(d.env, plan.server, ins, plan.inputs, tr, epSpan)
+		if tr != nil {
+			if out != nil {
+				tr.SpanInt(epSpan, "rows_out", int64(out.Len()))
+				tr.SpanInt(epSpan, "bytes", int64(out.SizeBytes()))
+			}
+			tr.EndSpan(epSpan)
+		}
 		if err != nil {
 			return fmt.Errorf("dashboard %s: widget W.%s endpoint: %w", d.Name, name, err)
 		}
@@ -123,15 +143,91 @@ func (d *Dashboard) Run() error {
 			}
 		}
 	}
-	return d.RefreshWidgets()
+	return d.refreshWidgets(tr, runSpan)
+}
+
+// recordRunMetrics feeds the platform's metrics registry (when one is
+// attached) from a completed run. Metric names and labels are
+// documented in docs/OBSERVABILITY.md.
+func (d *Dashboard) recordRunMetrics(dur time.Duration, runErr error) {
+	m := d.platform.Metrics
+	if m == nil {
+		return
+	}
+	status := "ok"
+	if runErr != nil {
+		status = "error"
+	}
+	m.CounterVec("si_runs_total", "Dashboard runs, by outcome.", "status").With(status).Inc()
+	m.Histogram("si_run_duration_seconds", "End-to-end dashboard run latency.", nil).Observe(dur.Seconds())
+	if runErr != nil || d.result == nil {
+		return
+	}
+	st := &d.result.Stats
+	m.Counter("si_engine_stages_total", "Executed pipeline stages.").Add(int64(st.TasksRun))
+	m.Counter("si_engine_cache_hits_total", "DAG nodes served from the incremental cache.").Add(int64(len(st.CacheHits)))
+	m.Counter("si_engine_sinks_skipped_total", "Dead sinks eliminated by the optimizer.").Add(int64(len(st.SkippedSinks)))
+	m.Counter("si_engine_transferred_bytes_total", "Endpoint bytes shipped to the interactive context.").Add(int64(d.TransferredBytes))
+	stageDur := m.Histogram("si_engine_stage_duration_seconds", "Wall time of executed pipeline stages.", nil)
+	queueWait := m.Histogram("si_engine_queue_wait_seconds", "Scheduler queue wait between node readiness and execution.", nil)
+	rows := m.Counter("si_engine_rows_produced_total", "Rows produced by executed pipeline stages.")
+	for _, t := range st.Timings {
+		stageDur.Observe(t.Duration.Seconds())
+		queueWait.Observe(t.QueueWait.Seconds())
+		rows.Add(int64(t.Rows))
+	}
+}
+
+// loadSource materializes one source data object: shared catalog
+// objects resolve directly, data:-scheme sources decode uploaded
+// payloads, everything else goes through the connector registry (with
+// fetch/decode spans when tracing).
+func (d *Dashboard) loadSource(name string, tr obs.Tracer, srcSpan int) (*table.Table, error) {
+	n := d.Graph.Nodes[name]
+	if n.Shared {
+		obj, ok := d.platform.Catalog.Resolve(name)
+		if !ok {
+			return nil, fmt.Errorf("dashboard %s: shared data object %q disappeared from the catalog", d.Name, name)
+		}
+		if tr != nil {
+			tr.SpanFlag(srcSpan, "shared")
+		}
+		return obj.Data, nil
+	}
+	// Sources in the dashboard's data folder (§4.3.2: uploaded files
+	// "can be referred in the data object configuration") resolve
+	// from the compile-time resources under the data: scheme.
+	if src, ok := strings.CutPrefix(n.Def.Prop("source"), "data:"); ok || n.Def.Prop("protocol") == "data" {
+		if !ok {
+			src = n.Def.Prop("source")
+		}
+		payload, found := d.env.Resource(src)
+		if !found {
+			return nil, fmt.Errorf("dashboard %s: D.%s: no uploaded data file %q", d.Name, name, src)
+		}
+		t, err := d.platform.Connectors.Decode(n.Def, n.Schema, payload)
+		if err != nil {
+			return nil, fmt.Errorf("dashboard %s: %w", d.Name, err)
+		}
+		return t, nil
+	}
+	t, err := d.platform.Connectors.LoadTraced(n.Def, n.Schema, tr, srcSpan)
+	if err != nil {
+		return nil, fmt.Errorf("dashboard %s: %w", d.Name, err)
+	}
+	return t, nil
 }
 
 // RefreshWidgets re-evaluates every widget's interaction pipeline
 // against the current selections — what the generated dashboard does in
 // the browser whenever a selection changes.
 func (d *Dashboard) RefreshWidgets() error {
+	return d.refreshWidgets(d.Tracer(), 0)
+}
+
+func (d *Dashboard) refreshWidgets(tr obs.Tracer, parent int) error {
 	for _, name := range d.File.WidgetOrder {
-		if err := d.refreshWidget(name); err != nil {
+		if err := d.refreshWidgetTraced(name, tr, parent); err != nil {
 			return err
 		}
 	}
@@ -139,15 +235,33 @@ func (d *Dashboard) RefreshWidgets() error {
 }
 
 func (d *Dashboard) refreshWidget(name string) error {
+	return d.refreshWidgetTraced(name, d.Tracer(), 0)
+}
+
+func (d *Dashboard) refreshWidgetTraced(name string, tr obs.Tracer, parent int) error {
 	plan, ok := d.plans[name]
 	if !ok {
 		return nil // static or layout widget
 	}
+	span := 0
+	if tr != nil {
+		span = tr.StartSpan(parent, "widget W."+name+" render")
+		defer tr.EndSpan(span)
+	}
 	inst := d.widgets[name]
 	if plan.cube != nil {
+		if tr != nil {
+			tr.SpanFlag(span, "cube")
+		}
+		if plan.cube.c != nil {
+			plan.cube.c.SetTracer(tr, span)
+		}
 		out, err := plan.cube.refresh(d.env)
 		if err != nil {
 			return fmt.Errorf("dashboard %s: widget W.%s cube interaction: %w", d.Name, name, err)
+		}
+		if tr != nil {
+			tr.SpanInt(span, "rows_out", int64(out.Len()))
 		}
 		return inst.Bind(out)
 	}
@@ -160,6 +274,9 @@ func (d *Dashboard) refreshWidget(name string) error {
 		}
 		cur = out
 		curName = ""
+	}
+	if tr != nil && cur != nil {
+		tr.SpanInt(span, "rows_out", int64(cur.Len()))
 	}
 	return inst.Bind(cur)
 }

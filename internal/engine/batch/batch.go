@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"shareinsights/internal/dag"
+	"shareinsights/internal/obs"
 	"shareinsights/internal/table"
 	"shareinsights/internal/task"
 )
@@ -37,6 +38,12 @@ type Executor struct {
 	// sink elimination) before execution. Off, the engine runs the
 	// pipelines exactly as written — the E6 ablation baseline.
 	Optimize bool
+	// Tracer receives execution spans (one per DAG node, one per
+	// pipeline stage). nil disables tracing; every span call is guarded
+	// by a nil check so the disabled path adds zero allocations.
+	Tracer obs.Tracer
+	// TraceParent is the span id node spans open under (0 = top level).
+	TraceParent int
 }
 
 // StageTiming records one executed pipeline stage — the raw material
@@ -47,10 +54,16 @@ type StageTiming struct {
 	// Stage describes the task(s) executed (fused row-local runs join
 	// their descriptions with " | ").
 	Stage string
+	// RowsIn is the stage's input cardinality (summed over inputs).
+	RowsIn int
 	// Rows is the stage's output cardinality.
 	Rows int
 	// Duration is the stage's wall time.
 	Duration time.Duration
+	// QueueWait is the time the stage's node spent between input
+	// readiness and execution start, waiting for a scheduler slot. It
+	// is set on the first stage of each node's pipeline.
+	QueueWait time.Duration
 }
 
 // Stats reports what an execution did.
@@ -133,18 +146,34 @@ func (e *Executor) RunWithCache(g *dag.Graph, env *task.Env, sources, cached map
 	for name := range g.Nodes {
 		slots[name] = &slot{done: make(chan struct{})}
 	}
+	// sched bounds concurrently executing node pipelines to the worker
+	// budget; nodes whose inputs are ready queue for a slot, and the
+	// wait is the scheduler queue-wait reported in StageTiming.
+	sched := make(chan struct{}, e.workers())
+	tr := e.Tracer
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	for _, name := range g.Order {
 		n := g.Nodes[name]
 		s := slots[name]
 		if skip[name] {
+			if tr != nil {
+				id := tr.StartSpan(e.TraceParent, "node D."+name)
+				tr.SpanFlag(id, "skipped")
+				tr.EndSpan(id)
+			}
 			close(s.done)
 			continue
 		}
 		if t, ok := cached[name]; ok && !n.IsSource() {
 			s.tbl = t
 			res.Stats.CacheHits = append(res.Stats.CacheHits, name)
+			if tr != nil {
+				id := tr.StartSpan(e.TraceParent, "node D."+name)
+				tr.SpanFlag(id, "cache_hit")
+				tr.SpanInt(id, "rows_out", int64(t.Len()))
+				tr.EndSpan(id)
+			}
 			close(s.done)
 			continue
 		}
@@ -179,22 +208,45 @@ func (e *Executor) RunWithCache(g *dag.Graph, env *task.Env, sources, cached map
 				}
 				ins[i] = dep.tbl
 			}
+			// Inputs are ready; wait for a scheduler slot.
+			ready := time.Now()
+			sched <- struct{}{}
+			defer func() { <-sched }()
+			queueWait := time.Since(ready)
+			nodeSpan := 0
+			if tr != nil {
+				nodeSpan = tr.StartSpan(e.TraceParent, "node D."+n.Name)
+				tr.SpanInt(nodeSpan, "queue_wait_us", queueWait.Microseconds())
+			}
 			specs := n.Specs
 			if e.Optimize {
 				specs = dag.PushdownFilters(specs)
 			}
+			first := true
 			record := func(t StageTiming) {
 				t.Output = n.Name
+				if first {
+					t.QueueWait = queueWait
+					first = false
+				}
 				mu.Lock()
 				res.Stats.Timings = append(res.Stats.Timings, t)
 				mu.Unlock()
 			}
-			out, stages, err := e.runPipeline(env, specs, ins, n.Inputs, record)
+			out, stages, err := e.runPipeline(env, specs, ins, n.Inputs, record, tr, nodeSpan)
 			if err != nil {
+				if tr != nil {
+					tr.SpanFlag(nodeSpan, "error")
+					tr.EndSpan(nodeSpan)
+				}
 				s.err = fmt.Errorf("batch: flow for D.%s: %w", n.Name, err)
 				return
 			}
 			s.tbl = out
+			if tr != nil {
+				tr.SpanInt(nodeSpan, "rows_out", int64(out.Len()))
+				tr.EndSpan(nodeSpan)
+			}
 			mu.Lock()
 			res.Stats.TasksRun += stages
 			mu.Unlock()
@@ -222,10 +274,25 @@ func (e *Executor) RunWithCache(g *dag.Graph, env *task.Env, sources, cached map
 // sharding row-local runs and parallelizing group-bys. It returns the
 // output table and the number of stages run.
 func (e *Executor) RunPipeline(env *task.Env, specs []task.Spec, in []*table.Table, names []string) (*table.Table, int, error) {
-	return e.runPipeline(env, specs, in, names, nil)
+	return e.runPipeline(env, specs, in, names, nil, nil, 0)
 }
 
-func (e *Executor) runPipeline(env *task.Env, specs []task.Spec, in []*table.Table, names []string, record func(StageTiming)) (*table.Table, int, error) {
+// RunPipelineTraced is RunPipeline with per-stage execution spans
+// opened under parent on tr (nil tr disables tracing).
+func (e *Executor) RunPipelineTraced(env *task.Env, specs []task.Spec, in []*table.Table, names []string, tr obs.Tracer, parent int) (*table.Table, int, error) {
+	return e.runPipeline(env, specs, in, names, nil, tr, parent)
+}
+
+// rowsIn sums input cardinalities for stage telemetry.
+func rowsIn(in []*table.Table) int {
+	n := 0
+	for _, t := range in {
+		n += t.Len()
+	}
+	return n
+}
+
+func (e *Executor) runPipeline(env *task.Env, specs []task.Spec, in []*table.Table, names []string, record func(StageTiming), tr obs.Tracer, parent int) (*table.Table, int, error) {
 	if record == nil {
 		record = func(StageTiming) {}
 	}
@@ -253,12 +320,20 @@ func (e *Executor) runPipeline(env *task.Env, specs []task.Spec, in []*table.Tab
 				run = append(run, next)
 				j++
 			}
+			desc := describeRun(run)
+			nIn := cur[0].Len()
+			sid := 0
+			if tr != nil {
+				sid = tr.StartSpan(parent, "stage "+desc)
+			}
 			start := time.Now()
 			out, err := e.runRowLocal(env, run, cur[0], firstName(curNames))
 			if err != nil {
 				return nil, stages, err
 			}
-			record(StageTiming{Stage: describeRun(run), Rows: out.Len(), Duration: time.Since(start)})
+			d := time.Since(start)
+			record(StageTiming{Stage: desc, RowsIn: nIn, Rows: out.Len(), Duration: d})
+			endStageSpan(tr, sid, nIn, out.Len(), d)
 			stages += len(run)
 			cur = []*table.Table{out}
 			curNames = []string{""}
@@ -266,30 +341,59 @@ func (e *Executor) runPipeline(env *task.Env, specs []task.Spec, in []*table.Tab
 			continue
 		}
 		if gr, ok := specs[i].(task.Grouped); ok && single && cur[0].Len() >= parallelGroupThreshold {
+			desc := task.Describe(gr)
+			nIn := cur[0].Len()
+			sid := 0
+			if tr != nil {
+				sid = tr.StartSpan(parent, "stage "+desc)
+			}
 			start := time.Now()
 			out, err := e.runGrouped(env, gr, cur[0], firstName(curNames))
 			if err != nil {
 				return nil, stages, err
 			}
-			record(StageTiming{Stage: task.Describe(gr), Rows: out.Len(), Duration: time.Since(start)})
+			d := time.Since(start)
+			record(StageTiming{Stage: desc, RowsIn: nIn, Rows: out.Len(), Duration: d})
+			endStageSpan(tr, sid, nIn, out.Len(), d)
 			stages++
 			cur = []*table.Table{out}
 			curNames = []string{""}
 			i++
 			continue
 		}
+		desc := task.Describe(specs[i])
+		nIn := rowsIn(cur)
+		sid := 0
+		if tr != nil {
+			sid = tr.StartSpan(parent, "stage "+desc)
+		}
 		start := time.Now()
 		out, err := specs[i].Exec(env, cur, curNames)
 		if err != nil {
 			return nil, stages, err
 		}
-		record(StageTiming{Stage: task.Describe(specs[i]), Rows: out.Len(), Duration: time.Since(start)})
+		d := time.Since(start)
+		record(StageTiming{Stage: desc, RowsIn: nIn, Rows: out.Len(), Duration: d})
+		endStageSpan(tr, sid, nIn, out.Len(), d)
 		stages++
 		cur = []*table.Table{out}
 		curNames = []string{""}
 		i++
 	}
 	return cur[0], stages, nil
+}
+
+// endStageSpan attaches the stage's telemetry and closes its span. The
+// duration_us attribute carries the exact StageTiming duration so
+// trace exports and Stats.Timings agree to the microsecond.
+func endStageSpan(tr obs.Tracer, id, rowsIn, rowsOut int, d time.Duration) {
+	if tr == nil {
+		return
+	}
+	tr.SpanInt(id, "rows_in", int64(rowsIn))
+	tr.SpanInt(id, "rows_out", int64(rowsOut))
+	tr.SpanInt(id, "duration_us", d.Microseconds())
+	tr.EndSpan(id)
 }
 
 // parallelGroupThreshold is the input size below which sharded

@@ -5,9 +5,11 @@ import (
 	"math/rand"
 	"strings"
 	"testing"
+	"time"
 
 	"shareinsights/internal/dag"
 	"shareinsights/internal/flowfile"
+	"shareinsights/internal/obs"
 	"shareinsights/internal/schema"
 	"shareinsights/internal/table"
 	"shareinsights/internal/task"
@@ -42,7 +44,7 @@ T:
     limit: 2
 `
 
-func buildGraph(t *testing.T, src string) *dag.Graph {
+func buildGraph(t testing.TB, src string) *dag.Graph {
 	t.Helper()
 	f, err := flowfile.Parse("t", src)
 	if err != nil {
@@ -328,3 +330,115 @@ func TestStageTimingsRecorded(t *testing.T) {
 		t.Errorf("Slowest not ordered: %+v", slow)
 	}
 }
+
+// TestStageTimingRowsInAndQueueWait checks the extended StageTiming
+// fields: every stage reports its input cardinality, and the first
+// stage of each node carries the scheduler queue-wait.
+func TestStageTimingRowsInAndQueueWait(t *testing.T) {
+	g := buildGraph(t, testFlow)
+	e := &Executor{Optimize: true}
+	res, err := e.Run(g, &task.Env{}, map[string]*table.Table{"raw": rawTable(5000, 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstByOutput := map[string]StageTiming{}
+	for _, st := range res.Stats.Timings {
+		if st.RowsIn < 0 {
+			t.Errorf("negative RowsIn: %+v", st)
+		}
+		if st.QueueWait < 0 {
+			t.Errorf("negative QueueWait: %+v", st)
+		}
+		if _, ok := firstByOutput[st.Output]; !ok {
+			firstByOutput[st.Output] = st
+		}
+	}
+	// The filtered node's first stage consumes the full raw source.
+	if st, ok := firstByOutput["filtered"]; !ok || st.RowsIn != 5000 {
+		t.Errorf("filtered first-stage RowsIn = %+v, want 5000", st)
+	}
+	// grouped consumes filtered's output, which drops non-positive v.
+	if st, ok := firstByOutput["grouped"]; !ok || st.RowsIn == 0 || st.RowsIn >= 5000 {
+		t.Errorf("grouped first-stage RowsIn = %+v, want in (0, 5000)", st)
+	}
+}
+
+// TestTraceMatchesStats is the consistency check of the acceptance
+// criteria: the trace's per-stage duration_us attributes must agree
+// exactly with Stats.Timings (both are set from one measurement).
+func TestTraceMatchesStats(t *testing.T) {
+	g := buildGraph(t, testFlow)
+	tr := obs.NewTrace("t")
+	e := &Executor{Optimize: true, Tracer: tr}
+	res, err := e.Run(g, &task.Env{}, map[string]*table.Table{"raw": rawTable(2000, 5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spanSum, spanCount int64
+	for _, s := range tr.Spans() {
+		if !strings.HasPrefix(s.Name, "stage ") {
+			continue
+		}
+		spanCount++
+		us, ok := s.Int("duration_us")
+		if !ok {
+			t.Fatalf("stage span %q has no duration_us", s.Name)
+		}
+		spanSum += us
+	}
+	if spanCount != int64(len(res.Stats.Timings)) {
+		t.Errorf("stage spans = %d, stats timings = %d", spanCount, len(res.Stats.Timings))
+	}
+	var statSum int64
+	for _, st := range res.Stats.Timings {
+		statSum += st.Duration.Microseconds()
+	}
+	if spanSum != statSum {
+		t.Errorf("trace stage durations sum to %dus, Stats.Timings to %dus", spanSum, statSum)
+	}
+	// The dead sink shows up in the trace as an explicitly skipped node.
+	var sawSkipped bool
+	for _, s := range tr.Spans() {
+		if s.Name == "node D.unused_sink" && s.HasFlag("skipped") {
+			sawSkipped = true
+		}
+	}
+	if !sawSkipped {
+		t.Error("optimizer-skipped sink missing from trace")
+	}
+}
+
+// TestNilTracerHooksAllocationFree pins the acceptance criterion that
+// the disabled-tracing path costs nothing: the stage-span hook with a
+// nil Tracer must not allocate.
+func TestNilTracerHooksAllocationFree(t *testing.T) {
+	if allocs := testing.AllocsPerRun(1000, func() {
+		endStageSpan(nil, 0, 10, 5, time.Millisecond)
+	}); allocs != 0 {
+		t.Errorf("endStageSpan(nil, ...) allocates %v per call", allocs)
+	}
+}
+
+// benchRun is the before/after benchmark for tracing overhead:
+//
+//	go test -bench=BenchmarkRun ./internal/engine/batch/
+//
+// compare allocs/op of NoTracer vs Traced.
+func benchRun(b *testing.B, traced bool) {
+	g := buildGraph(b, testFlow)
+	src := rawTable(2000, 7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := &Executor{Optimize: true}
+		if traced {
+			e.Tracer = obs.NewTrace("bench")
+		}
+		if _, err := e.Run(g, &task.Env{}, map[string]*table.Table{"raw": src}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunNoTracer(b *testing.B) { benchRun(b, false) }
+func BenchmarkRunTraced(b *testing.B)   { benchRun(b, true) }

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sort"
 
+	"shareinsights/internal/obs"
 	"shareinsights/internal/schema"
 	"shareinsights/internal/table"
 	"shareinsights/internal/value"
@@ -34,6 +35,18 @@ type Cube struct {
 	dims     map[string]*Dimension
 	dimOrder []*Dimension
 	groups   []*Group
+
+	// tracer/traceParent receive spans for filter updates and
+	// materializations; nil tracer disables tracing.
+	tracer      obs.Tracer
+	traceParent int
+}
+
+// SetTracer attaches execution tracing: filter updates and
+// materializations open spans under parent on tr. nil disables.
+func (c *Cube) SetTracer(tr obs.Tracer, parent int) {
+	c.tracer = tr
+	c.traceParent = parent
 }
 
 // New builds a cube over a materialized endpoint data object.
@@ -114,6 +127,14 @@ func (d *Dimension) ClearFilter() {
 // state deltas to every group.
 func (d *Dimension) apply(pred func(value.V) bool) {
 	c := d.cube
+	sid := 0
+	if c.tracer != nil {
+		sid = c.tracer.StartSpan(c.traceParent, "cube filter "+d.col)
+		defer func() {
+			c.tracer.SpanInt(sid, "rows_live", int64(c.Live()))
+			c.tracer.EndSpan(sid)
+		}()
+	}
 	d.active = pred != nil
 	for i, row := range c.base.Rows() {
 		old := c.failMask[i]
@@ -149,6 +170,10 @@ func (c *Cube) Live() int {
 // dimensions listed in ignore (widgets exclude their own dimension so a
 // selection does not filter its own widget).
 func (c *Cube) Materialize(ignore ...*Dimension) *table.Table {
+	sid := 0
+	if c.tracer != nil {
+		sid = c.tracer.StartSpan(c.traceParent, "cube materialize")
+	}
 	var mask uint64
 	for _, d := range ignore {
 		if d != nil {
@@ -160,6 +185,11 @@ func (c *Cube) Materialize(ignore ...*Dimension) *table.Table {
 		if m&^mask == 0 {
 			out.Append(c.base.Row(i))
 		}
+	}
+	if c.tracer != nil {
+		c.tracer.SpanInt(sid, "rows_in", int64(c.base.Len()))
+		c.tracer.SpanInt(sid, "rows_out", int64(out.Len()))
+		c.tracer.EndSpan(sid)
 	}
 	return out
 }

@@ -1,0 +1,191 @@
+// Package ops generates the self-hosted operations meta-dashboard: the
+// platform monitoring itself with its own parts, exactly as the
+// paper's Race2Insights hackathon was monitored with telemetry
+// dashboards built on the platform (Figures 31, 32, 35).
+//
+// BuildOps turns a run's execution statistics — per-stage timings,
+// queue waits, row counts, cache hits, skipped sinks — into an
+// ordinary generated flow file (data objects fed over the mem
+// connector, flows with topn/groupby tasks, Grid and BarChart
+// widgets), then compiles and runs it. The result is a regular
+// Dashboard: renderable as HTML, explorable over the data API, even
+// profilable — dogfooding in the spirit of profile.BuildMeta.
+//
+// It lives in a subpackage of internal/obs because it depends on the
+// dashboard runtime; internal/obs itself stays standard-library-only
+// so every layer of the system can import it.
+package ops
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"shareinsights/internal/connector"
+	"shareinsights/internal/dashboard"
+	"shareinsights/internal/engine/batch"
+	"shareinsights/internal/flowfile"
+	"shareinsights/internal/schema"
+	"shareinsights/internal/table"
+	"shareinsights/internal/value"
+)
+
+// StagesSchema is the schema of the per-stage timings data object.
+var StagesSchema = schema.MustFromNames(
+	"output", "stage", "rows_in", "rows_out", "duration_us", "queue_wait_us")
+
+// ObjectsSchema is the schema of the per-data-object status table.
+var ObjectsSchema = schema.MustFromNames("object", "rows", "status")
+
+// SummarySchema is the schema of the run-summary table.
+var SummarySchema = schema.MustFromNames("metric", "value")
+
+// stagesTable renders every executed stage.
+func stagesTable(st *batch.Stats) *table.Table {
+	t := table.New(StagesSchema)
+	for _, tm := range st.Timings {
+		t.AppendValues(
+			value.NewString(tm.Output),
+			value.NewString(tm.Stage),
+			value.NewInt(int64(tm.RowsIn)),
+			value.NewInt(int64(tm.Rows)),
+			value.NewInt(tm.Duration.Microseconds()),
+			value.NewInt(tm.QueueWait.Microseconds()),
+		)
+	}
+	return t
+}
+
+// objectsTable renders every data object's materialization status.
+func objectsTable(st *batch.Stats) *table.Table {
+	hits := map[string]bool{}
+	for _, n := range st.CacheHits {
+		hits[n] = true
+	}
+	names := make([]string, 0, len(st.RowsProduced))
+	for n := range st.RowsProduced {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	t := table.New(ObjectsSchema)
+	for _, n := range names {
+		status := "computed"
+		if hits[n] {
+			status = "cache_hit"
+		}
+		t.AppendValues(value.NewString(n), value.NewInt(int64(st.RowsProduced[n])), value.NewString(status))
+	}
+	skipped := append([]string(nil), st.SkippedSinks...)
+	sort.Strings(skipped)
+	for _, n := range skipped {
+		t.AppendValues(value.NewString(n), value.NewInt(0), value.NewString("skipped"))
+	}
+	return t
+}
+
+// summaryTable renders run-level totals.
+func summaryTable(d *dashboard.Dashboard) *table.Table {
+	st := &d.Result().Stats
+	var total int64
+	for _, tm := range st.Timings {
+		total += tm.Duration.Microseconds()
+	}
+	t := table.New(SummarySchema)
+	add := func(metric string, v int64) {
+		t.AppendValues(value.NewString(metric), value.NewInt(v))
+	}
+	add("tasks_run", int64(st.TasksRun))
+	add("data_objects", int64(len(st.RowsProduced)))
+	add("cache_hits", int64(len(st.CacheHits)))
+	add("skipped_sinks", int64(len(st.SkippedSinks)))
+	add("stage_time_us", total)
+	add("transferred_bytes", int64(d.TransferredBytes))
+	return t
+}
+
+// BuildOps generates, compiles and runs the ops meta-dashboard for a
+// dashboard that has been run.
+func BuildOps(d *dashboard.Dashboard) (*dashboard.Dashboard, error) {
+	res := d.Result()
+	if res == nil {
+		return nil, fmt.Errorf("ops: dashboard %s has not been run", d.Name)
+	}
+	mem := map[string][]byte{}
+	for name, t := range map[string]*table.Table{
+		"stages":  stagesTable(&res.Stats),
+		"objects": objectsTable(&res.Stats),
+		"summary": summaryTable(d),
+	} {
+		csv, err := connector.EncodeCSV(t)
+		if err != nil {
+			return nil, err
+		}
+		mem[name+".csv"] = csv
+	}
+
+	var src strings.Builder
+	src.WriteString("D:\n")
+	fmt.Fprintf(&src, "  stages: [%s]\n", strings.Join(StagesSchema.Names(), ", "))
+	fmt.Fprintf(&src, "  objects: [%s]\n", strings.Join(ObjectsSchema.Names(), ", "))
+	fmt.Fprintf(&src, "  summary: [%s]\n", strings.Join(SummarySchema.Names(), ", "))
+	src.WriteString("\n")
+	for _, name := range []string{"stages", "objects", "summary"} {
+		fmt.Fprintf(&src, "D.%s:\n  source: mem:%s.csv\n  format: csv\n  endpoint: true\n\n", name, name)
+	}
+	src.WriteString(`F:
+  +D.slowest_stages: D.stages | T.slowest
+  +D.stage_time_by_object: D.stages | T.time_by_object
+
+T:
+  slowest:
+    type: topn
+    orderby_column: [duration_us DESC]
+    limit: 10
+  time_by_object:
+    type: groupby
+    groupby: [output]
+    aggregates:
+      - operator: sum
+        apply_on: duration_us
+        out_field: total_us
+
+W:
+  summary_grid:
+    type: Grid
+    source: D.summary
+  slowest_grid:
+    type: Grid
+    source: D.slowest_stages
+  time_chart:
+    type: BarChart
+    source: D.stage_time_by_object
+    x: output
+    y: total_us
+  objects_grid:
+    type: Grid
+    source: D.objects
+
+L:
+`)
+	fmt.Fprintf(&src, "  description: 'Ops: %s'\n", d.Name)
+	src.WriteString(`  rows:
+    - [span4: W.summary_grid, span8: W.time_chart]
+    - [span12: W.slowest_grid]
+    - [span12: W.objects_grid]
+`)
+
+	f, err := flowfile.Parse(d.Name+"_ops", src.String())
+	if err != nil {
+		return nil, fmt.Errorf("ops: generated flow file invalid: %w", err)
+	}
+	p := dashboard.NewPlatform()
+	p.Connectors = connector.NewRegistry(connector.Options{Mem: mem})
+	meta, err := p.Compile(f, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := meta.Run(); err != nil {
+		return nil, err
+	}
+	return meta, nil
+}

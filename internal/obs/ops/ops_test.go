@@ -1,0 +1,165 @@
+package ops
+
+import (
+	"strings"
+	"testing"
+
+	"shareinsights/internal/connector"
+	"shareinsights/internal/dashboard"
+	"shareinsights/internal/flowfile"
+	"shareinsights/internal/obs"
+)
+
+func demoPlatform() *dashboard.Platform {
+	p := dashboard.NewPlatform()
+	p.Connectors = connector.NewRegistry(connector.Options{
+		Mem: map[string][]byte{"s.csv": []byte("east,10\nwest,20\neast,5\n")},
+	})
+	return p
+}
+
+func compileDemo(t *testing.T, p *dashboard.Platform) *dashboard.Dashboard {
+	t.Helper()
+	f, err := flowfile.Parse("sales", `
+D:
+  sales: [region, amount]
+
+D.sales:
+  source: mem:s.csv
+  format: csv
+
+F:
+  +D.by_region: D.sales | T.g
+  D.dead: D.sales | T.g
+
+T:
+  g:
+    type: groupby
+    groupby: [region]
+    aggregates:
+      - operator: sum
+        apply_on: amount
+        out_field: total
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := p.Compile(f, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestBuildOps(t *testing.T) {
+	d := compileDemo(t, demoPlatform())
+	if _, err := BuildOps(d); err == nil {
+		t.Fatal("BuildOps before Run should fail")
+	}
+	if err := d.Run(); err != nil {
+		t.Fatal(err)
+	}
+	meta, err := BuildOps(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eps := meta.EndpointNames()
+	want := map[string]bool{"stages": true, "objects": true, "summary": true, "slowest_stages": true, "stage_time_by_object": true}
+	for _, ep := range eps {
+		delete(want, ep)
+	}
+	if len(want) != 0 {
+		t.Fatalf("ops endpoints missing %v (got %v)", want, eps)
+	}
+
+	stages, _ := meta.Endpoint("stages")
+	if stages.Len() != len(d.Result().Stats.Timings) {
+		t.Errorf("stages rows = %d, want %d", stages.Len(), len(d.Result().Stats.Timings))
+	}
+	// The groupby stage saw all 3 input rows and produced 2 groups.
+	if stages.Len() > 0 {
+		if got := stages.Cell(0, "rows_in").Int(); got != 3 {
+			t.Errorf("stage rows_in = %d:\n%s", got, stages.Format(0))
+		}
+		if got := stages.Cell(0, "rows_out").Int(); got != 2 {
+			t.Errorf("stage rows_out = %d:\n%s", got, stages.Format(0))
+		}
+	}
+
+	objects, _ := meta.Endpoint("objects")
+	var sawSkipped bool
+	for i := 0; i < objects.Len(); i++ {
+		if objects.Cell(i, "object").String() == "dead" && objects.Cell(i, "status").String() == "skipped" {
+			sawSkipped = true
+		}
+	}
+	if !sawSkipped {
+		t.Errorf("objects table does not report the optimizer-skipped sink:\n%s", objects.Format(0))
+	}
+
+	summary, _ := meta.Endpoint("summary")
+	found := map[string]int64{}
+	for i := 0; i < summary.Len(); i++ {
+		found[summary.Cell(i, "metric").String()] = summary.Cell(i, "value").Int()
+	}
+	if found["tasks_run"] != int64(d.Result().Stats.TasksRun) {
+		t.Errorf("summary tasks_run = %d, want %d", found["tasks_run"], d.Result().Stats.TasksRun)
+	}
+	if found["skipped_sinks"] != 1 {
+		t.Errorf("summary skipped_sinks = %d, want 1", found["skipped_sinks"])
+	}
+
+	// The ops dashboard is an ordinary dashboard: it renders.
+	var b strings.Builder
+	if err := meta.RenderHTML(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "slowest_grid") {
+		t.Error("rendered ops page missing the slowest-stages grid")
+	}
+}
+
+// TestBuildOpsWithCacheHits re-runs through a result cache so the
+// objects table reports cache_hit statuses, and attaches a tracer to
+// check that tracing does not disturb the build.
+func TestBuildOpsWithCacheHits(t *testing.T) {
+	p := demoPlatform()
+	p.Cache = dashboard.NewResultCache()
+	if err := compileDemo(t, p).Run(); err != nil {
+		t.Fatal(err)
+	}
+	d := compileDemo(t, p)
+	d.SetTracer(obs.NewTrace("sales"))
+	if err := d.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Result().Stats.CacheHits) == 0 {
+		t.Fatal("second run had no cache hits")
+	}
+	meta, err := BuildOps(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	objects, _ := meta.Endpoint("objects")
+	var hits int
+	for i := 0; i < objects.Len(); i++ {
+		if objects.Cell(i, "status").String() == "cache_hit" {
+			hits++
+		}
+	}
+	if hits != len(d.Result().Stats.CacheHits) {
+		t.Errorf("objects table shows %d cache_hit rows, stats report %d:\n%s",
+			hits, len(d.Result().Stats.CacheHits), objects.Format(0))
+	}
+	summary, _ := meta.Endpoint("summary")
+	var cacheMetric int64 = -1
+	for i := 0; i < summary.Len(); i++ {
+		if summary.Cell(i, "metric").String() == "cache_hits" {
+			cacheMetric = summary.Cell(i, "value").Int()
+		}
+	}
+	if cacheMetric != int64(len(d.Result().Stats.CacheHits)) {
+		t.Errorf("summary cache_hits = %d, want %d", cacheMetric, len(d.Result().Stats.CacheHits))
+	}
+}

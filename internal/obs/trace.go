@@ -1,0 +1,280 @@
+// Package obs is the platform's observability layer: a dependency-free
+// metrics registry with Prometheus text exposition (metrics.go), HTTP
+// instrumentation middleware (httpmw.go), and the structured execution
+// tracing in this file.
+//
+// The paper's §6 future work asks for "tools to identify performance
+// bottlenecks in the data pipeline", and its own Race2Insights
+// evaluation was monitored with telemetry dashboards built on the
+// platform itself (Figures 31/32/35). This package supplies the raw
+// material: every run can produce a span tree — run → connector fetch →
+// task stage → widget render — with wall times, queue waits, row
+// cardinalities and cache flags, exported as a human tree or as Chrome
+// trace-event JSON.
+//
+// The package imports only the standard library so every layer of the
+// system (engine, connectors, dashboard runtime, server, CLI) can
+// depend on it without cycles. The consumer-facing Tracer interface is
+// deliberately flat — span ids and builtin types only — so a nil Tracer
+// disables tracing with zero allocations on the hot path: callers guard
+// every span call with a nil check and never build span state up front.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Tracer receives execution spans. Implementations must be safe for
+// concurrent use: the batch engine opens node spans from parallel
+// goroutines. The zero value of every consumer is a nil Tracer, which
+// disables tracing entirely.
+type Tracer interface {
+	// StartSpan opens a span under parent (0 = top level) and returns
+	// its id. Ids are positive.
+	StartSpan(parent int, name string) int
+	// EndSpan closes a span, fixing its wall time.
+	EndSpan(id int)
+	// SpanInt attaches an integer attribute (rows_in, rows_out,
+	// duration_us, queue_wait_us, bytes ...).
+	SpanInt(id int, key string, v int64)
+	// SpanFlag attaches a boolean marker (cache_hit, skipped ...).
+	SpanFlag(id int, flag string)
+}
+
+// Attr is one integer span attribute.
+type Attr struct {
+	Key string
+	Val int64
+}
+
+// Span is one recorded unit of work.
+type Span struct {
+	// ID and Parent link the tree; Parent 0 marks a top-level span.
+	ID, Parent int
+	// Name describes the work (e.g. "run demo", "stage groupby region").
+	Name string
+	// Start is the span's wall-clock start.
+	Start time.Time
+	// Dur is the span's wall time, fixed by EndSpan.
+	Dur time.Duration
+	// Ints are integer attributes in attachment order.
+	Ints []Attr
+	// Flags are boolean markers in attachment order.
+	Flags []string
+	// Children are the span's sub-spans in start order.
+	Children []*Span
+
+	ended bool
+}
+
+// Int returns an integer attribute by key.
+func (s *Span) Int(key string) (int64, bool) {
+	for _, a := range s.Ints {
+		if a.Key == key {
+			return a.Val, true
+		}
+	}
+	return 0, false
+}
+
+// HasFlag reports whether a boolean marker is set.
+func (s *Span) HasFlag(flag string) bool {
+	for _, f := range s.Flags {
+		if f == flag {
+			return true
+		}
+	}
+	return false
+}
+
+// Trace is the standard Tracer: it records spans into an in-memory
+// tree for rendering and export. Safe for concurrent use.
+type Trace struct {
+	mu    sync.Mutex
+	name  string
+	start time.Time
+	spans []*Span
+	roots []*Span
+}
+
+// NewTrace starts an empty trace. name labels exports (the dashboard
+// name, typically).
+func NewTrace(name string) *Trace {
+	return &Trace{name: name, start: time.Now()}
+}
+
+// Name returns the trace's label.
+func (t *Trace) Name() string { return t.name }
+
+// StartSpan implements Tracer.
+func (t *Trace) StartSpan(parent int, name string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := &Span{ID: len(t.spans) + 1, Parent: parent, Name: name, Start: time.Now()}
+	t.spans = append(t.spans, s)
+	if parent >= 1 && parent <= len(t.spans)-1 {
+		p := t.spans[parent-1]
+		p.Children = append(p.Children, s)
+	} else {
+		s.Parent = 0
+		t.roots = append(t.roots, s)
+	}
+	return s.ID
+}
+
+// EndSpan implements Tracer.
+func (t *Trace) EndSpan(id int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if s := t.span(id); s != nil && !s.ended {
+		s.Dur = time.Since(s.Start)
+		s.ended = true
+	}
+}
+
+// SpanInt implements Tracer.
+func (t *Trace) SpanInt(id int, key string, v int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if s := t.span(id); s != nil {
+		s.Ints = append(s.Ints, Attr{Key: key, Val: v})
+	}
+}
+
+// SpanFlag implements Tracer.
+func (t *Trace) SpanFlag(id int, flag string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if s := t.span(id); s != nil {
+		s.Flags = append(s.Flags, flag)
+	}
+}
+
+func (t *Trace) span(id int) *Span {
+	if id < 1 || id > len(t.spans) {
+		return nil
+	}
+	return t.spans[id-1]
+}
+
+// Roots returns the top-level spans in start order.
+func (t *Trace) Roots() []*Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]*Span(nil), t.roots...)
+}
+
+// Spans returns every recorded span in creation order.
+func (t *Trace) Spans() []*Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]*Span(nil), t.spans...)
+}
+
+// Len reports how many spans were recorded.
+func (t *Trace) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Format renders the span tree for humans:
+//
+//	run demo                              1.2ms
+//	├─ source D.sales                     340µs  rows_out=3
+//	│  └─ fetch file                      300µs
+//	└─ node D.by_region                   200µs  rows_out=2
+func (t *Trace) Format(w io.Writer) {
+	for _, r := range t.Roots() {
+		formatSpan(w, r, "", "")
+	}
+}
+
+func formatSpan(w io.Writer, s *Span, prefix, childPrefix string) {
+	label := prefix + s.Name
+	pad := 44 - len(label)
+	if pad < 1 {
+		pad = 1
+	}
+	fmt.Fprintf(w, "%s%s%v%s\n", label, strings.Repeat(" ", pad), s.Dur.Round(time.Microsecond), attrSuffix(s))
+	for i, c := range s.Children {
+		if i == len(s.Children)-1 {
+			formatSpan(w, c, childPrefix+"└─ ", childPrefix+"   ")
+		} else {
+			formatSpan(w, c, childPrefix+"├─ ", childPrefix+"│  ")
+		}
+	}
+}
+
+func attrSuffix(s *Span) string {
+	var b strings.Builder
+	for _, a := range s.Ints {
+		fmt.Fprintf(&b, "  %s=%d", a.Key, a.Val)
+	}
+	for _, f := range s.Flags {
+		fmt.Fprintf(&b, "  [%s]", f)
+	}
+	return b.String()
+}
+
+// chromeEvent is one Chrome trace-event ("X" complete event), loadable
+// in chrome://tracing and Perfetto.
+type chromeEvent struct {
+	Name string           `json:"name"`
+	Ph   string           `json:"ph"`
+	Ts   int64            `json:"ts"`
+	Dur  int64            `json:"dur"`
+	Pid  int              `json:"pid"`
+	Tid  int              `json:"tid"`
+	Args map[string]int64 `json:"args,omitempty"`
+}
+
+// WriteChrome exports the trace as a Chrome trace-event JSON array.
+// Each top-level span's subtree gets its own track (tid) so parallel
+// DAG nodes render side by side.
+func (t *Trace) WriteChrome(w io.Writer) error {
+	t.mu.Lock()
+	roots := append([]*Span(nil), t.roots...)
+	base := t.start
+	t.mu.Unlock()
+	var events []chromeEvent
+	for ti, r := range roots {
+		var walk func(s *Span)
+		walk = func(s *Span) {
+			ev := chromeEvent{
+				Name: s.Name, Ph: "X",
+				Ts:  s.Start.Sub(base).Microseconds(),
+				Dur: s.Dur.Microseconds(),
+				Pid: 1, Tid: ti + 1,
+			}
+			if len(s.Ints) > 0 {
+				ev.Args = map[string]int64{}
+				for _, a := range s.Ints {
+					ev.Args[a.Key] = a.Val
+				}
+				for _, f := range s.Flags {
+					ev.Args[f] = 1
+				}
+			} else if len(s.Flags) > 0 {
+				ev.Args = map[string]int64{}
+				for _, f := range s.Flags {
+					ev.Args[f] = 1
+				}
+			}
+			events = append(events, ev)
+			for _, c := range s.Children {
+				walk(c)
+			}
+		}
+		walk(r)
+	}
+	sort.SliceStable(events, func(a, b int) bool { return events[a].Ts < events[b].Ts })
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}

@@ -18,7 +18,17 @@
 //	PUT  /dashboards/{name}/data/{file}        upload a data/dictionary file (§4.3.2)
 //	GET  /dashboards/{name}/profile            §6 data-profile meta-dashboard
 //	GET  /dashboards/{name}/lint               static analysis findings (docs/LINTING.md)
+//	GET  /dashboards/{name}/stats              last run's execution stats (?full=1
+//	                                           for every stage timing, not just top-5)
+//	GET  /dashboards/{name}/trace              last run's span tree (?format=chrome
+//	                                           for trace-event JSON)
+//	GET  /dashboards/{name}/ops                self-hosted ops meta-dashboard
+//	GET  /metrics                              Prometheus text exposition
 //	GET  /shared                               the published-objects catalog
+//
+// Every route is instrumented (request counts, latency histograms,
+// in-flight gauge) against the platform's metrics registry; see
+// docs/OBSERVABILITY.md.
 //
 // Type-checking and execution errors surface as JSON {error: ...} bodies.
 package server
@@ -37,6 +47,8 @@ import (
 	"shareinsights/internal/dashboard"
 	"shareinsights/internal/diagnose"
 	"shareinsights/internal/flowfile"
+	"shareinsights/internal/obs"
+	"shareinsights/internal/obs/ops"
 	"shareinsights/internal/profile"
 	"shareinsights/internal/table"
 	"shareinsights/internal/vcs"
@@ -45,25 +57,34 @@ import (
 // Server hosts dashboards on one platform instance.
 type Server struct {
 	platform *dashboard.Platform
+	httpm    *obs.HTTPMetrics
 
 	mu     sync.RWMutex
 	repos  map[string]*vcs.Repo
 	live   map[string]*dashboard.Dashboard
+	traces map[string]*obs.Trace        // dashboard -> last run's trace
 	data   map[string]map[string][]byte // dashboard -> uploaded files
 	author func(*http.Request) string
 }
 
 // New builds a server around a platform. The incremental-execution
 // cache is enabled if the platform has none: the editor's save-and-rerun
-// loop is exactly the workload it exists for.
+// loop is exactly the workload it exists for. Likewise a metrics
+// registry is attached if the platform has none, so GET /metrics always
+// serves engine and HTTP telemetry.
 func New(p *dashboard.Platform) *Server {
 	if p.Cache == nil {
 		p.Cache = dashboard.NewResultCache()
 	}
+	if p.Metrics == nil {
+		p.Metrics = obs.NewRegistry()
+	}
 	return &Server{
 		platform: p,
+		httpm:    obs.NewHTTPMetrics(p.Metrics),
 		repos:    map[string]*vcs.Repo{},
 		live:     map[string]*dashboard.Dashboard{},
+		traces:   map[string]*obs.Trace{},
 		data:     map[string]map[string][]byte{},
 		author: func(r *http.Request) string {
 			if u := r.Header.Get("X-User"); u != "" {
@@ -74,25 +95,33 @@ func New(p *dashboard.Platform) *Server {
 	}
 }
 
-// Handler returns the HTTP handler with all routes installed.
+// Handler returns the HTTP handler with all routes installed, each
+// wrapped in the metrics middleware under its route pattern.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /dashboards", s.handleList)
-	mux.HandleFunc("PUT /dashboards/{name}", s.handlePut)
-	mux.HandleFunc("GET /dashboards/{name}", s.handleGet)
-	mux.HandleFunc("POST /dashboards/{name}/run", s.handleRun)
-	mux.HandleFunc("GET /dashboards/{name}/html", s.handleHTML)
-	mux.HandleFunc("GET /dashboards/{name}/explore", s.handleExplore)
-	mux.HandleFunc("GET /dashboards/{name}/ds", s.handleDatasets)
-	mux.HandleFunc("GET /dashboards/{name}/ds/{ds}", s.handleDataset)
-	mux.HandleFunc("GET /dashboards/{name}/ds/{ds}/groupby/{col}/{agg}/{vcol}", s.handleAdhoc)
-	mux.HandleFunc("POST /dashboards/{name}/select/{widget}", s.handleSelect)
-	mux.HandleFunc("GET /dashboards/{name}/log", s.handleLog)
-	mux.HandleFunc("PUT /dashboards/{name}/data/{file}", s.handleUpload)
-	mux.HandleFunc("GET /dashboards/{name}/profile", s.handleProfile)
-	mux.HandleFunc("GET /dashboards/{name}/lint", s.handleLint)
-	mux.HandleFunc("GET /shared", s.handleShared)
-	mux.HandleFunc("GET /dashboards/{name}/edit", s.handleEditor)
+	handle := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, s.httpm.Instrument(pattern, h))
+	}
+	handle("GET /dashboards", s.handleList)
+	handle("PUT /dashboards/{name}", s.handlePut)
+	handle("GET /dashboards/{name}", s.handleGet)
+	handle("POST /dashboards/{name}/run", s.handleRun)
+	handle("GET /dashboards/{name}/html", s.handleHTML)
+	handle("GET /dashboards/{name}/explore", s.handleExplore)
+	handle("GET /dashboards/{name}/ds", s.handleDatasets)
+	handle("GET /dashboards/{name}/ds/{ds}", s.handleDataset)
+	handle("GET /dashboards/{name}/ds/{ds}/groupby/{col}/{agg}/{vcol}", s.handleAdhoc)
+	handle("POST /dashboards/{name}/select/{widget}", s.handleSelect)
+	handle("GET /dashboards/{name}/log", s.handleLog)
+	handle("PUT /dashboards/{name}/data/{file}", s.handleUpload)
+	handle("GET /dashboards/{name}/profile", s.handleProfile)
+	handle("GET /dashboards/{name}/lint", s.handleLint)
+	handle("GET /dashboards/{name}/stats", s.handleStats)
+	handle("GET /dashboards/{name}/trace", s.handleTrace)
+	handle("GET /dashboards/{name}/ops", s.handleOps)
+	handle("GET /shared", s.handleShared)
+	handle("GET /dashboards/{name}/edit", s.handleEditor)
+	mux.Handle("GET /metrics", s.platform.Metrics.Handler())
 	s.vcsRoutes(mux)
 	s.discoveryRoutes(mux)
 	return mux
@@ -230,6 +259,46 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	w.Write(content)
 }
 
+// stageJSON is one stage timing in API responses.
+type stageJSON struct {
+	Output      string `json:"output"`
+	Stage       string `json:"stage"`
+	RowsIn      int    `json:"rows_in"`
+	Rows        int    `json:"rows"`
+	DurationUS  int64  `json:"duration_us"`
+	QueueWaitUS int64  `json:"queue_wait_us"`
+}
+
+func stagesJSON(timings []dashboard.StageTiming) []stageJSON {
+	out := make([]stageJSON, 0, len(timings))
+	for _, st := range timings {
+		out = append(out, stageJSON{
+			Output: st.Output, Stage: st.Stage, RowsIn: st.RowsIn, Rows: st.Rows,
+			DurationUS: st.Duration.Microseconds(), QueueWaitUS: st.QueueWait.Microseconds(),
+		})
+	}
+	return out
+}
+
+// statsBody assembles a run's execution statistics. full includes every
+// stage timing; otherwise only the five slowest.
+func statsBody(name string, d *dashboard.Dashboard, full bool) map[string]any {
+	st := d.Result().Stats
+	body := map[string]any{
+		"dashboard":         name,
+		"endpoints":         d.EndpointNames(),
+		"tasks_run":         st.TasksRun,
+		"transferred_bytes": d.TransferredBytes,
+		"skipped_sinks":     st.SkippedSinks,
+		"cache_hits":        st.CacheHits,
+		"slowest_stages":    stagesJSON(st.Slowest(5)),
+	}
+	if full {
+		body["timings"] = stagesJSON(st.Timings)
+	}
+	return body
+}
+
 // handleRun compiles the latest committed flow file and executes it.
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
@@ -238,24 +307,20 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		jsonError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
-	type stage struct {
-		Output     string `json:"output"`
-		Stage      string `json:"stage"`
-		Rows       int    `json:"rows"`
-		DurationUS int64  `json:"duration_us"`
+	jsonOK(w, statsBody(name, d, r.URL.Query().Get("full") == "1"))
+}
+
+// handleStats reports the last run's execution statistics without
+// re-running: the §6 bottleneck view. ?full=1 includes every stage
+// timing, not just the top five.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	d, err := s.liveDashboard(name)
+	if err != nil {
+		jsonError(w, http.StatusNotFound, err)
+		return
 	}
-	var slowest []stage
-	for _, st := range d.Result().Stats.Slowest(5) {
-		slowest = append(slowest, stage{st.Output, st.Stage, st.Rows, st.Duration.Microseconds()})
-	}
-	jsonOK(w, map[string]any{
-		"dashboard":         name,
-		"endpoints":         d.EndpointNames(),
-		"tasks_run":         d.Result().Stats.TasksRun,
-		"transferred_bytes": d.TransferredBytes,
-		"skipped_sinks":     d.Result().Stats.SkippedSinks,
-		"slowest_stages":    slowest,
-	})
+	jsonOK(w, statsBody(name, d, r.URL.Query().Get("full") == "1"))
 }
 
 func (s *Server) runDashboard(name string) (*dashboard.Dashboard, error) {
@@ -278,11 +343,16 @@ func (s *Server) runDashboard(name string) (*dashboard.Dashboard, error) {
 	if err != nil {
 		return nil, diagnosed(f, err)
 	}
+	// Every server-side run records a span tree, served by GET
+	// /dashboards/{name}/trace until the next run replaces it.
+	trace := obs.NewTrace(name)
+	d.SetTracer(trace)
 	if err := d.Run(); err != nil {
 		return nil, diagnosed(f, err)
 	}
 	s.mu.Lock()
 	s.live[name] = d
+	s.traces[name] = trace
 	s.mu.Unlock()
 	return d, nil
 }
@@ -504,6 +574,61 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 	meta, err := profile.BuildMeta(d)
 	if err != nil {
 		jsonError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	for _, name := range meta.EndpointNames() {
+		t, ok := meta.Endpoint(name)
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(w, "== %s ==\n%s\n", name, t.Format(0))
+	}
+}
+
+// handleTrace serves the last run's execution trace: a human span tree
+// by default, Chrome trace-event JSON with ?format=chrome (loadable in
+// chrome://tracing and Perfetto).
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mu.RLock()
+	trace, ok := s.traces[name]
+	s.mu.RUnlock()
+	if !ok {
+		jsonError(w, http.StatusNotFound, fmt.Errorf("dashboard %q has not been run", name))
+		return
+	}
+	if r.URL.Query().Get("format") == "chrome" {
+		w.Header().Set("Content-Type", "application/json")
+		if err := trace.WriteChrome(w); err != nil {
+			jsonError(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	trace.Format(w)
+}
+
+// handleOps serves the self-hosted ops meta-dashboard: the last run's
+// telemetry assembled into a generated platform dashboard (the
+// Race2Insights Figure 31/32 pattern). ?format=html renders the page;
+// the default is the endpoint tables plus the generated flow file.
+func (s *Server) handleOps(w http.ResponseWriter, r *http.Request) {
+	d, err := s.liveDashboard(r.PathValue("name"))
+	if err != nil {
+		jsonError(w, http.StatusNotFound, err)
+		return
+	}
+	meta, err := ops.BuildOps(d)
+	if err != nil {
+		jsonError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	if r.URL.Query().Get("format") == "html" {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		if err := meta.RenderHTML(w); err != nil {
+			jsonError(w, http.StatusInternalServerError, err)
+		}
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")

@@ -612,3 +612,119 @@ func TestErrorPaths(t *testing.T) {
 		t.Errorf("sbin endpoint = %d, prefix %q", code, string(body[:5]))
 	}
 }
+
+// TestObservabilityRoutes drives the three tentpole surfaces over REST:
+// per-run stats (?full=1), the execution trace (tree and Chrome JSON),
+// and the ops meta-dashboard — plus the Prometheus /metrics endpoint.
+func TestObservabilityRoutes(t *testing.T) {
+	_, ts := newTestServer(t)
+	base := ts.URL + "/dashboards/obsd"
+
+	// Before any run, trace and stats are 404s.
+	if code, _ := do(t, http.MethodGet, base+"/trace", ""); code != 404 {
+		t.Errorf("trace before run = %d, want 404", code)
+	}
+
+	if code, body := do(t, http.MethodPut, base, serverFlow); code != 200 {
+		t.Fatalf("PUT = %d: %s", code, body)
+	}
+	if code, body := do(t, http.MethodPost, base+"/run", ""); code != 200 {
+		t.Fatalf("run = %d: %s", code, body)
+	}
+
+	// Stats without ?full=1 omit the per-stage timings.
+	code, body := do(t, http.MethodGet, base+"/stats", "")
+	if code != 200 {
+		t.Fatalf("stats = %d: %s", code, body)
+	}
+	var brief map[string]any
+	if err := json.Unmarshal(body, &brief); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := brief["timings"]; ok {
+		t.Error("brief stats include full timings")
+	}
+	if _, ok := brief["slowest_stages"]; !ok {
+		t.Error("stats missing slowest_stages")
+	}
+
+	// ?full=1 includes every stage with the satellite fields.
+	code, body = do(t, http.MethodGet, base+"/stats?full=1", "")
+	if code != 200 {
+		t.Fatalf("stats?full=1 = %d: %s", code, body)
+	}
+	var full struct {
+		Timings []struct {
+			Output      string `json:"output"`
+			Stage       string `json:"stage"`
+			RowsIn      int    `json:"rows_in"`
+			QueueWaitUS int64  `json:"queue_wait_us"`
+		} `json:"timings"`
+	}
+	if err := json.Unmarshal(body, &full); err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Timings) == 0 {
+		t.Fatalf("full stats have no timings: %s", body)
+	}
+	var sawRowsIn bool
+	for _, st := range full.Timings {
+		if st.RowsIn > 0 {
+			sawRowsIn = true
+		}
+	}
+	if !sawRowsIn {
+		t.Errorf("no stage reports rows_in: %s", body)
+	}
+
+	// The trace tree names the run and the executed node.
+	code, body = do(t, http.MethodGet, base+"/trace", "")
+	if code != 200 || !strings.Contains(string(body), "run obsd") ||
+		!strings.Contains(string(body), "node D.by_region") {
+		t.Errorf("trace = %d: %s", code, body)
+	}
+
+	// The Chrome export is a JSON array of complete events.
+	code, body = do(t, http.MethodGet, base+"/trace?format=chrome", "")
+	if code != 200 {
+		t.Fatalf("chrome trace = %d: %s", code, body)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(body, &events); err != nil {
+		t.Fatalf("chrome trace is not JSON: %v\n%s", err, body)
+	}
+	if len(events) == 0 || events[0]["ph"] != "X" {
+		t.Errorf("chrome events = %v", events)
+	}
+
+	// The ops meta-dashboard reports the run's own telemetry.
+	code, body = do(t, http.MethodGet, base+"/ops", "")
+	if code != 200 || !strings.Contains(string(body), "== summary ==") ||
+		!strings.Contains(string(body), "tasks_run") {
+		t.Errorf("ops = %d: %s", code, body)
+	}
+	code, body = do(t, http.MethodGet, base+"/ops?format=html", "")
+	if code != 200 || !strings.Contains(string(body), "<html") {
+		t.Errorf("ops html = %d", code)
+	}
+
+	// /metrics exposes the HTTP middleware and engine instrument
+	// families in Prometheus text format.
+	code, body = do(t, http.MethodGet, ts.URL+"/metrics", "")
+	if code != 200 {
+		t.Fatalf("metrics = %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE si_http_requests_total counter",
+		"# TYPE si_http_request_duration_seconds histogram",
+		"# TYPE si_http_in_flight_requests gauge",
+		`route="POST /dashboards/{name}/run"`,
+		"# TYPE si_runs_total counter",
+		"# TYPE si_engine_stage_duration_seconds histogram",
+		`si_runs_total{status="ok"} 1`,
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

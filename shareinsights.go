@@ -32,6 +32,7 @@ import (
 	"shareinsights/internal/connector"
 	"shareinsights/internal/dashboard"
 	"shareinsights/internal/flowfile"
+	"shareinsights/internal/obs"
 	"shareinsights/internal/schema"
 	"shareinsights/internal/server"
 	"shareinsights/internal/share"
@@ -77,6 +78,13 @@ type (
 	Server = server.Server
 	// Repo versions one dashboard's flow file (branch/merge/fork).
 	Repo = vcs.Repo
+	// Tracer receives execution spans; see docs/OBSERVABILITY.md.
+	Tracer = obs.Tracer
+	// Trace collects spans into a tree (the standard Tracer).
+	Trace = obs.Trace
+	// MetricsRegistry holds counters, gauges and histograms and writes
+	// the Prometheus text exposition.
+	MetricsRegistry = obs.Registry
 )
 
 // NewPlatform returns a platform with the standard task library,
@@ -101,3 +109,11 @@ func NewRepo(name string) *Repo { return vcs.NewRepo(name) }
 
 // NewCatalog creates an empty shared-object catalog.
 func NewCatalog() *Catalog { return share.NewCatalog() }
+
+// NewTrace creates an execution-trace collector; attach it to
+// Platform.Tracer (every run) or Dashboard.SetTracer (one run).
+func NewTrace(name string) *Trace { return obs.NewTrace(name) }
+
+// NewMetricsRegistry creates an empty metrics registry; attach it to
+// Platform.Metrics to instrument runs (the server does this itself).
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
