@@ -24,14 +24,17 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"shareinsights"
@@ -55,9 +58,12 @@ func main() {
 		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 		showTrace := fs.Bool("trace", false, "print the run's execution span tree")
 		traceJSON := fs.String("trace-json", "", "write the run's trace as Chrome trace-event JSON to `file`")
+		timeout := fs.Duration("timeout", 0, "overall run deadline (e.g. 30s); 0 disables")
+		retries := fs.Int("retries", -1, "connector retry budget per source; -1 keeps the default")
 		fs.Parse(args)
 		var trace *shareinsights.Trace
 		d := mustRunTraced(mustArg(fs.Args(), "flow file"), func(p *shareinsights.Platform, name string) {
+			configureResilience(p, *timeout, *retries)
 			if *showTrace || *traceJSON != "" {
 				trace = shareinsights.NewTrace(name)
 				p.Tracer = trace
@@ -165,12 +171,39 @@ func main() {
 		fs := flag.NewFlagSet("serve", flag.ExitOnError)
 		addr := fs.String("addr", ":8080", "listen address")
 		dataDir := fs.String("data", ".", "data directory for file sources")
+		timeout := fs.Duration("timeout", 0, "per-run deadline for dashboard runs; 0 disables")
+		retries := fs.Int("retries", -1, "connector retry budget per source; -1 keeps the default")
 		fs.Parse(args)
 		p := shareinsights.NewPlatform()
 		p.Connectors = shareinsights.NewConnectorRegistry(shareinsights.ConnectorOptions{DataDir: *dataDir})
+		configureResilience(p, *timeout, *retries)
 		srv := shareinsights.NewServer(p)
+		hs := &http.Server{
+			Addr:    *addr,
+			Handler: srv.Handler(),
+			// Slow-client protection: a stalled peer cannot pin a
+			// connection (and its goroutine) forever.
+			ReadHeaderTimeout: 10 * time.Second,
+			ReadTimeout:       5 * time.Minute,
+			IdleTimeout:       2 * time.Minute,
+		}
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		errc := make(chan error, 1)
+		go func() { errc <- hs.ListenAndServe() }()
 		fmt.Printf("ShareInsights listening on %s (data dir %s)\n", *addr, *dataDir)
-		log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+		select {
+		case err := <-errc:
+			log.Fatal(err)
+		case <-ctx.Done():
+			stop()
+			fmt.Println("shutting down...")
+			sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			if err := hs.Shutdown(sctx); err != nil {
+				log.Fatal(err)
+			}
+		}
 	case "time":
 		d := mustRun(mustArg(args, "flow file"))
 		st := d.Result().Stats
@@ -190,6 +223,21 @@ func main() {
 			fmt.Printf("skipped sinks: %s\n", strings.Join(st.SkippedSinks, ", "))
 		} else {
 			fmt.Println("skipped sinks: none")
+		}
+		// Resilience telemetry: sources that needed retries or served
+		// fallback data are bottlenecks (and risks) too.
+		h := d.Health()
+		fmt.Printf("source retries: %d\n", h.Retries)
+		var degraded []string
+		for _, sh := range h.Sources {
+			if sh.Status != "ok" {
+				degraded = append(degraded, fmt.Sprintf("D.%s (%s)", sh.Name, sh.Status))
+			}
+		}
+		if len(degraded) > 0 {
+			fmt.Printf("degraded sources: %s\n", strings.Join(degraded, ", "))
+		} else {
+			fmt.Println("degraded sources: none")
 		}
 	case "profile":
 		d := mustRun(mustArg(args, "flow file"))
@@ -240,6 +288,17 @@ func mustParse(path string) *shareinsights.FlowFile {
 		log.Fatal(err)
 	}
 	return f
+}
+
+// configureResilience applies the -timeout/-retries flags to a
+// platform: the run deadline and the connector retry budget.
+func configureResilience(p *shareinsights.Platform, timeout time.Duration, retries int) {
+	p.RunTimeout = timeout
+	if retries >= 0 {
+		pol := p.Connectors.RetryPolicy()
+		pol.MaxRetries = retries
+		p.Connectors.SetRetryPolicy(pol)
+	}
 }
 
 // platformFor builds a platform whose file connector and task resources

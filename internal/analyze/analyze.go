@@ -17,7 +17,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
+	"time"
 
 	"shareinsights/internal/connector"
 	"shareinsights/internal/dag"
@@ -150,6 +152,7 @@ func Lint(f *flowfile.File, opts Options) *Report {
 	l.resolveAndWalk()
 	l.checkWidgets()
 	l.checkDataProps()
+	l.checkResilienceProps()
 	l.checkDeadEntities()
 	sort.SliceStable(l.report.Findings, func(i, j int) bool {
 		a, b := l.report.Findings[i], l.report.Findings[j]
@@ -190,8 +193,23 @@ func (l *linter) validation() {
 		return
 	}
 	for _, d := range diagnose.Diagnose(l.f, err) {
+		if resilienceProblem(d.Problem) {
+			// Re-reported as FL042 with did-you-mean hints by
+			// checkResilienceProps; skipping here avoids duplicates.
+			continue
+		}
 		l.add(Finding{Rule: "FL000", Severity: Error, Entity: d.Entity, Line: d.Line, Message: d.Problem, Hint: d.Hint})
 	}
+}
+
+// resilienceProblem matches the Validate messages for bad
+// on_error/timeout/retries details (flowfile/validate.go keeps the
+// wording in sync).
+func resilienceProblem(msg string) bool {
+	return strings.Contains(msg, "on_error must be") ||
+		strings.Contains(msg, "timeout must be") ||
+		strings.Contains(msg, "is not a duration") ||
+		strings.Contains(msg, "retries must be")
 }
 
 // parseTasks type-checks every task definition against the registry:
@@ -228,9 +246,13 @@ func (l *linter) parseTasks() {
 }
 
 // checkDataProps validates connector properties on data objects: FL040
-// bad protocol/format value, FL041 unknown property key.
+// bad protocol/format value, FL041 unknown property key, FL042 bad
+// resilience detail (on_error/timeout/retries, docs/RESILIENCE.md).
 func (l *linter) checkDataProps() {
-	knownProps := []string{"source", "protocol", "format", "separator", "request_type"}
+	knownProps := []string{
+		"source", "protocol", "format", "separator", "request_type",
+		"on_error", "timeout", "retries",
+	}
 	for _, name := range l.f.DataOrder {
 		d := l.f.Data[name]
 		for _, key := range d.PropOrder {
@@ -262,6 +284,38 @@ func (l *linter) checkDataProps() {
 				fd.Hint = fmt.Sprintf("did you mean %q?", hint)
 			}
 			l.add(fd)
+		}
+	}
+}
+
+// checkResilienceProps validates the run-time degradation details: FL042
+// bad on_error/timeout/retries value. These are also hard validation
+// errors (flowfile.Validate), but the linter repeats them with rule IDs
+// and hints so the editor and flowlint report them uniformly.
+func (l *linter) checkResilienceProps() {
+	modes := []string{"fail", "stale", "empty"}
+	for _, name := range l.f.DataOrder {
+		d := l.f.Data[name]
+		if m := d.Prop("on_error"); m != "" && !hasString(modes, m) {
+			fd := Finding{Rule: "FL042", Severity: Error, Entity: "D." + name, Line: d.Line,
+				Message: fmt.Sprintf("on_error must be fail, stale or empty (got %q)", m)}
+			if hint := diagnose.Nearest(m, modes); hint != "" {
+				fd.Hint = fmt.Sprintf("did you mean %q?", hint)
+			}
+			l.add(fd)
+		}
+		if v := d.Prop("timeout"); v != "" {
+			if dur, err := time.ParseDuration(v); err != nil || dur <= 0 {
+				l.add(Finding{Rule: "FL042", Severity: Error, Entity: "D." + name, Line: d.Line,
+					Message: fmt.Sprintf("timeout %q is not a positive duration", v),
+					Hint:    `use Go duration syntax, e.g. "30s" or "2m"`})
+			}
+		}
+		if v := d.Prop("retries"); v != "" {
+			if n, err := strconv.Atoi(v); err != nil || n < 0 {
+				l.add(Finding{Rule: "FL042", Severity: Error, Entity: "D." + name, Line: d.Line,
+					Message: fmt.Sprintf("retries must be a non-negative integer (got %q)", v)})
+			}
 		}
 	}
 }

@@ -429,6 +429,60 @@ T:
 			msgPart: `"formt"`, hintPart: `"format"`, wantLine: true,
 		},
 		{
+			name: "FL042 misspelled on_error mode with hint",
+			src: `
+D:
+  src: [region, amount]
+D.src:
+  source: mem:src.csv
+  on_error: stael
+F:
+  +D.out: D.src | T.agg
+T:
+  agg:
+    type: groupby
+    groupby: [region]
+`,
+			rule: "FL042", severity: Error, entity: "D.src",
+			msgPart: `"stael"`, hintPart: `"stale"`, wantLine: true,
+		},
+		{
+			name: "FL042 timeout without a unit",
+			src: `
+D:
+  src: [region, amount]
+D.src:
+  source: mem:src.csv
+  timeout: 30
+F:
+  +D.out: D.src | T.agg
+T:
+  agg:
+    type: groupby
+    groupby: [region]
+`,
+			rule: "FL042", severity: Error, entity: "D.src",
+			msgPart: `"30"`, hintPart: `"30s"`, wantLine: true,
+		},
+		{
+			name: "FL042 negative retries",
+			src: `
+D:
+  src: [region, amount]
+D.src:
+  source: mem:src.csv
+  retries: -1
+F:
+  +D.out: D.src | T.agg
+T:
+  agg:
+    type: groupby
+    groupby: [region]
+`,
+			rule: "FL042", severity: Error, entity: "D.src",
+			msgPart: "non-negative", wantLine: true,
+		},
+		{
 			name: "FL050 filter blocked behind a producing stage",
 			src: `
 D:
@@ -626,5 +680,30 @@ func TestLintToleratesBrokenFiles(t *testing.T) {
 			continue
 		}
 		_ = Lint(f, Options{Tasks: task.NewRegistry()})
+	}
+}
+
+// TestResilienceFindingsNotDuplicatedAsFL000 pins the dedup: a bad
+// on_error value is a hard Validate error and an FL042 lint finding,
+// but the report must show it once (as FL042, which carries the hint).
+func TestResilienceFindingsNotDuplicatedAsFL000(t *testing.T) {
+	report := lintSrc(t, `
+D:
+  src: [region, amount]
+D.src:
+  source: mem:src.csv
+  on_error: stael
+F:
+  +D.out: D.src | T.agg
+T:
+  agg:
+    type: groupby
+    groupby: [region]
+`)
+	if got := findRule(report, "FL042"); len(got) != 1 {
+		t.Fatalf("FL042 findings = %d, want 1; report:\n%s", len(got), renderReport(report))
+	}
+	if got := findRule(report, "FL000"); len(got) != 0 {
+		t.Fatalf("bad on_error duplicated as FL000; report:\n%s", renderReport(report))
 	}
 }

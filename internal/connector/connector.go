@@ -8,18 +8,21 @@
 package connector
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"shareinsights/internal/flowfile"
 	"shareinsights/internal/obs"
+	"shareinsights/internal/resilience"
 	"shareinsights/internal/schema"
 	"shareinsights/internal/table"
 )
@@ -30,6 +33,44 @@ type Protocol interface {
 	Fetch(d *flowfile.DataDef) ([]byte, error)
 }
 
+// ProtocolContext is the context-aware fetch path. Protocols that
+// implement it honor cancellation and per-attempt deadlines; plain
+// Protocol implementations keep working through an adapter that runs
+// the blocking Fetch on a goroutine and abandons it when the context
+// ends.
+type ProtocolContext interface {
+	// FetchContext is Fetch bounded by ctx.
+	FetchContext(ctx context.Context, d *flowfile.DataDef) ([]byte, error)
+}
+
+// fetch dispatches to the context-aware path when the protocol has one.
+// For legacy protocols the blocking Fetch runs on its own goroutine so
+// a hung source cannot outlive the caller's deadline — the goroutine is
+// abandoned (its result dropped) when ctx ends first.
+func fetch(ctx context.Context, p Protocol, d *flowfile.DataDef) ([]byte, error) {
+	if pc, ok := p.(ProtocolContext); ok {
+		return pc.FetchContext(ctx, d)
+	}
+	if ctx.Done() == nil {
+		return p.Fetch(d)
+	}
+	type result struct {
+		b   []byte
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		b, err := p.Fetch(d)
+		ch <- result{b, err}
+	}()
+	select {
+	case r := <-ch:
+		return r.b, r.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
 // Format decodes payload bytes into a table conforming to the declared
 // schema.
 type Format interface {
@@ -37,11 +78,17 @@ type Format interface {
 	Decode(d *flowfile.DataDef, s *schema.Schema, payload []byte) (*table.Table, error)
 }
 
-// Registry resolves protocols and formats for data definitions.
+// Registry resolves protocols and formats for data definitions, and
+// applies the platform's fetch resilience policy: retry with backoff,
+// per-(protocol,source) circuit breakers, and per-attempt deadlines.
 type Registry struct {
 	mu        sync.RWMutex
 	protocols map[string]Protocol
 	formats   map[string]Format
+	retry     resilience.Policy
+	breakers  *resilience.BreakerSet
+	maxBytes  int64
+	metrics   *obs.Registry
 }
 
 // Options configure the default registry.
@@ -55,12 +102,42 @@ type Options struct {
 	Mem map[string][]byte
 	// HTTPClient overrides the client used by the http protocol.
 	HTTPClient *http.Client
+	// MaxPayloadBytes caps fetched response bodies so one misbehaving
+	// source cannot OOM the process. 0 means DefaultMaxPayloadBytes;
+	// negative disables the cap.
+	MaxPayloadBytes int64
+	// Retry is the default retry policy applied to source fetches.
+	// The zero value (every field unset) means resilience.Defaults();
+	// per-source `retries` and `timeout` data-detail properties
+	// override it.
+	Retry resilience.Policy
+	// Breaker tunes the per-(protocol,source) circuit breakers.
+	Breaker resilience.BreakerConfig
 }
+
+// DefaultMaxPayloadBytes bounds fetched payloads when Options leaves
+// MaxPayloadBytes at 0.
+const DefaultMaxPayloadBytes = 64 << 20
 
 // NewRegistry builds a registry with the platform connectors and formats
 // installed.
 func NewRegistry(opts Options) *Registry {
-	r := &Registry{protocols: map[string]Protocol{}, formats: map[string]Format{}}
+	retry := opts.Retry
+	if retry.MaxRetries == 0 && retry.BaseDelay == 0 && retry.MaxDelay == 0 &&
+		retry.AttemptTimeout == 0 && retry.Sleep == nil && retry.Rand == nil {
+		retry = resilience.Defaults()
+	}
+	maxBytes := opts.MaxPayloadBytes
+	if maxBytes == 0 {
+		maxBytes = DefaultMaxPayloadBytes
+	}
+	r := &Registry{
+		protocols: map[string]Protocol{},
+		formats:   map[string]Format{},
+		retry:     retry,
+		breakers:  resilience.NewBreakerSet(opts.Breaker),
+		maxBytes:  maxBytes,
+	}
 	if opts.DataDir != "" {
 		r.protocols["file"] = &fileProtocol{root: opts.DataDir}
 	}
@@ -68,8 +145,8 @@ func NewRegistry(opts Options) *Registry {
 	if client == nil {
 		client = &http.Client{Timeout: 30 * time.Second}
 	}
-	r.protocols["http"] = &httpProtocol{client: client}
-	r.protocols["https"] = &httpProtocol{client: client}
+	r.protocols["http"] = &httpProtocol{client: client, maxBytes: maxBytes}
+	r.protocols["https"] = &httpProtocol{client: client, maxBytes: maxBytes}
 	r.protocols["mem"] = &memProtocol{data: opts.Mem}
 	for name, f := range map[string]Format{
 		"csv":   &csvFormat{},
@@ -196,38 +273,149 @@ func (r *Registry) Decode(d *flowfile.DataDef, s *schema.Schema, payload []byte)
 	return t, nil
 }
 
+// SetMetrics attaches a metrics registry: retry counts and breaker
+// state transitions are recorded against it (si_source_retries_total,
+// si_breaker_transitions_total). The server wires the platform registry
+// here; nil detaches.
+func (r *Registry) SetMetrics(m *obs.Registry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.metrics = m
+	if m == nil {
+		r.breakers.SetOnTransition(nil)
+		return
+	}
+	r.breakers.SetOnTransition(func(key string, from, to resilience.State) {
+		proto, _, _ := strings.Cut(key, "\x00")
+		m.CounterVec("si_breaker_transitions_total",
+			"Connector circuit-breaker state transitions.", "protocol", "to").
+			With(proto, to.String()).Inc()
+	})
+}
+
+// SetRetryPolicy replaces the registry's default fetch retry policy
+// (the CLI's -retries/-timeout flags land here).
+func (r *Registry) SetRetryPolicy(p resilience.Policy) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.retry = p
+}
+
+// RetryPolicy returns the registry's default fetch retry policy.
+func (r *Registry) RetryPolicy() resilience.Policy {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.retry
+}
+
+// Breakers exposes the per-(protocol,source) circuit-breaker set
+// (health reporting and tests).
+func (r *Registry) Breakers() *resilience.BreakerSet { return r.breakers }
+
+// LoadStats reports what one Load actually did.
+type LoadStats struct {
+	// Attempts is how many fetch attempts ran (retries = Attempts-1 on
+	// success).
+	Attempts int
+	// Protocol is the resolved protocol name.
+	Protocol string
+}
+
+// policyFor derives the effective retry policy for one data object:
+// the registry default overridden by the `retries` and `timeout`
+// data-detail properties.
+func (r *Registry) policyFor(d *flowfile.DataDef) resilience.Policy {
+	p := r.RetryPolicy()
+	if v := d.Prop("retries"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n >= 0 {
+			p.MaxRetries = n
+		}
+	}
+	if v := d.Prop("timeout"); v != "" {
+		if dur, err := time.ParseDuration(v); err == nil && dur > 0 {
+			p.AttemptTimeout = dur
+		}
+	}
+	return p
+}
+
 // Load fetches and decodes a data object. The definition must declare a
 // schema (the explicit schema call-out of §3.2).
 func (r *Registry) Load(d *flowfile.DataDef, s *schema.Schema) (*table.Table, error) {
-	return r.LoadTraced(d, s, nil, 0)
+	t, _, err := r.LoadContext(context.Background(), d, s, nil, 0)
+	return t, err
 }
 
 // LoadTraced is Load with execution tracing: one span for the protocol
 // fetch and one for the payload decode, opened under parent on tr. A
 // nil tr traces nothing and adds no allocations.
 func (r *Registry) LoadTraced(d *flowfile.DataDef, s *schema.Schema, tr obs.Tracer, parent int) (*table.Table, error) {
+	t, _, err := r.LoadContext(context.Background(), d, s, tr, parent)
+	return t, err
+}
+
+// LoadContext fetches and decodes a data object under ctx, applying the
+// fetch resilience policy: the source's circuit breaker is consulted
+// first (an open breaker fails fast without touching the source), then
+// the fetch runs under the retry policy — exponential backoff with full
+// jitter, Retry-After hints honored, permanent errors not retried —
+// with each attempt bounded by the per-source `timeout` property when
+// set. Breaker outcomes and retry counts feed the attached metrics
+// registry and the returned LoadStats.
+func (r *Registry) LoadContext(ctx context.Context, d *flowfile.DataDef, s *schema.Schema, tr obs.Tracer, parent int) (*table.Table, LoadStats, error) {
+	var stats LoadStats
 	if s == nil {
-		return nil, fmt.Errorf("connector: D.%s has no declared schema", d.Name)
+		return nil, stats, fmt.Errorf("connector: D.%s has no declared schema", d.Name)
 	}
 	p, pname, err := r.protocolFor(d)
 	if err != nil {
-		return nil, err
+		return nil, stats, err
 	}
+	stats.Protocol = pname
+	breaker := r.breakers.For(pname + "\x00" + d.Prop("source"))
 	fid := 0
 	if tr != nil {
 		fid = tr.StartSpan(parent, "fetch "+pname)
 	}
-	payload, err := p.Fetch(d)
+	var payload []byte
+	if berr := breaker.Allow(); berr != nil {
+		err = fmt.Errorf("source unavailable (%s, %w)", breaker.State(), berr)
+	} else {
+		policy := r.policyFor(d)
+		stats.Attempts, err = policy.Do(ctx, func(actx context.Context) error {
+			var ferr error
+			payload, ferr = fetch(actx, p, d)
+			return ferr
+		})
+		if err != nil {
+			breaker.Failure()
+		} else {
+			breaker.Success()
+		}
+	}
+	if retries := stats.Attempts - 1; retries > 0 {
+		if m := r.Metrics(); m != nil {
+			m.CounterVec("si_source_retries_total",
+				"Source fetch retries, by protocol.", "protocol").
+				With(pname).Add(int64(retries))
+		}
+		if tr != nil {
+			tr.SpanInt(fid, "retries", int64(retries))
+		}
+	}
 	if tr != nil {
 		tr.SpanInt(fid, "bytes", int64(len(payload)))
+		if err != nil {
+			tr.SpanFlag(fid, "error")
+		}
 		tr.EndSpan(fid)
 	}
 	if err != nil {
-		return nil, fmt.Errorf("connector: D.%s via %s: %w", d.Name, pname, err)
+		return nil, stats, fmt.Errorf("connector: D.%s via %s: %w", d.Name, pname, err)
 	}
 	f, fname, err := r.formatFor(d)
 	if err != nil {
-		return nil, err
+		return nil, stats, err
 	}
 	did := 0
 	if tr != nil {
@@ -241,9 +429,16 @@ func (r *Registry) LoadTraced(d *flowfile.DataDef, s *schema.Schema, tr obs.Trac
 		tr.EndSpan(did)
 	}
 	if err != nil {
-		return nil, fmt.Errorf("connector: D.%s as %s: %w", d.Name, fname, err)
+		return nil, stats, fmt.Errorf("connector: D.%s as %s: %w", d.Name, fname, err)
 	}
-	return t, nil
+	return t, stats, nil
+}
+
+// Metrics returns the attached metrics registry (nil when none).
+func (r *Registry) Metrics() *obs.Registry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.metrics
 }
 
 // ---------------------------------------------------------------------
@@ -274,18 +469,31 @@ func (p *fileProtocol) Fetch(d *flowfile.DataDef) ([]byte, error) {
 }
 
 // httpProtocol fetches provider APIs (Figure 6), forwarding configured
-// http_headers.* properties.
-type httpProtocol struct{ client *http.Client }
+// http_headers.* properties. It is hardened for untrusted sources:
+// non-2xx responses are errors carrying the status and a body snippet,
+// response bodies are capped so a misbehaving source cannot OOM the
+// process, client errors are marked permanent (no retry), and 429/503
+// Retry-After headers become backoff hints for the retry policy.
+type httpProtocol struct {
+	client   *http.Client
+	maxBytes int64
+}
 
 func (p *httpProtocol) Fetch(d *flowfile.DataDef) ([]byte, error) {
+	return p.FetchContext(context.Background(), d)
+}
+
+// FetchContext implements ProtocolContext: the request carries ctx, so
+// cancellation and deadlines abort the transfer mid-flight.
+func (p *httpProtocol) FetchContext(ctx context.Context, d *flowfile.DataDef) ([]byte, error) {
 	src := d.Prop("source")
 	method := strings.ToUpper(d.Prop("request_type"))
 	if method == "" {
 		method = http.MethodGet
 	}
-	req, err := http.NewRequest(method, src, nil)
+	req, err := http.NewRequestWithContext(ctx, method, src, nil)
 	if err != nil {
-		return nil, err
+		return nil, resilience.Permanent(err)
 	}
 	for _, k := range d.PropOrder {
 		if strings.HasPrefix(k, "http_headers.") {
@@ -298,9 +506,50 @@ func (p *httpProtocol) Fetch(d *flowfile.DataDef) ([]byte, error) {
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
-		return nil, fmt.Errorf("GET %s: status %s", src, resp.Status)
+		snippet, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		serr := fmt.Errorf("%s %s: status %s: %s", method, src, resp.Status,
+			strings.TrimSpace(string(snippet)))
+		switch {
+		case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable:
+			if after := parseRetryAfter(resp.Header.Get("Retry-After")); after > 0 {
+				return nil, resilience.RetryAfter(serr, after)
+			}
+			return nil, serr
+		case resp.StatusCode >= 400 && resp.StatusCode < 500 && resp.StatusCode != http.StatusRequestTimeout:
+			// A client error will not heal on retry.
+			return nil, resilience.Permanent(serr)
+		default:
+			return nil, serr
+		}
 	}
-	return io.ReadAll(resp.Body)
+	if p.maxBytes < 0 {
+		return io.ReadAll(resp.Body)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, p.maxBytes+1))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(body)) > p.maxBytes {
+		return nil, resilience.Permanent(fmt.Errorf("%s %s: response exceeds the %d-byte payload cap", method, src, p.maxBytes))
+	}
+	return body, nil
+}
+
+// parseRetryAfter reads an HTTP Retry-After header: delta-seconds or an
+// HTTP date. 0 means absent/unparseable.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		if d := time.Until(t); d > 0 {
+			return d
+		}
+	}
+	return 0
 }
 
 // memProtocol serves payloads from an in-process map.

@@ -21,6 +21,7 @@ package dashboard
 
 import (
 	"fmt"
+	"time"
 
 	"shareinsights/internal/connector"
 	"shareinsights/internal/dag"
@@ -53,6 +54,13 @@ type Platform struct {
 	// a re-run after a flow-file edit recomputes only what the edit
 	// touched (§4.5.3 quick feedback).
 	Cache *ResultCache
+	// LastGood keeps each source's last successfully loaded table so
+	// `on_error: stale` sources can serve it when their connector fails.
+	// It lives here (not on the Dashboard) to survive recompilation.
+	LastGood *SourceCache
+	// RunTimeout bounds every dashboard run; 0 means no platform-wide
+	// deadline (callers can still pass their own via RunContext).
+	RunTimeout time.Duration
 	// UseCube routes qualifying widget-interaction pipelines through the
 	// incremental cube engine instead of re-running the task chain per
 	// selection change. Results are identical either way; the cube makes
@@ -81,6 +89,7 @@ func NewPlatform() *Platform {
 		Catalog:    share.NewCatalog(),
 		Optimize:   true,
 		UseCube:    true,
+		LastGood:   NewSourceCache(),
 	}
 }
 
@@ -121,6 +130,7 @@ type Dashboard struct {
 	widgets  map[string]*widget.Instance
 	result   *batch.Result
 	tracer   obs.Tracer
+	health   RunHealth
 
 	// TransferredBytes counts endpoint-data bytes shipped from the
 	// processing context to the interactive context in the last Run.

@@ -1,0 +1,82 @@
+package dashboard
+
+import (
+	"sync"
+
+	"shareinsights/internal/table"
+)
+
+// SourceCache keeps the last successfully loaded table per (dashboard,
+// source) — the "last good" snapshot an `on_error: stale` source serves
+// when its connector fails. It lives on the Platform, not the
+// Dashboard, because the server recompiles dashboards on every flow-file
+// save: the snapshot must survive recompilation to be useful.
+type SourceCache struct {
+	mu      sync.Mutex
+	entries map[string]*table.Table
+}
+
+// NewSourceCache returns an empty cache.
+func NewSourceCache() *SourceCache {
+	return &SourceCache{entries: map[string]*table.Table{}}
+}
+
+func (c *SourceCache) lookup(dash, source string) (*table.Table, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t, ok := c.entries[dash+"\x00"+source]
+	return t, ok
+}
+
+func (c *SourceCache) store(dash, source string, t *table.Table) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries[dash+"\x00"+source] = t
+}
+
+// Len reports the number of cached snapshots.
+func (c *SourceCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// SourceHealth reports one source's outcome in the last run.
+type SourceHealth struct {
+	// Name is the data-object name.
+	Name string `json:"name"`
+	// Status is "ok", "stale" (served the last-good snapshot) or
+	// "empty" (served a schema-conforming empty table).
+	Status string `json:"status"`
+	// Mode is the configured on_error policy: fail, stale or empty.
+	Mode string `json:"mode"`
+	// Attempts counts connector fetch attempts (retries = attempts-1).
+	Attempts int `json:"attempts"`
+	// Error is the suppressed load error when degraded ("" when ok).
+	Error string `json:"error,omitempty"`
+}
+
+// RunHealth summarizes the last run for GET /dashboards/{name}/health.
+type RunHealth struct {
+	// Status is "ok", "degraded" (completed but at least one source
+	// served fallback data), "error" (the run failed) or "never-run".
+	Status string `json:"status"`
+	// Error is the run error when Status is "error".
+	Error string `json:"error,omitempty"`
+	// Retries totals connector retry attempts across sources.
+	Retries int `json:"retries"`
+	// Sources details every source's outcome, in graph order.
+	Sources []SourceHealth `json:"sources,omitempty"`
+}
+
+// Degraded reports whether the run completed on fallback data.
+func (h RunHealth) Degraded() bool { return h.Status == "degraded" }
+
+// Health returns the last run's health summary. Before the first run
+// the status is "never-run".
+func (d *Dashboard) Health() RunHealth {
+	if d.health.Status == "" {
+		return RunHealth{Status: "never-run"}
+	}
+	return d.health
+}

@@ -1,14 +1,19 @@
 package dashboard
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"time"
 
 	"shareinsights/internal/engine/batch"
 	"shareinsights/internal/engine/cube"
+	"shareinsights/internal/flowfile"
 	"shareinsights/internal/obs"
+	"shareinsights/internal/resilience"
 	"shareinsights/internal/table"
 	"shareinsights/internal/task"
 )
@@ -24,16 +29,37 @@ import (
 // metrics registry the run feeds the engine counters and histograms
 // documented in docs/OBSERVABILITY.md.
 func (d *Dashboard) Run() error {
+	return d.RunContext(context.Background())
+}
+
+// RunContext is Run honoring ctx: source fetches, DAG execution and
+// widget refreshes all observe cancellation and deadlines. When the
+// platform sets RunTimeout the run additionally gets that budget
+// (whichever deadline is tighter wins).
+func (d *Dashboard) RunContext(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		// A dead context fails promptly, before any source is touched.
+		d.health = RunHealth{Status: "error", Error: err.Error()}
+		return fmt.Errorf("dashboard %s: %w", d.Name, err)
+	}
+	if d.platform.RunTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = resilience.WithBudget(ctx, d.platform.RunTimeout)
+		defer cancel()
+	}
 	tr := d.Tracer()
 	runSpan := 0
 	start := time.Now()
 	if tr != nil {
 		runSpan = tr.StartSpan(0, "run "+d.Name)
 	}
-	err := d.run(tr, runSpan)
+	err := d.run(ctx, tr, runSpan)
 	if tr != nil {
 		if err != nil {
 			tr.SpanFlag(runSpan, "error")
+		}
+		if d.health.Degraded() {
+			tr.SpanFlag(runSpan, "degraded")
 		}
 		tr.EndSpan(runSpan)
 	}
@@ -41,22 +67,55 @@ func (d *Dashboard) Run() error {
 	return err
 }
 
-func (d *Dashboard) run(tr obs.Tracer, runSpan int) error {
+func (d *Dashboard) run(ctx context.Context, tr obs.Tracer, runSpan int) (err error) {
+	h := RunHealth{Status: "ok"}
+	defer func() {
+		if err != nil {
+			h.Status = "error"
+			h.Error = err.Error()
+		}
+		d.health = h
+	}()
 	sources := map[string]*table.Table{}
 	for _, name := range d.Graph.Sources() {
+		if cerr := ctx.Err(); cerr != nil {
+			return fmt.Errorf("dashboard %s: %w", d.Name, cerr)
+		}
+		n := d.Graph.Nodes[name]
 		srcSpan := 0
 		if tr != nil {
 			srcSpan = tr.StartSpan(runSpan, "source D."+name)
 		}
-		t, err := d.loadSource(name, tr, srcSpan)
+		t, attempts, lerr := d.loadSource(ctx, name, tr, srcSpan)
+		sh := SourceHealth{Name: name, Status: "ok", Mode: onErrorMode(n.Def), Attempts: attempts}
+		if attempts > 1 {
+			h.Retries += attempts - 1
+		}
+		if lerr != nil {
+			t, sh, lerr = d.degradeSource(name, sh, lerr)
+			if sh.Status != "ok" {
+				h.Status = "degraded"
+				if tr != nil {
+					tr.SpanFlag(srcSpan, "degraded")
+				}
+			}
+		}
 		if tr != nil {
 			if t != nil {
 				tr.SpanInt(srcSpan, "rows_out", int64(t.Len()))
 			}
+			tr.SpanInt(srcSpan, "attempts", int64(attempts))
+			if lerr != nil {
+				tr.SpanFlag(srcSpan, "error")
+			}
 			tr.EndSpan(srcSpan)
 		}
-		if err != nil {
-			return err
+		h.Sources = append(h.Sources, sh)
+		if lerr != nil {
+			return lerr
+		}
+		if !n.Shared && sh.Status == "ok" && d.platform.LastGood != nil {
+			d.platform.LastGood.store(d.Name, name, t)
 		}
 		sources[name] = t
 	}
@@ -79,11 +138,15 @@ func (d *Dashboard) run(tr obs.Tracer, runSpan int) error {
 			}
 		}
 	}
-	res, err := exec.RunWithCache(d.Graph, d.env, sources, cached)
+	res, err := exec.RunWithCacheContext(ctx, d.Graph, d.env, sources, cached)
+	if res != nil {
+		// Keep the partial result even on failure: Stats.Failures carries
+		// per-node errors (and panic stacks) for /stats and the trace.
+		d.result = res
+	}
 	if err != nil {
 		return fmt.Errorf("dashboard %s: %w", d.Name, err)
 	}
-	d.result = res
 	if d.platform.Cache != nil {
 		for _, name := range d.Graph.Order {
 			if d.Graph.Nodes[name].IsSource() {
@@ -124,7 +187,7 @@ func (d *Dashboard) run(tr obs.Tracer, runSpan int) error {
 		if tr != nil {
 			epSpan = tr.StartSpan(runSpan, "widget W."+name+" endpoint")
 		}
-		out, _, err := exec.RunPipelineTraced(d.env, plan.server, ins, plan.inputs, tr, epSpan)
+		out, _, err := exec.RunPipelineContextTraced(ctx, d.env, plan.server, ins, plan.inputs, tr, epSpan)
 		if tr != nil {
 			if out != nil {
 				tr.SpanInt(epSpan, "rows_out", int64(out.Len()))
@@ -143,7 +206,45 @@ func (d *Dashboard) run(tr obs.Tracer, runSpan int) error {
 			}
 		}
 	}
-	return d.refreshWidgets(tr, runSpan)
+	return d.refreshWidgets(ctx, tr, runSpan)
+}
+
+// onErrorMode reads a source's degradation policy: fail (default),
+// stale or empty.
+func onErrorMode(def *flowfile.DataDef) string {
+	if m := def.Prop("on_error"); m != "" {
+		return m
+	}
+	return "fail"
+}
+
+// degradeSource applies a failed source's on_error policy. It returns
+// the substitute table (stale snapshot or empty), the updated health
+// record, and the error to propagate — nil when degradation absorbed
+// the failure. Context errors are never degradable: a canceled run must
+// fail, not silently serve fallback data.
+func (d *Dashboard) degradeSource(name string, sh SourceHealth, lerr error) (*table.Table, SourceHealth, error) {
+	if errors.Is(lerr, context.Canceled) || errors.Is(lerr, context.DeadlineExceeded) {
+		return nil, sh, lerr
+	}
+	n := d.Graph.Nodes[name]
+	switch sh.Mode {
+	case "stale":
+		if d.platform.LastGood != nil {
+			if t, ok := d.platform.LastGood.lookup(d.Name, name); ok && t.Schema().Equal(n.Schema) {
+				sh.Status = "stale"
+				sh.Error = lerr.Error()
+				return t, sh, nil
+			}
+		}
+		return nil, sh, fmt.Errorf("%w (on_error: stale, but no last-good snapshot for D.%s)", lerr, name)
+	case "empty":
+		sh.Status = "empty"
+		sh.Error = lerr.Error()
+		return table.New(n.Schema), sh, nil
+	default:
+		return nil, sh, lerr
+	}
 }
 
 // recordRunMetrics feeds the platform's metrics registry (when one is
@@ -160,6 +261,14 @@ func (d *Dashboard) recordRunMetrics(dur time.Duration, runErr error) {
 	}
 	m.CounterVec("si_runs_total", "Dashboard runs, by outcome.", "status").With(status).Inc()
 	m.Histogram("si_run_duration_seconds", "End-to-end dashboard run latency.", nil).Observe(dur.Seconds())
+	if d.health.Degraded() {
+		m.Counter("si_runs_degraded_total", "Dashboard runs completed on fallback (stale or empty) source data.").Inc()
+	}
+	for _, sh := range d.health.Sources {
+		if sh.Status != "ok" {
+			m.CounterVec("si_sources_degraded_total", "Sources served via their on_error fallback, by fallback kind.", "mode").With(sh.Status).Inc()
+		}
+	}
 	if runErr != nil || d.result == nil {
 		return
 	}
@@ -181,18 +290,19 @@ func (d *Dashboard) recordRunMetrics(dur time.Duration, runErr error) {
 // loadSource materializes one source data object: shared catalog
 // objects resolve directly, data:-scheme sources decode uploaded
 // payloads, everything else goes through the connector registry (with
-// fetch/decode spans when tracing).
-func (d *Dashboard) loadSource(name string, tr obs.Tracer, srcSpan int) (*table.Table, error) {
+// fetch/decode spans when tracing). The int is the number of connector
+// fetch attempts (1 for non-connector sources).
+func (d *Dashboard) loadSource(ctx context.Context, name string, tr obs.Tracer, srcSpan int) (*table.Table, int, error) {
 	n := d.Graph.Nodes[name]
 	if n.Shared {
 		obj, ok := d.platform.Catalog.Resolve(name)
 		if !ok {
-			return nil, fmt.Errorf("dashboard %s: shared data object %q disappeared from the catalog", d.Name, name)
+			return nil, 1, fmt.Errorf("dashboard %s: shared data object %q disappeared from the catalog", d.Name, name)
 		}
 		if tr != nil {
 			tr.SpanFlag(srcSpan, "shared")
 		}
-		return obj.Data, nil
+		return obj.Data, 1, nil
 	}
 	// Sources in the dashboard's data folder (§4.3.2: uploaded files
 	// "can be referred in the data object configuration") resolve
@@ -203,30 +313,33 @@ func (d *Dashboard) loadSource(name string, tr obs.Tracer, srcSpan int) (*table.
 		}
 		payload, found := d.env.Resource(src)
 		if !found {
-			return nil, fmt.Errorf("dashboard %s: D.%s: no uploaded data file %q", d.Name, name, src)
+			return nil, 1, fmt.Errorf("dashboard %s: D.%s: no uploaded data file %q", d.Name, name, src)
 		}
 		t, err := d.platform.Connectors.Decode(n.Def, n.Schema, payload)
 		if err != nil {
-			return nil, fmt.Errorf("dashboard %s: %w", d.Name, err)
+			return nil, 1, fmt.Errorf("dashboard %s: %w", d.Name, err)
 		}
-		return t, nil
+		return t, 1, nil
 	}
-	t, err := d.platform.Connectors.LoadTraced(n.Def, n.Schema, tr, srcSpan)
+	t, stats, err := d.platform.Connectors.LoadContext(ctx, n.Def, n.Schema, tr, srcSpan)
 	if err != nil {
-		return nil, fmt.Errorf("dashboard %s: %w", d.Name, err)
+		return nil, stats.Attempts, fmt.Errorf("dashboard %s: %w", d.Name, err)
 	}
-	return t, nil
+	return t, stats.Attempts, nil
 }
 
 // RefreshWidgets re-evaluates every widget's interaction pipeline
 // against the current selections — what the generated dashboard does in
 // the browser whenever a selection changes.
 func (d *Dashboard) RefreshWidgets() error {
-	return d.refreshWidgets(d.Tracer(), 0)
+	return d.refreshWidgets(context.Background(), d.Tracer(), 0)
 }
 
-func (d *Dashboard) refreshWidgets(tr obs.Tracer, parent int) error {
+func (d *Dashboard) refreshWidgets(ctx context.Context, tr obs.Tracer, parent int) error {
 	for _, name := range d.File.WidgetOrder {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("dashboard %s: %w", d.Name, err)
+		}
 		if err := d.refreshWidgetTraced(name, tr, parent); err != nil {
 			return err
 		}
@@ -238,7 +351,15 @@ func (d *Dashboard) refreshWidget(name string) error {
 	return d.refreshWidgetTraced(name, d.Tracer(), 0)
 }
 
-func (d *Dashboard) refreshWidgetTraced(name string, tr obs.Tracer, parent int) error {
+func (d *Dashboard) refreshWidgetTraced(name string, tr obs.Tracer, parent int) (err error) {
+	// Interaction pipelines run user-extension operators too; a panic
+	// there must fail the refresh, not the process.
+	defer func() {
+		if v := recover(); v != nil {
+			err = fmt.Errorf("dashboard %s: widget W.%s: %w", d.Name, name,
+				&batch.PanicError{Stage: "widget W." + name, Value: fmt.Sprint(v), Stack: string(debug.Stack())})
+		}
+	}()
 	plan, ok := d.plans[name]
 	if !ok {
 		return nil // static or layout widget

@@ -17,8 +17,11 @@
 package batch
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
@@ -79,6 +82,39 @@ type Stats struct {
 	CacheHits []string
 	// Timings records every executed stage.
 	Timings []StageTiming
+	// Failures records every node whose pipeline failed — including
+	// recovered panics, whose captured stacks ride along so /stats and
+	// the trace can surface them (§5.2 error pin-pointing).
+	Failures []StageFailure
+}
+
+// StageFailure is one failed node pipeline.
+type StageFailure struct {
+	// Output is the data object whose pipeline failed.
+	Output string
+	// Err is the failure message.
+	Err string
+	// Panic marks failures recovered from a panicking task.
+	Panic bool
+	// Stack is the captured goroutine stack for panics ("" otherwise).
+	Stack string
+}
+
+// PanicError is a panic recovered from task execution, turned into a
+// structured stage error: the dashboard run fails, the process does
+// not.
+type PanicError struct {
+	// Stage describes the task(s) that panicked.
+	Stage string
+	// Value is the panic value, stringified.
+	Value string
+	// Stack is the goroutine stack captured at recovery.
+	Stack string
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic in stage %s: %s", e.Stage, e.Value)
 }
 
 // Slowest returns the n longest stages, descending.
@@ -112,11 +148,31 @@ func (e *Executor) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// recoverStage converts a panic in a task stage into a *PanicError so
+// one misbehaving operator fails its node instead of killing the
+// process. Install with defer; it writes through errp only on panic.
+func recoverStage(stage string, errp *error) {
+	if v := recover(); v != nil {
+		*errp = &PanicError{
+			Stage: stage,
+			Value: fmt.Sprint(v),
+			Stack: string(debug.Stack()),
+		}
+	}
+}
+
 // Run executes the graph. sources supplies the contents of every source
 // node (connector output or shared-catalog data), keyed by data-object
 // name.
 func (e *Executor) Run(g *dag.Graph, env *task.Env, sources map[string]*table.Table) (*Result, error) {
-	return e.RunWithCache(g, env, sources, nil)
+	return e.RunWithCacheContext(context.Background(), g, env, sources, nil)
+}
+
+// RunContext is Run honoring ctx: node pipelines check for
+// cancellation between stages, and nodes waiting on inputs or a
+// scheduler slot abandon the wait when ctx dies.
+func (e *Executor) RunContext(ctx context.Context, g *dag.Graph, env *task.Env, sources map[string]*table.Table) (*Result, error) {
+	return e.RunWithCacheContext(ctx, g, env, sources, nil)
 }
 
 // RunWithCache is Run with an incremental-execution cache: produced
@@ -125,6 +181,14 @@ func (e *Executor) Run(g *dag.Graph, env *task.Env, sources map[string]*table.Ta
 // must only supply entries whose content signature is unchanged — see
 // dag.Graph.Signatures.
 func (e *Executor) RunWithCache(g *dag.Graph, env *task.Env, sources, cached map[string]*table.Table) (*Result, error) {
+	return e.RunWithCacheContext(context.Background(), g, env, sources, cached)
+}
+
+// RunWithCacheContext is RunWithCache honoring ctx. On failure it
+// returns the partial Result alongside the first error, so callers can
+// still surface per-stage failures (Stats.Failures) and the tables that
+// did materialize.
+func (e *Executor) RunWithCacheContext(ctx context.Context, g *dag.Graph, env *task.Env, sources, cached map[string]*table.Table) (*Result, error) {
 	res := &Result{
 		Tables: make(map[string]*table.Table, len(g.Nodes)),
 		Stats:  Stats{RowsProduced: map[string]int{}},
@@ -194,10 +258,19 @@ func (e *Executor) RunWithCache(g *dag.Graph, env *task.Env, sources, cached map
 		go func(n *dag.Node, s *slot) {
 			defer wg.Done()
 			defer close(s.done)
+			// A panicking task must fail its node, never the process;
+			// without this recover a goroutine panic is fatal no matter
+			// what the caller does.
+			defer recoverStage("node D."+n.Name, &s.err)
 			ins := make([]*table.Table, len(n.Inputs))
 			for i, in := range n.Inputs {
 				dep := slots[in]
-				<-dep.done
+				select {
+				case <-dep.done:
+				case <-ctx.Done():
+					s.err = ctx.Err()
+					return
+				}
 				if dep.err != nil {
 					s.err = fmt.Errorf("batch: D.%s blocked by input D.%s: %w", n.Name, in, dep.err)
 					return
@@ -210,7 +283,12 @@ func (e *Executor) RunWithCache(g *dag.Graph, env *task.Env, sources, cached map
 			}
 			// Inputs are ready; wait for a scheduler slot.
 			ready := time.Now()
-			sched <- struct{}{}
+			select {
+			case sched <- struct{}{}:
+			case <-ctx.Done():
+				s.err = ctx.Err()
+				return
+			}
 			defer func() { <-sched }()
 			queueWait := time.Since(ready)
 			nodeSpan := 0
@@ -233,10 +311,14 @@ func (e *Executor) RunWithCache(g *dag.Graph, env *task.Env, sources, cached map
 				res.Stats.Timings = append(res.Stats.Timings, t)
 				mu.Unlock()
 			}
-			out, stages, err := e.runPipeline(env, specs, ins, n.Inputs, record, tr, nodeSpan)
+			out, stages, err := e.runPipeline(ctx, env, specs, ins, n.Inputs, record, tr, nodeSpan)
 			if err != nil {
 				if tr != nil {
 					tr.SpanFlag(nodeSpan, "error")
+					var pe *PanicError
+					if errors.As(err, &pe) {
+						tr.SpanFlag(nodeSpan, "panic")
+					}
 					tr.EndSpan(nodeSpan)
 				}
 				s.err = fmt.Errorf("batch: flow for D.%s: %w", n.Name, err)
@@ -256,8 +338,17 @@ func (e *Executor) RunWithCache(g *dag.Graph, env *task.Env, sources, cached map
 	var firstErr error
 	for _, name := range g.Order {
 		s := slots[name]
-		if s.err != nil && firstErr == nil {
-			firstErr = s.err
+		if s.err != nil {
+			if firstErr == nil {
+				firstErr = s.err
+			}
+			f := StageFailure{Output: name, Err: s.err.Error()}
+			var pe *PanicError
+			if errors.As(s.err, &pe) {
+				f.Panic = true
+				f.Stack = pe.Stack
+			}
+			res.Stats.Failures = append(res.Stats.Failures, f)
 		}
 		if s.tbl != nil {
 			res.Tables[name] = s.tbl
@@ -265,7 +356,9 @@ func (e *Executor) RunWithCache(g *dag.Graph, env *task.Env, sources, cached map
 		}
 	}
 	if firstErr != nil {
-		return nil, firstErr
+		// Return the partial result too: Stats.Failures carries the
+		// per-node failure detail (panic stacks included) for /stats.
+		return res, firstErr
 	}
 	return res, nil
 }
@@ -274,13 +367,26 @@ func (e *Executor) RunWithCache(g *dag.Graph, env *task.Env, sources, cached map
 // sharding row-local runs and parallelizing group-bys. It returns the
 // output table and the number of stages run.
 func (e *Executor) RunPipeline(env *task.Env, specs []task.Spec, in []*table.Table, names []string) (*table.Table, int, error) {
-	return e.runPipeline(env, specs, in, names, nil, nil, 0)
+	return e.runPipeline(context.Background(), env, specs, in, names, nil, nil, 0)
+}
+
+// RunPipelineContext is RunPipeline honoring ctx: cancellation is
+// checked before every stage, so a dead context stops the chain between
+// stages instead of running it to completion.
+func (e *Executor) RunPipelineContext(ctx context.Context, env *task.Env, specs []task.Spec, in []*table.Table, names []string) (*table.Table, int, error) {
+	return e.runPipeline(ctx, env, specs, in, names, nil, nil, 0)
 }
 
 // RunPipelineTraced is RunPipeline with per-stage execution spans
 // opened under parent on tr (nil tr disables tracing).
 func (e *Executor) RunPipelineTraced(env *task.Env, specs []task.Spec, in []*table.Table, names []string, tr obs.Tracer, parent int) (*table.Table, int, error) {
-	return e.runPipeline(env, specs, in, names, nil, tr, parent)
+	return e.runPipeline(context.Background(), env, specs, in, names, nil, tr, parent)
+}
+
+// RunPipelineContextTraced combines RunPipelineContext and
+// RunPipelineTraced.
+func (e *Executor) RunPipelineContextTraced(ctx context.Context, env *task.Env, specs []task.Spec, in []*table.Table, names []string, tr obs.Tracer, parent int) (*table.Table, int, error) {
+	return e.runPipeline(ctx, env, specs, in, names, nil, tr, parent)
 }
 
 // rowsIn sums input cardinalities for stage telemetry.
@@ -292,7 +398,7 @@ func rowsIn(in []*table.Table) int {
 	return n
 }
 
-func (e *Executor) runPipeline(env *task.Env, specs []task.Spec, in []*table.Table, names []string, record func(StageTiming), tr obs.Tracer, parent int) (*table.Table, int, error) {
+func (e *Executor) runPipeline(ctx context.Context, env *task.Env, specs []task.Spec, in []*table.Table, names []string, record func(StageTiming), tr obs.Tracer, parent int) (*table.Table, int, error) {
 	if record == nil {
 		record = func(StageTiming) {}
 	}
@@ -307,6 +413,9 @@ func (e *Executor) runPipeline(env *task.Env, specs []task.Spec, in []*table.Tab
 	stages := 0
 	i := 0
 	for i < len(specs) {
+		if err := ctx.Err(); err != nil {
+			return nil, stages, err
+		}
 		single := len(cur) == 1
 		if rl, ok := specs[i].(task.RowLocal); ok && single {
 			// Fuse the maximal run of row-local specs.
@@ -327,7 +436,9 @@ func (e *Executor) runPipeline(env *task.Env, specs []task.Spec, in []*table.Tab
 				sid = tr.StartSpan(parent, "stage "+desc)
 			}
 			start := time.Now()
-			out, err := e.runRowLocal(env, run, cur[0], firstName(curNames))
+			out, err := execStage(desc, func() (*table.Table, error) {
+				return e.runRowLocal(env, run, cur[0], firstName(curNames))
+			})
 			if err != nil {
 				return nil, stages, err
 			}
@@ -348,7 +459,9 @@ func (e *Executor) runPipeline(env *task.Env, specs []task.Spec, in []*table.Tab
 				sid = tr.StartSpan(parent, "stage "+desc)
 			}
 			start := time.Now()
-			out, err := e.runGrouped(env, gr, cur[0], firstName(curNames))
+			out, err := execStage(desc, func() (*table.Table, error) {
+				return e.runGrouped(env, gr, cur[0], firstName(curNames))
+			})
 			if err != nil {
 				return nil, stages, err
 			}
@@ -368,7 +481,10 @@ func (e *Executor) runPipeline(env *task.Env, specs []task.Spec, in []*table.Tab
 			sid = tr.StartSpan(parent, "stage "+desc)
 		}
 		start := time.Now()
-		out, err := specs[i].Exec(env, cur, curNames)
+		spec := specs[i]
+		out, err := execStage(desc, func() (*table.Table, error) {
+			return spec.Exec(env, cur, curNames)
+		})
 		if err != nil {
 			return nil, stages, err
 		}
@@ -381,6 +497,13 @@ func (e *Executor) runPipeline(env *task.Env, specs []task.Spec, in []*table.Tab
 		i++
 	}
 	return cur[0], stages, nil
+}
+
+// execStage runs one stage body, recovering panics into *PanicError so
+// a misbehaving operator fails its pipeline instead of the process.
+func execStage(stage string, fn func() (*table.Table, error)) (out *table.Table, err error) {
+	defer recoverStage(stage, &err)
+	return fn()
 }
 
 // endStageSpan attaches the stage's telemetry and closes its span. The
@@ -471,6 +594,7 @@ func (e *Executor) runRowLocal(env *task.Env, run []task.RowLocal, in *table.Tab
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
+			defer recoverStage(describeRun(run), &errs[w])
 			part := table.New(cur.Schema)
 			errs[w] = apply(rows[lo:hi], part)
 			parts[w] = part
@@ -536,6 +660,7 @@ func (e *Executor) runGrouped(env *task.Env, gr task.Grouped, in *table.Table, n
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
+			defer recoverStage(task.Describe(gr), &errs[w])
 			g, err := gr.NewGrouper(env, input)
 			if err != nil {
 				errs[w] = err

@@ -126,6 +126,14 @@ func (d *Dimension) ClearFilter() {
 // apply installs a new predicate (nil = pass all) and propagates row
 // state deltas to every group.
 func (d *Dimension) apply(pred func(value.V) bool) {
+	// Predicates can be user code (FilterFunc); annotate a panic with
+	// the dimension before it unwinds so the recovery layer above can
+	// pin-point which cube filter blew up.
+	defer func() {
+		if v := recover(); v != nil {
+			panic(fmt.Sprintf("cube filter %s: %v", d.col, v))
+		}
+	}()
 	c := d.cube
 	sid := 0
 	if c.tracer != nil {

@@ -2,7 +2,9 @@ package flowfile
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
+	"time"
 )
 
 // Problem is one validation finding with the source line it refers to —
@@ -66,7 +68,10 @@ func (fl *Flow) label() string {
 //   - filter tasks that name a filter_source widget reference a widget
 //     that exists,
 //   - every layout cell references a widget,
-//   - no data object is produced by two flows.
+//   - no data object is produced by two flows,
+//   - resilience details are well-formed: on_error is fail, stale or
+//     empty; timeout parses as a duration; retries is a non-negative
+//     integer (see docs/RESILIENCE.md).
 //
 // Dangling references to shared objects can only be resolved against the
 // platform catalog at compile time, so Validate with allowShared=true is
@@ -91,6 +96,27 @@ func (f *File) Validate(allowShared bool) error {
 		for _, t := range fl.Pipeline.Tasks {
 			if _, ok := f.Tasks[t.Name]; !ok {
 				e.add(fl.Line, "flow for %s references undefined task T.%s", fl.label(), t.Name)
+			}
+		}
+	}
+	// Resilience details steer run-time degradation (docs/RESILIENCE.md);
+	// a typo here would otherwise surface only mid-outage, exactly when
+	// the dashboard owner can least afford to debug it.
+	for _, name := range f.DataOrder {
+		d := f.Data[name]
+		if m := d.Prop("on_error"); m != "" && m != "fail" && m != "stale" && m != "empty" {
+			e.add(d.Line, "data object D.%s: on_error must be fail, stale or empty (got %q)", name, m)
+		}
+		if v := d.Prop("timeout"); v != "" {
+			if dur, err := time.ParseDuration(v); err != nil {
+				e.add(d.Line, "data object D.%s: timeout %q is not a duration (try 30s or 2m)", name, v)
+			} else if dur <= 0 {
+				e.add(d.Line, "data object D.%s: timeout must be positive (got %q)", name, v)
+			}
+		}
+		if v := d.Prop("retries"); v != "" {
+			if n, err := strconv.Atoi(v); err != nil || n < 0 {
+				e.add(d.Line, "data object D.%s: retries must be a non-negative integer (got %q)", name, v)
 			}
 		}
 	}

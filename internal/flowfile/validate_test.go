@@ -91,3 +91,58 @@ F:
 		t.Fatalf("no problem mentions T.missing: %v", ve.Problems)
 	}
 }
+
+// TestValidateResilienceProps pins the value constraints on the
+// run-time degradation details (docs/RESILIENCE.md): a typo in
+// on_error/timeout/retries must fail at save time, not mid-outage.
+func TestValidateResilienceProps(t *testing.T) {
+	const tmpl = `
+D:
+  sales: [region, amount]
+
+D.sales:
+  source: sales.csv
+  %s
+
+F:
+  +D.out: D.sales | T.agg
+
+T:
+  agg:
+    type: groupby
+    groupby: [region]
+`
+	cases := []struct {
+		name, prop, wantErr string
+	}{
+		{"valid on_error stale", "on_error: stale", ""},
+		{"valid on_error empty", "on_error: empty", ""},
+		{"valid on_error fail", "on_error: fail", ""},
+		{"bad on_error", "on_error: retry", "on_error must be fail, stale or empty"},
+		{"valid timeout", "timeout: 30s", ""},
+		{"unitless timeout", "timeout: 30", "not a duration"},
+		{"negative timeout", "timeout: -5s", "timeout must be positive"},
+		{"valid retries", "retries: 3", ""},
+		{"zero retries", "retries: 0", ""},
+		{"negative retries", "retries: -1", "retries must be a non-negative integer"},
+		{"non-numeric retries", "retries: lots", "retries must be a non-negative integer"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f, err := Parse("demo", strings.Replace(tmpl, "%s", tc.prop, 1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			verr := f.Validate(true)
+			if tc.wantErr == "" {
+				if verr != nil {
+					t.Fatalf("Validate = %v, want ok", verr)
+				}
+				return
+			}
+			if verr == nil || !strings.Contains(verr.Error(), tc.wantErr) {
+				t.Fatalf("Validate = %v, want %q", verr, tc.wantErr)
+			}
+		})
+	}
+}

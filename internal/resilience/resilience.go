@@ -1,0 +1,447 @@
+// Package resilience is the platform's fault-tolerance policy layer:
+// retry with exponential backoff and full jitter, error classification
+// (permanent vs transient, server-directed Retry-After), circuit
+// breakers with half-open probing, and deadline-budget helpers.
+//
+// The paper's platform serves dashboards assembled from many
+// independently owned sources and widgets (§3.2, §4.2); at serving
+// scale partial failure is the common case, not the exception. This
+// package supplies the mechanisms the connector layer, the engine and
+// the server use to contain those failures. It imports only the
+// standard library so every layer can depend on it without cycles, and
+// every time-dependent knob (sleep, clock, jitter) is injectable so the
+// fault-injection test matrix runs deterministically and fast.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Policy configures retrying. The zero value retries nothing; Defaults
+// returns the platform's standard source-fetch policy.
+type Policy struct {
+	// MaxRetries is how many times a failed attempt is retried (so a
+	// call makes at most MaxRetries+1 attempts). 0 disables retrying.
+	MaxRetries int
+	// BaseDelay is the backoff unit: the attempt-i delay is drawn
+	// uniformly from [0, min(MaxDelay, BaseDelay<<i)) — "full jitter",
+	// which decorrelates retry storms from many clients. 0 means 50ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff window. 0 means 5s.
+	MaxDelay time.Duration
+	// AttemptTimeout bounds each individual attempt; 0 leaves the
+	// caller's context deadline as the only bound.
+	AttemptTimeout time.Duration
+
+	// Sleep replaces the inter-attempt wait, for tests. nil sleeps on
+	// the clock, honoring ctx cancellation.
+	Sleep func(ctx context.Context, d time.Duration) error
+	// Rand replaces the jitter source, for tests. nil uses math/rand.
+	Rand func() float64
+}
+
+// Defaults is the platform's standard source-fetch retry policy.
+func Defaults() Policy {
+	return Policy{MaxRetries: 2, BaseDelay: 50 * time.Millisecond, MaxDelay: 5 * time.Second}
+}
+
+func (p Policy) baseDelay() time.Duration {
+	if p.BaseDelay > 0 {
+		return p.BaseDelay
+	}
+	return 50 * time.Millisecond
+}
+
+func (p Policy) maxDelay() time.Duration {
+	if p.MaxDelay > 0 {
+		return p.MaxDelay
+	}
+	return 5 * time.Second
+}
+
+// Delay computes the backoff before retry attempt (1-based), full
+// jitter, honoring a server-directed minimum when min > 0.
+func (p Policy) Delay(attempt int, min time.Duration) time.Duration {
+	window := p.baseDelay()
+	for i := 1; i < attempt; i++ {
+		window *= 2
+		if window >= p.maxDelay() {
+			break
+		}
+	}
+	if window > p.maxDelay() {
+		window = p.maxDelay()
+	}
+	r := p.Rand
+	if r == nil {
+		r = rand.Float64
+	}
+	d := time.Duration(r() * float64(window))
+	if d < min {
+		d = min
+	}
+	return d
+}
+
+func (p Policy) sleep(ctx context.Context, d time.Duration) error {
+	if p.Sleep != nil {
+		return p.Sleep(ctx, d)
+	}
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Do runs fn under the policy: failed attempts are retried with
+// backoff until they succeed, turn permanent, exhaust the budget, or
+// the context ends. It reports how many attempts ran (>= 1 unless the
+// context was dead on entry).
+func (p Policy) Do(ctx context.Context, fn func(ctx context.Context) error) (attempts int, err error) {
+	for {
+		if cerr := ctx.Err(); cerr != nil {
+			if err == nil {
+				err = cerr
+			}
+			return attempts, err
+		}
+		attempts++
+		actx, cancel := ctx, context.CancelFunc(nil)
+		if p.AttemptTimeout > 0 {
+			actx, cancel = context.WithTimeout(ctx, p.AttemptTimeout)
+		}
+		err = fn(actx)
+		if cancel != nil {
+			cancel()
+		}
+		if err == nil {
+			return attempts, nil
+		}
+		if IsPermanent(err) || ctx.Err() != nil || attempts > p.MaxRetries {
+			return attempts, err
+		}
+		if serr := p.sleep(ctx, p.Delay(attempts, RetryAfterHint(err))); serr != nil {
+			return attempts, err
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Error classification
+
+// permanentError marks an error as not worth retrying (bad request,
+// authentication failure, payload over the configured cap, ...).
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent wraps err so retry policies fail fast on it.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// IsPermanent reports whether err was marked Permanent anywhere in its
+// chain. Context cancellation and deadline expiry also count: retrying
+// into a dead context wastes the caller's budget.
+func IsPermanent(err error) bool {
+	var pe *permanentError
+	if errors.As(err, &pe) {
+		return true
+	}
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// retryAfterError carries a server-directed minimum backoff
+// (HTTP Retry-After on 429/503).
+type retryAfterError struct {
+	err   error
+	after time.Duration
+}
+
+func (e *retryAfterError) Error() string { return fmt.Sprintf("%v (retry after %v)", e.err, e.after) }
+func (e *retryAfterError) Unwrap() error { return e.err }
+
+// RetryAfter wraps err with a server-directed minimum delay before the
+// next attempt.
+func RetryAfter(err error, after time.Duration) error {
+	if err == nil {
+		return nil
+	}
+	return &retryAfterError{err: err, after: after}
+}
+
+// RetryAfterHint extracts a server-directed minimum backoff from err's
+// chain (0 when none).
+func RetryAfterHint(err error) time.Duration {
+	var ra *retryAfterError
+	if errors.As(err, &ra) {
+		return ra.after
+	}
+	return 0
+}
+
+// ---------------------------------------------------------------------
+// Deadline budgets
+
+// WithBudget derives a context bounded by d, but only when that
+// tightens the existing deadline — a per-run budget must never extend
+// a caller's stricter deadline. d <= 0 leaves ctx untouched.
+func WithBudget(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	if d <= 0 {
+		return ctx, func() {}
+	}
+	if dl, ok := ctx.Deadline(); ok && time.Until(dl) <= d {
+		return ctx, func() {}
+	}
+	return context.WithTimeout(ctx, d)
+}
+
+// ---------------------------------------------------------------------
+// Circuit breakers
+
+// State is a breaker's position in the closed → open → half-open cycle.
+type State int
+
+const (
+	// Closed passes calls through, counting consecutive failures.
+	Closed State = iota
+	// Open fails calls fast until the cooldown elapses.
+	Open
+	// HalfOpen admits one probe; its outcome closes or re-opens.
+	HalfOpen
+)
+
+// String names the state as exposed in metrics and health reports.
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// ErrOpen is returned by Breaker.Allow while the breaker rejects calls.
+var ErrOpen = errors.New("resilience: circuit breaker open")
+
+// BreakerConfig tunes a Breaker.
+type BreakerConfig struct {
+	// FailureThreshold is how many consecutive failures open the
+	// breaker. <= 0 means 5.
+	FailureThreshold int
+	// OpenFor is the cooldown before a half-open probe is admitted.
+	// <= 0 means 10s.
+	OpenFor time.Duration
+	// Now replaces the clock, for tests. nil uses time.Now.
+	Now func() time.Time
+	// OnTransition observes state changes (metrics, trace). May be nil.
+	// It is called outside the breaker's lock.
+	OnTransition func(from, to State)
+}
+
+func (c BreakerConfig) threshold() int {
+	if c.FailureThreshold > 0 {
+		return c.FailureThreshold
+	}
+	return 5
+}
+
+func (c BreakerConfig) openFor() time.Duration {
+	if c.OpenFor > 0 {
+		return c.OpenFor
+	}
+	return 10 * time.Second
+}
+
+func (c BreakerConfig) now() time.Time {
+	if c.Now != nil {
+		return c.Now()
+	}
+	return time.Now()
+}
+
+// Breaker is one circuit breaker: it opens after a run of consecutive
+// failures, fails fast while open, and after a cooldown admits a single
+// half-open probe whose outcome closes or re-opens it. Safe for
+// concurrent use.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu       sync.Mutex
+	state    State
+	failures int
+	openedAt time.Time
+	probing  bool
+}
+
+// NewBreaker builds a breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker { return &Breaker{cfg: cfg} }
+
+// Allow reports whether a call may proceed. While open it returns
+// ErrOpen until the cooldown elapses, then admits exactly one probe
+// (transitioning to half-open); concurrent calls during the probe keep
+// failing fast.
+func (b *Breaker) Allow() error {
+	b.mu.Lock()
+	switch b.state {
+	case Closed:
+		b.mu.Unlock()
+		return nil
+	case Open:
+		if b.cfg.now().Sub(b.openedAt) < b.cfg.openFor() {
+			b.mu.Unlock()
+			return ErrOpen
+		}
+		b.state = HalfOpen
+		b.probing = true
+		b.mu.Unlock()
+		b.transition(Open, HalfOpen)
+		return nil
+	default: // HalfOpen
+		if b.probing {
+			b.mu.Unlock()
+			return ErrOpen
+		}
+		b.probing = true
+		b.mu.Unlock()
+		return nil
+	}
+}
+
+// Success reports a successful call: a half-open probe (or a closed
+// call) resets the breaker.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	from := b.state
+	b.state = Closed
+	b.failures = 0
+	b.probing = false
+	b.mu.Unlock()
+	if from != Closed {
+		b.transition(from, Closed)
+	}
+}
+
+// Failure reports a failed call: it re-opens a half-open breaker
+// immediately and opens a closed one at the failure threshold.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	from := b.state
+	var to State
+	switch b.state {
+	case HalfOpen:
+		b.state = Open
+		b.openedAt = b.cfg.now()
+		b.probing = false
+		to = Open
+	case Closed:
+		b.failures++
+		if b.failures >= b.cfg.threshold() {
+			b.state = Open
+			b.openedAt = b.cfg.now()
+			to = Open
+		}
+	case Open:
+		// Already open (a straggler in-flight call failed); refresh the
+		// cooldown so a flood of stragglers cannot force early probes.
+		b.openedAt = b.cfg.now()
+	}
+	b.mu.Unlock()
+	if to == Open && from != Open {
+		b.transition(from, Open)
+	}
+}
+
+// State returns the breaker's current state.
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+func (b *Breaker) transition(from, to State) {
+	if b.cfg.OnTransition != nil {
+		b.cfg.OnTransition(from, to)
+	}
+}
+
+// BreakerSet keys breakers by caller-chosen identity — the connector
+// layer uses "protocol\x00source" so one misbehaving source trips only
+// its own breaker.
+type BreakerSet struct {
+	cfg BreakerConfig
+
+	mu       sync.Mutex
+	notify   func(key string, from, to State)
+	breakers map[string]*Breaker
+}
+
+// NewBreakerSet builds an empty set; member breakers share cfg.
+func NewBreakerSet(cfg BreakerConfig) *BreakerSet {
+	return &BreakerSet{cfg: cfg, breakers: map[string]*Breaker{}}
+}
+
+// SetOnTransition installs an observer for every member breaker's
+// state changes, keyed by the breaker's key. nil detaches. Member
+// breakers read the observer through the set, so installing it after
+// breakers exist still takes effect.
+func (s *BreakerSet) SetOnTransition(fn func(key string, from, to State)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.notify = fn
+}
+
+// For returns the breaker for key, creating it on first use.
+func (s *BreakerSet) For(key string) *Breaker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b, ok := s.breakers[key]; ok {
+		return b
+	}
+	cfg := s.cfg
+	prev := cfg.OnTransition
+	cfg.OnTransition = func(from, to State) {
+		if prev != nil {
+			prev(from, to)
+		}
+		s.mu.Lock()
+		notify := s.notify
+		s.mu.Unlock()
+		if notify != nil {
+			notify(key, from, to)
+		}
+	}
+	b := NewBreaker(cfg)
+	s.breakers[key] = b
+	return b
+}
+
+// States snapshots every member breaker's state, keyed as created.
+func (s *BreakerSet) States() map[string]State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]State, len(s.breakers))
+	for k, b := range s.breakers {
+		out[k] = b.State()
+	}
+	return out
+}

@@ -1,0 +1,249 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// noSleep is a test Sleep that records requested delays and returns
+// immediately.
+func noSleep(delays *[]time.Duration) func(context.Context, time.Duration) error {
+	return func(_ context.Context, d time.Duration) error {
+		*delays = append(*delays, d)
+		return nil
+	}
+}
+
+func TestDoRetriesUntilSuccess(t *testing.T) {
+	var delays []time.Duration
+	p := Policy{MaxRetries: 3, Sleep: noSleep(&delays)}
+	calls := 0
+	attempts, err := p.Do(context.Background(), func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if attempts != 3 || calls != 3 {
+		t.Fatalf("attempts = %d, calls = %d, want 3", attempts, calls)
+	}
+	if len(delays) != 2 {
+		t.Fatalf("slept %d times, want 2", len(delays))
+	}
+}
+
+func TestDoExhaustsBudget(t *testing.T) {
+	var delays []time.Duration
+	p := Policy{MaxRetries: 2, Sleep: noSleep(&delays)}
+	attempts, err := p.Do(context.Background(), func(context.Context) error {
+		return errors.New("always down")
+	})
+	if err == nil || attempts != 3 {
+		t.Fatalf("attempts = %d err = %v, want 3 attempts and an error", attempts, err)
+	}
+}
+
+func TestDoPermanentFailsFast(t *testing.T) {
+	p := Policy{MaxRetries: 5, Sleep: noSleep(new([]time.Duration))}
+	calls := 0
+	attempts, err := p.Do(context.Background(), func(context.Context) error {
+		calls++
+		return Permanent(errors.New("bad request"))
+	})
+	if calls != 1 || attempts != 1 {
+		t.Fatalf("permanent error retried: %d calls", calls)
+	}
+	if !IsPermanent(err) {
+		t.Fatalf("error lost its permanent mark: %v", err)
+	}
+}
+
+func TestDoContextCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := Policy{MaxRetries: 5}
+	attempts, err := p.Do(ctx, func(context.Context) error { return nil })
+	if attempts != 0 || !errors.Is(err, context.Canceled) {
+		t.Fatalf("dead context ran %d attempts, err %v", attempts, err)
+	}
+}
+
+func TestDoStopsWhenContextDiesMidRetry(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := Policy{MaxRetries: 10, Sleep: func(context.Context, time.Duration) error {
+		return context.Canceled
+	}}
+	calls := 0
+	_, err := p.Do(ctx, func(context.Context) error {
+		calls++
+		cancel()
+		return errors.New("transient")
+	})
+	if calls != 1 {
+		t.Fatalf("ran %d attempts after cancellation, want 1", calls)
+	}
+	if err == nil {
+		t.Fatal("want the attempt error back")
+	}
+}
+
+func TestDelayFullJitterBounds(t *testing.T) {
+	p := Policy{BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second}
+	for attempt := 1; attempt <= 8; attempt++ {
+		window := 100 * time.Millisecond << (attempt - 1)
+		if window > time.Second {
+			window = time.Second
+		}
+		for i := 0; i < 50; i++ {
+			d := p.Delay(attempt, 0)
+			if d < 0 || d >= window {
+				t.Fatalf("attempt %d: delay %v outside [0, %v)", attempt, d, window)
+			}
+		}
+	}
+}
+
+func TestDelayHonorsRetryAfterMinimum(t *testing.T) {
+	p := Policy{BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond,
+		Rand: func() float64 { return 0 }}
+	if d := p.Delay(1, 750*time.Millisecond); d != 750*time.Millisecond {
+		t.Fatalf("delay %v ignored the Retry-After minimum", d)
+	}
+}
+
+func TestRetryAfterHint(t *testing.T) {
+	err := fmt.Errorf("wrapped: %w", RetryAfter(errors.New("429"), 3*time.Second))
+	if RetryAfterHint(err) != 3*time.Second {
+		t.Fatalf("hint lost through wrapping: %v", RetryAfterHint(err))
+	}
+	if RetryAfterHint(errors.New("plain")) != 0 {
+		t.Fatal("plain error produced a hint")
+	}
+}
+
+func TestWithBudget(t *testing.T) {
+	ctx, cancel := WithBudget(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, ok := ctx.Deadline(); !ok {
+		t.Fatal("budget did not set a deadline")
+	}
+	// A tighter existing deadline must win.
+	tight, tcancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer tcancel()
+	ctx2, cancel2 := WithBudget(tight, time.Hour)
+	defer cancel2()
+	dl, _ := ctx2.Deadline()
+	if time.Until(dl) > time.Second {
+		t.Fatalf("budget loosened the caller's deadline to %v", time.Until(dl))
+	}
+}
+
+// fakeClock drives breaker cooldowns deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time                    { return c.t }
+func (c *fakeClock) advance(d time.Duration) time.Time { c.t = c.t.Add(d); return c.t }
+
+func TestBreakerLifecycle(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(0, 0)}
+	var transitions []string
+	b := NewBreaker(BreakerConfig{
+		FailureThreshold: 3,
+		OpenFor:          10 * time.Second,
+		Now:              clock.now,
+		OnTransition: func(from, to State) {
+			transitions = append(transitions, from.String()+">"+to.String())
+		},
+	})
+	// Failures below the threshold keep it closed.
+	b.Failure()
+	b.Failure()
+	if err := b.Allow(); err != nil {
+		t.Fatalf("closed breaker refused a call: %v", err)
+	}
+	// The threshold failure opens it.
+	b.Failure()
+	if b.State() != Open {
+		t.Fatalf("state %v after threshold failures, want open", b.State())
+	}
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("open breaker allowed a call: %v", err)
+	}
+	// Cooldown elapses: exactly one probe is admitted.
+	clock.advance(11 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe refused after cooldown: %v", err)
+	}
+	if b.State() != HalfOpen {
+		t.Fatalf("state %v during probe, want half-open", b.State())
+	}
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatal("second concurrent probe admitted")
+	}
+	// Probe success closes the breaker.
+	b.Success()
+	if b.State() != Closed {
+		t.Fatalf("state %v after probe success, want closed", b.State())
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("closed breaker refused a call: %v", err)
+	}
+	want := []string{"closed>open", "open>half-open", "half-open>closed"}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transitions %v, want %v", transitions, want)
+		}
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	clock := &fakeClock{t: time.Unix(0, 0)}
+	b := NewBreaker(BreakerConfig{FailureThreshold: 1, OpenFor: 5 * time.Second, Now: clock.now})
+	b.Failure()
+	clock.advance(6 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe refused: %v", err)
+	}
+	b.Failure()
+	if b.State() != Open {
+		t.Fatalf("state %v after failed probe, want open", b.State())
+	}
+	// The cooldown restarts from the failed probe.
+	clock.advance(time.Second)
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatal("breaker probed again before the new cooldown elapsed")
+	}
+}
+
+func TestBreakerSetIsolatesKeys(t *testing.T) {
+	var keys []string
+	s := NewBreakerSet(BreakerConfig{FailureThreshold: 1})
+	s.SetOnTransition(func(key string, from, to State) { keys = append(keys, key+":"+to.String()) })
+	s.For("http\x00a").Failure()
+	if s.For("http\x00a").State() != Open {
+		t.Fatal("failing key did not open")
+	}
+	if s.For("http\x00b").State() != Closed {
+		t.Fatal("healthy key shares the failing key's breaker")
+	}
+	if s.For("http\x00a") != s.For("http\x00a") {
+		t.Fatal("For is not stable per key")
+	}
+	if len(keys) != 1 || keys[0] != "http\x00a:open" {
+		t.Fatalf("transition keys %v", keys)
+	}
+	states := s.States()
+	if states["http\x00a"] != Open || states["http\x00b"] != Closed {
+		t.Fatalf("States() = %v", states)
+	}
+}

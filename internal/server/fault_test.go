@@ -1,0 +1,225 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"shareinsights/internal/connector"
+	"shareinsights/internal/dashboard"
+	"shareinsights/internal/flowfile"
+	"shareinsights/internal/schema"
+	"shareinsights/internal/table"
+	"shareinsights/internal/task"
+)
+
+// switchProtocol serves a payload until told to fail.
+type switchProtocol struct {
+	payload []byte
+	fail    atomic.Bool
+}
+
+func (p *switchProtocol) Fetch(*flowfile.DataDef) ([]byte, error) {
+	if p.fail.Load() {
+		return nil, errors.New("upstream source offline")
+	}
+	return p.payload, nil
+}
+
+const staleFlow = `
+D:
+  sales: [region, product, amount]
+  by_region: [region, total]
+
+D.sales:
+  source: sales.csv
+  protocol: switch
+  format: csv
+  on_error: stale
+  retries: 0
+
+F:
+  D.by_region: D.sales | T.sum_by_region
+
+  D.by_region:
+    endpoint: true
+
+T:
+  sum_by_region:
+    type: groupby
+    groupby: [region]
+    aggregates:
+      - operator: sum
+        apply_on: amount
+        out_field: total
+`
+
+func newFaultServer(t *testing.T) (*switchProtocol, *Server, *httptest.Server) {
+	t.Helper()
+	proto := &switchProtocol{payload: []byte(salesCSV)}
+	p := dashboard.NewPlatform()
+	p.Connectors = connector.NewRegistry(connector.Options{})
+	if err := p.Connectors.RegisterProtocol("switch", proto); err != nil {
+		t.Fatal(err)
+	}
+	s := New(p)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return proto, s, ts
+}
+
+// TestStaleDegradationRoundTripsThroughHealth pins the acceptance
+// criterion end to end over HTTP: a failing source with on_error: stale
+// completes the run on last-good data, /health reports degraded, and
+// /metrics counts the degraded run.
+func TestStaleDegradationRoundTripsThroughHealth(t *testing.T) {
+	proto, _, ts := newFaultServer(t)
+	if code, body := do(t, "PUT", ts.URL+"/dashboards/sales", staleFlow); code != 200 {
+		t.Fatalf("put: %d %s", code, body)
+	}
+	if code, body := do(t, "POST", ts.URL+"/dashboards/sales/run", ""); code != 200 {
+		t.Fatalf("healthy run: %d %s", code, body)
+	}
+	code, body := do(t, "GET", ts.URL+"/dashboards/sales/health", "")
+	if code != 200 || !strings.Contains(string(body), `"status":"ok"`) {
+		t.Fatalf("healthy health: %d %s", code, body)
+	}
+	// The source goes down between runs.
+	proto.fail.Store(true)
+	if code, body := do(t, "POST", ts.URL+"/dashboards/sales/run", ""); code != 200 {
+		t.Fatalf("degraded run should still complete: %d %s", code, body)
+	}
+	code, body = do(t, "GET", ts.URL+"/dashboards/sales/health", "")
+	if code != 200 {
+		t.Fatalf("health: %d %s", code, body)
+	}
+	var h struct {
+		Status  string `json:"status"`
+		Sources []struct {
+			Name   string `json:"name"`
+			Status string `json:"status"`
+			Mode   string `json:"mode"`
+		} `json:"sources"`
+	}
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "degraded" || len(h.Sources) != 1 || h.Sources[0].Status != "stale" {
+		t.Fatalf("health = %s", body)
+	}
+	// The degraded run still serves the last-good endpoint data.
+	code, body = do(t, "GET", ts.URL+"/dashboards/sales/ds/by_region", "")
+	if code != 200 || !strings.Contains(string(body), "east") {
+		t.Fatalf("degraded endpoint data: %d %s", code, body)
+	}
+	code, body = do(t, "GET", ts.URL+"/metrics", "")
+	if code != 200 || !strings.Contains(string(body), "si_runs_degraded_total 1") {
+		t.Fatalf("metrics missing degraded-run counter: %d", code)
+	}
+	// Run-summary status also reports it.
+	code, body = do(t, "GET", ts.URL+"/dashboards/sales/stats", "")
+	if code != 200 || !strings.Contains(string(body), `"status":"degraded"`) {
+		t.Fatalf("stats status: %d %s", code, body)
+	}
+}
+
+func TestHealthBeforeRunIs404(t *testing.T) {
+	_, _, ts := newFaultServer(t)
+	if code, _ := do(t, "PUT", ts.URL+"/dashboards/sales", staleFlow); code != 200 {
+		t.Fatal("put failed")
+	}
+	if code, _ := do(t, "GET", ts.URL+"/dashboards/sales/health", ""); code != 404 {
+		t.Fatalf("health before run = %d, want 404", code)
+	}
+}
+
+// crashSpec panics during execution.
+type crashSpec struct{}
+
+func (crashSpec) Type() string                                { return "crash" }
+func (crashSpec) Out(in []task.Input) (*schema.Schema, error) { return in[0].Schema, nil }
+func (crashSpec) Exec(*task.Env, []*table.Table, []string) (*table.Table, error) {
+	panic("crash: user task bug")
+}
+
+const crashFlow = `
+D:
+  sales: [region, product, amount]
+  out: [region, product, amount]
+
+D.sales:
+  source: mem:sales.csv
+  format: csv
+
+F:
+  D.out: D.sales | T.explode
+
+  D.out:
+    endpoint: true
+
+T:
+  explode:
+    type: crash
+`
+
+// TestPanickingTaskNeverKillsServer pins the acceptance criterion: a
+// run whose task panics returns an error response, the process (and the
+// test binary standing in for it) survives, and the panic's stage error
+// plus stack are served by /stats and /health explains the failure.
+func TestPanickingTaskNeverKillsServer(t *testing.T) {
+	p := dashboard.NewPlatform()
+	p.Connectors = connector.NewRegistry(connector.Options{
+		Mem: map[string][]byte{"sales.csv": []byte(salesCSV)},
+	})
+	if err := p.Tasks.Register("crash", func(*flowfile.Node) (task.Spec, error) { return crashSpec{}, nil }); err != nil {
+		t.Fatal(err)
+	}
+	s := New(p)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	if code, body := do(t, "PUT", ts.URL+"/dashboards/boom", crashFlow); code != 200 {
+		t.Fatalf("put: %d %s", code, body)
+	}
+	code, body := do(t, "POST", ts.URL+"/dashboards/boom/run", "")
+	if code != 422 {
+		t.Fatalf("panicking run = %d %s, want 422", code, body)
+	}
+	// The server is still alive and can explain what happened.
+	code, body = do(t, "GET", ts.URL+"/dashboards/boom/health", "")
+	if code != 200 || !strings.Contains(string(body), `"status":"error"`) {
+		t.Fatalf("health after panic: %d %s", code, body)
+	}
+	code, body = do(t, "GET", ts.URL+"/dashboards/boom/stats", "")
+	if code != 200 || !strings.Contains(string(body), `"panic":true`) || !strings.Contains(string(body), "crash: user task bug") {
+		t.Fatalf("stats after panic: %d %s", code, body)
+	}
+	// And it can still run healthy dashboards.
+	healthy := strings.Replace(crashFlow, "type: crash", "type: limit\n    limit: 2", 1)
+	if code, body := do(t, "PUT", ts.URL+"/dashboards/ok", healthy); code != 200 {
+		t.Fatalf("put healthy: %d %s", code, body)
+	}
+	if code, body := do(t, "POST", ts.URL+"/dashboards/ok/run", ""); code != 200 {
+		t.Fatalf("healthy run after panic: %d %s", code, body)
+	}
+}
+
+// TestRetriesSurfaceInHealth checks the retry totals ride through the
+// health endpoint.
+func TestRetriesSurfaceInHealth(t *testing.T) {
+	proto, _, ts := newFaultServer(t)
+	flow := strings.Replace(staleFlow, "retries: 0", "retries: 2", 1)
+	if code, _ := do(t, "PUT", ts.URL+"/dashboards/sales", flow); code != 200 {
+		t.Fatal("put failed")
+	}
+	proto.fail.Store(false)
+	if code, body := do(t, "POST", ts.URL+"/dashboards/sales/run", ""); code != 200 {
+		t.Fatalf("run: %d %s", code, body)
+	}
+	code, body := do(t, "GET", ts.URL+"/dashboards/sales/health", "")
+	if code != 200 || !strings.Contains(string(body), `"retries":0`) {
+		t.Fatalf("health: %d %s", code, body)
+	}
+}

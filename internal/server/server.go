@@ -6,6 +6,8 @@
 //	GET  /dashboards/{name}                    fetch the flow file
 //	GET  /dashboards                           list dashboards
 //	POST /dashboards/{name}/run                compile and run
+//	GET  /dashboards/{name}/health             last run's health: status,
+//	                                           degraded sources, retries
 //	GET  /dashboards/{name}/html               rendered page (?device=mobile
 //	                                           for the constrained rendering;
 //	                                           an uploaded style.css applies)
@@ -34,6 +36,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -79,6 +82,11 @@ func New(p *dashboard.Platform) *Server {
 	if p.Metrics == nil {
 		p.Metrics = obs.NewRegistry()
 	}
+	if p.LastGood == nil {
+		p.LastGood = dashboard.NewSourceCache()
+	}
+	// Connector retries and breaker transitions surface in GET /metrics.
+	p.Connectors.SetMetrics(p.Metrics)
 	return &Server{
 		platform: p,
 		httpm:    obs.NewHTTPMetrics(p.Metrics),
@@ -116,6 +124,7 @@ func (s *Server) Handler() http.Handler {
 	handle("PUT /dashboards/{name}/data/{file}", s.handleUpload)
 	handle("GET /dashboards/{name}/profile", s.handleProfile)
 	handle("GET /dashboards/{name}/lint", s.handleLint)
+	handle("GET /dashboards/{name}/health", s.handleHealth)
 	handle("GET /dashboards/{name}/stats", s.handleStats)
 	handle("GET /dashboards/{name}/trace", s.handleTrace)
 	handle("GET /dashboards/{name}/ops", s.handleOps)
@@ -280,18 +289,41 @@ func stagesJSON(timings []dashboard.StageTiming) []stageJSON {
 	return out
 }
 
+// failureJSON is one failed node pipeline in API responses.
+type failureJSON struct {
+	Output string `json:"output"`
+	Err    string `json:"error"`
+	Panic  bool   `json:"panic,omitempty"`
+	Stack  string `json:"stack,omitempty"`
+}
+
 // statsBody assembles a run's execution statistics. full includes every
-// stage timing; otherwise only the five slowest.
+// stage timing; otherwise only the five slowest. A failed run may have
+// no result at all — only health survives then.
 func statsBody(name string, d *dashboard.Dashboard, full bool) map[string]any {
-	st := d.Result().Stats
+	h := d.Health()
 	body := map[string]any{
-		"dashboard":         name,
-		"endpoints":         d.EndpointNames(),
-		"tasks_run":         st.TasksRun,
-		"transferred_bytes": d.TransferredBytes,
-		"skipped_sinks":     st.SkippedSinks,
-		"cache_hits":        st.CacheHits,
-		"slowest_stages":    stagesJSON(st.Slowest(5)),
+		"dashboard": name,
+		"status":    h.Status,
+		"retries":   h.Retries,
+	}
+	res := d.Result()
+	if res == nil {
+		return body
+	}
+	st := res.Stats
+	body["endpoints"] = d.EndpointNames()
+	body["tasks_run"] = st.TasksRun
+	body["transferred_bytes"] = d.TransferredBytes
+	body["skipped_sinks"] = st.SkippedSinks
+	body["cache_hits"] = st.CacheHits
+	body["slowest_stages"] = stagesJSON(st.Slowest(5))
+	if len(st.Failures) > 0 {
+		fs := make([]failureJSON, 0, len(st.Failures))
+		for _, f := range st.Failures {
+			fs = append(fs, failureJSON{Output: f.Output, Err: f.Err, Panic: f.Panic, Stack: f.Stack})
+		}
+		body["failures"] = fs
 	}
 	if full {
 		body["timings"] = stagesJSON(st.Timings)
@@ -300,14 +332,36 @@ func statsBody(name string, d *dashboard.Dashboard, full bool) map[string]any {
 }
 
 // handleRun compiles the latest committed flow file and executes it.
+// The request's context rides along: a client disconnect or deadline
+// cancels the run.
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	d, err := s.runDashboard(name)
+	d, err := s.runDashboard(r.Context(), name)
 	if err != nil {
 		jsonError(w, http.StatusUnprocessableEntity, err)
 		return
 	}
 	jsonOK(w, statsBody(name, d, r.URL.Query().Get("full") == "1"))
+}
+
+// handleHealth reports the last run attempt's health: overall status
+// (ok / degraded / error / never-run), per-source outcomes and retry
+// totals. Unlike /stats it also covers runs that failed outright.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	d, err := s.liveDashboard(name)
+	if err != nil {
+		jsonError(w, http.StatusNotFound, err)
+		return
+	}
+	h := d.Health()
+	jsonOK(w, map[string]any{
+		"dashboard": name,
+		"status":    h.Status,
+		"error":     h.Error,
+		"retries":   h.Retries,
+		"sources":   h.Sources,
+	})
 }
 
 // handleStats reports the last run's execution statistics without
@@ -323,7 +377,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	jsonOK(w, statsBody(name, d, r.URL.Query().Get("full") == "1"))
 }
 
-func (s *Server) runDashboard(name string) (*dashboard.Dashboard, error) {
+func (s *Server) runDashboard(ctx context.Context, name string) (*dashboard.Dashboard, error) {
 	s.mu.RLock()
 	repo, ok := s.repos[name]
 	uploads := s.data[name]
@@ -347,13 +401,17 @@ func (s *Server) runDashboard(name string) (*dashboard.Dashboard, error) {
 	// /dashboards/{name}/trace until the next run replaces it.
 	trace := obs.NewTrace(name)
 	d.SetTracer(trace)
-	if err := d.Run(); err != nil {
-		return nil, diagnosed(f, err)
-	}
+	rerr := d.RunContext(ctx)
+	// The dashboard is published even when the run failed: /health,
+	// /stats and /trace must be able to explain what went wrong (stage
+	// failures, panic stacks, degraded sources).
 	s.mu.Lock()
 	s.live[name] = d
 	s.traces[name] = trace
 	s.mu.Unlock()
+	if rerr != nil {
+		return nil, diagnosed(f, rerr)
+	}
 	return d, nil
 }
 
@@ -688,7 +746,14 @@ func (s *Server) SaveDashboard(name, author string, content []byte) (string, err
 }
 
 // Run compiles and runs a saved dashboard programmatically.
-func (s *Server) Run(name string) (*dashboard.Dashboard, error) { return s.runDashboard(name) }
+func (s *Server) Run(name string) (*dashboard.Dashboard, error) {
+	return s.runDashboard(context.Background(), name)
+}
+
+// RunContext is Run honoring ctx.
+func (s *Server) RunContext(ctx context.Context, name string) (*dashboard.Dashboard, error) {
+	return s.runDashboard(ctx, name)
+}
 
 // Repo exposes a dashboard's repository (the CLI's vcs subcommands).
 func (s *Server) Repo(name string) (*vcs.Repo, bool) {

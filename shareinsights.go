@@ -31,8 +31,10 @@ package shareinsights
 import (
 	"shareinsights/internal/connector"
 	"shareinsights/internal/dashboard"
+	"shareinsights/internal/engine/batch"
 	"shareinsights/internal/flowfile"
 	"shareinsights/internal/obs"
+	"shareinsights/internal/resilience"
 	"shareinsights/internal/schema"
 	"shareinsights/internal/server"
 	"shareinsights/internal/share"
@@ -86,6 +88,45 @@ type (
 	// the Prometheus text exposition.
 	MetricsRegistry = obs.Registry
 )
+
+// Resilience and fault tolerance; see docs/RESILIENCE.md.
+type (
+	// RetryPolicy configures connector retries: attempt budget,
+	// full-jitter exponential backoff, per-attempt timeout.
+	RetryPolicy = resilience.Policy
+	// BreakerConfig configures the per-(protocol, source) circuit
+	// breakers guarding connector loads.
+	BreakerConfig = resilience.BreakerConfig
+	// RunHealth summarizes a dashboard run: ok, degraded or error, with
+	// per-source detail. Served by GET /dashboards/{name}/health.
+	RunHealth = dashboard.RunHealth
+	// SourceHealth is one source's outcome within a RunHealth.
+	SourceHealth = dashboard.SourceHealth
+	// PanicError is a recovered task panic, surfaced as a stage error.
+	PanicError = batch.PanicError
+	// FaultConfig configures injected connector failures for chaos
+	// testing.
+	FaultConfig = connector.FaultConfig
+	// FaultProtocol wraps a Protocol with fault injection.
+	FaultProtocol = connector.FaultProtocol
+	// FaultFormat wraps a Format with fault injection.
+	FaultFormat = connector.FaultFormat
+)
+
+// DefaultRetryPolicy returns the connector retry defaults (2 retries,
+// 50ms base delay with full jitter, 5s max delay).
+func DefaultRetryPolicy() RetryPolicy { return resilience.Defaults() }
+
+// NewFaultProtocol wraps a protocol with configurable fault injection
+// (error rates, latency, hangs, short reads) for chaos testing.
+func NewFaultProtocol(inner connector.Protocol, cfg FaultConfig) *FaultProtocol {
+	return connector.NewFaultProtocol(inner, cfg)
+}
+
+// NewFaultFormat wraps a payload format with fault injection.
+func NewFaultFormat(inner connector.Format, cfg FaultConfig) *FaultFormat {
+	return connector.NewFaultFormat(inner, cfg)
+}
 
 // NewPlatform returns a platform with the standard task library,
 // connector set and an empty shared catalog, optimization enabled.
