@@ -209,7 +209,7 @@ func main() {
 		st := d.Result().Stats
 		fmt.Println("slowest pipeline stages:")
 		for _, s := range st.Slowest(10) {
-			fmt.Printf("  %-12v  D.%-20s  %6d rows  %s\n", s.Duration.Round(time.Microsecond), s.Output, s.Rows, s.Stage)
+			fmt.Printf("  %-12v  D.%-20s  %6d rows  %-8s  %s\n", s.Duration.Round(time.Microsecond), s.Output, s.Rows, s.Path, s.Stage)
 		}
 		// RunWithCache also reports what did NOT run: cached nodes and
 		// optimizer-eliminated sinks are as bottleneck-relevant as the

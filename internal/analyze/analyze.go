@@ -153,6 +153,7 @@ func Lint(f *flowfile.File, opts Options) *Report {
 	l.checkWidgets()
 	l.checkDataProps()
 	l.checkResilienceProps()
+	l.checkColumnarProp()
 	l.checkDeadEntities()
 	sort.SliceStable(l.report.Findings, func(i, j int) bool {
 		a, b := l.report.Findings[i], l.report.Findings[j]
@@ -209,7 +210,8 @@ func resilienceProblem(msg string) bool {
 	return strings.Contains(msg, "on_error must be") ||
 		strings.Contains(msg, "timeout must be") ||
 		strings.Contains(msg, "is not a duration") ||
-		strings.Contains(msg, "retries must be")
+		strings.Contains(msg, "retries must be") ||
+		strings.Contains(msg, "columnar must be")
 }
 
 // parseTasks type-checks every task definition against the registry:
@@ -251,7 +253,7 @@ func (l *linter) parseTasks() {
 func (l *linter) checkDataProps() {
 	knownProps := []string{
 		"source", "protocol", "format", "separator", "request_type",
-		"on_error", "timeout", "retries",
+		"on_error", "timeout", "retries", "columnar",
 	}
 	for _, name := range l.f.DataOrder {
 		d := l.f.Data[name]
@@ -316,6 +318,24 @@ func (l *linter) checkResilienceProps() {
 				l.add(Finding{Rule: "FL042", Severity: Error, Entity: "D." + name, Line: d.Line,
 					Message: fmt.Sprintf("retries must be a non-negative integer (got %q)", v)})
 			}
+		}
+	}
+}
+
+// checkColumnarProp validates the batch engine's vectorized-execution
+// planner detail: FL043 bad `columnar:` value (docs/ENGINE.md). Like
+// FL042 this doubles a hard validation error with a rule ID and hint.
+func (l *linter) checkColumnarProp() {
+	modes := []string{"auto", "on", "off"}
+	for _, name := range l.f.DataOrder {
+		d := l.f.Data[name]
+		if v := d.Prop("columnar"); v != "" && !hasString(modes, v) {
+			fd := Finding{Rule: "FL043", Severity: Error, Entity: "D." + name, Line: d.Line,
+				Message: fmt.Sprintf("columnar must be auto, on or off (got %q)", v)}
+			if hint := diagnose.Nearest(v, modes); hint != "" {
+				fd.Hint = fmt.Sprintf("did you mean %q?", hint)
+			}
+			l.add(fd)
 		}
 	}
 }

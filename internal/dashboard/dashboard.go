@@ -61,6 +61,10 @@ type Platform struct {
 	// RunTimeout bounds every dashboard run; 0 means no platform-wide
 	// deadline (callers can still pass their own via RunContext).
 	RunTimeout time.Duration
+	// Columnar is the batch engine's default vectorized-execution mode
+	// (auto, on or off; empty means auto). A data object's `columnar:`
+	// detail overrides it per node. See docs/ENGINE.md.
+	Columnar string
 	// UseCube routes qualifying widget-interaction pipelines through the
 	// incremental cube engine instead of re-running the task chain per
 	// selection change. Results are identical either way; the cube makes

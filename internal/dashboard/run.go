@@ -115,11 +115,14 @@ func (d *Dashboard) run(ctx context.Context, tr obs.Tracer, runSpan int) (err er
 			return lerr
 		}
 		if !n.Shared && sh.Status == "ok" && d.platform.LastGood != nil {
-			d.platform.LastGood.store(d.Name, name, t)
+			// Snapshot a shallow clone: the live table's Rows() slice is
+			// handed to the engine and may be sorted or grown in place,
+			// which must not retroactively corrupt the last-good copy.
+			d.platform.LastGood.store(d.Name, name, t.CloneShallow())
 		}
 		sources[name] = t
 	}
-	exec := &batch.Executor{Parallelism: d.platform.Parallelism, Optimize: d.platform.Optimize, Tracer: tr, TraceParent: runSpan}
+	exec := &batch.Executor{Parallelism: d.platform.Parallelism, Optimize: d.platform.Optimize, Tracer: tr, TraceParent: runSpan, Columnar: d.platform.Columnar}
 	var sigs map[string]string
 	cached := map[string]*table.Table{}
 	if d.platform.Cache != nil {
@@ -234,7 +237,9 @@ func (d *Dashboard) degradeSource(name string, sh SourceHealth, lerr error) (*ta
 			if t, ok := d.platform.LastGood.lookup(d.Name, name); ok && t.Schema().Equal(n.Schema) {
 				sh.Status = "stale"
 				sh.Error = lerr.Error()
-				return t, sh, nil
+				// Serve a shallow clone so engine-side mutation of the
+				// served table cannot corrupt the snapshot either.
+				return t.CloneShallow(), sh, nil
 			}
 		}
 		return nil, sh, fmt.Errorf("%w (on_error: stale, but no last-good snapshot for D.%s)", lerr, name)

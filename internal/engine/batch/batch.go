@@ -47,6 +47,10 @@ type Executor struct {
 	Tracer obs.Tracer
 	// TraceParent is the span id node spans open under (0 = top level).
 	TraceParent int
+	// Columnar is the default planner mode for the vectorized execution
+	// path: ColumnarAuto, ColumnarOn or ColumnarOff ("" means auto). A
+	// node's `columnar:` data detail overrides it per data object.
+	Columnar string
 }
 
 // StageTiming records one executed pipeline stage — the raw material
@@ -67,7 +71,19 @@ type StageTiming struct {
 	// readiness and execution start, waiting for a scheduler slot. It
 	// is set on the first stage of each node's pipeline.
 	QueueWait time.Duration
+	// Path records which execution path ran the stage: PathRow or
+	// PathColumnar.
+	Path string
 }
+
+// StageTiming.Path values.
+const (
+	// PathRow marks a stage executed by the row-at-a-time kernels.
+	PathRow = "row"
+	// PathColumnar marks a stage executed by the vectorized colstore
+	// kernels.
+	PathColumnar = "columnar"
+)
 
 // Stats reports what an execution did.
 type Stats struct {
@@ -311,7 +327,7 @@ func (e *Executor) RunWithCacheContext(ctx context.Context, g *dag.Graph, env *t
 				res.Stats.Timings = append(res.Stats.Timings, t)
 				mu.Unlock()
 			}
-			out, stages, err := e.runPipeline(ctx, env, specs, ins, n.Inputs, record, tr, nodeSpan)
+			out, stages, err := e.runPipeline(ctx, env, specs, ins, n.Inputs, record, tr, nodeSpan, n.ColumnarMode())
 			if err != nil {
 				if tr != nil {
 					tr.SpanFlag(nodeSpan, "error")
@@ -367,26 +383,26 @@ func (e *Executor) RunWithCacheContext(ctx context.Context, g *dag.Graph, env *t
 // sharding row-local runs and parallelizing group-bys. It returns the
 // output table and the number of stages run.
 func (e *Executor) RunPipeline(env *task.Env, specs []task.Spec, in []*table.Table, names []string) (*table.Table, int, error) {
-	return e.runPipeline(context.Background(), env, specs, in, names, nil, nil, 0)
+	return e.runPipeline(context.Background(), env, specs, in, names, nil, nil, 0, "")
 }
 
 // RunPipelineContext is RunPipeline honoring ctx: cancellation is
 // checked before every stage, so a dead context stops the chain between
 // stages instead of running it to completion.
 func (e *Executor) RunPipelineContext(ctx context.Context, env *task.Env, specs []task.Spec, in []*table.Table, names []string) (*table.Table, int, error) {
-	return e.runPipeline(ctx, env, specs, in, names, nil, nil, 0)
+	return e.runPipeline(ctx, env, specs, in, names, nil, nil, 0, "")
 }
 
 // RunPipelineTraced is RunPipeline with per-stage execution spans
 // opened under parent on tr (nil tr disables tracing).
 func (e *Executor) RunPipelineTraced(env *task.Env, specs []task.Spec, in []*table.Table, names []string, tr obs.Tracer, parent int) (*table.Table, int, error) {
-	return e.runPipeline(context.Background(), env, specs, in, names, nil, tr, parent)
+	return e.runPipeline(context.Background(), env, specs, in, names, nil, tr, parent, "")
 }
 
 // RunPipelineContextTraced combines RunPipelineContext and
 // RunPipelineTraced.
 func (e *Executor) RunPipelineContextTraced(ctx context.Context, env *task.Env, specs []task.Spec, in []*table.Table, names []string, tr obs.Tracer, parent int) (*table.Table, int, error) {
-	return e.runPipeline(ctx, env, specs, in, names, nil, tr, parent)
+	return e.runPipeline(ctx, env, specs, in, names, nil, tr, parent, "")
 }
 
 // rowsIn sums input cardinalities for stage telemetry.
@@ -398,7 +414,7 @@ func rowsIn(in []*table.Table) int {
 	return n
 }
 
-func (e *Executor) runPipeline(ctx context.Context, env *task.Env, specs []task.Spec, in []*table.Table, names []string, record func(StageTiming), tr obs.Tracer, parent int) (*table.Table, int, error) {
+func (e *Executor) runPipeline(ctx context.Context, env *task.Env, specs []task.Spec, in []*table.Table, names []string, record func(StageTiming), tr obs.Tracer, parent int, nodeColumnar string) (*table.Table, int, error) {
 	if record == nil {
 		record = func(StageTiming) {}
 	}
@@ -412,11 +428,35 @@ func (e *Executor) runPipeline(ctx context.Context, env *task.Env, specs []task.
 	curNames := names
 	stages := 0
 	i := 0
+	// st holds the pipeline's current value once it is single-input; it
+	// lets consecutive columnar stages hand batches to each other
+	// without materializing rows in between.
+	colMode := e.columnarMode(nodeColumnar)
+	var st *pipeState
 	for i < len(specs) {
 		if err := ctx.Err(); err != nil {
 			return nil, stages, err
 		}
 		single := len(cur) == 1
+		if single && colMode != ColumnarOff {
+			if st == nil {
+				st = &pipeState{tbl: cur[0]}
+			}
+			handled, err := e.tryVecStage(env, specs, i, colMode, st, record, tr, parent)
+			if err != nil {
+				return nil, stages, err
+			}
+			if handled {
+				stages++
+				cur = []*table.Table{nil}
+				curNames = []string{""}
+				i++
+				continue
+			}
+			// Row path takes this stage; materialize if the previous
+			// stage left a batch.
+			cur = []*table.Table{st.Table()}
+		}
 		if rl, ok := specs[i].(task.RowLocal); ok && single {
 			// Fuse the maximal run of row-local specs.
 			run := []task.RowLocal{rl}
@@ -443,11 +483,12 @@ func (e *Executor) runPipeline(ctx context.Context, env *task.Env, specs []task.
 				return nil, stages, err
 			}
 			d := time.Since(start)
-			record(StageTiming{Stage: desc, RowsIn: nIn, Rows: out.Len(), Duration: d})
+			record(StageTiming{Stage: desc, RowsIn: nIn, Rows: out.Len(), Duration: d, Path: PathRow})
 			endStageSpan(tr, sid, nIn, out.Len(), d)
 			stages += len(run)
 			cur = []*table.Table{out}
 			curNames = []string{""}
+			st = nil
 			i = j
 			continue
 		}
@@ -466,11 +507,12 @@ func (e *Executor) runPipeline(ctx context.Context, env *task.Env, specs []task.
 				return nil, stages, err
 			}
 			d := time.Since(start)
-			record(StageTiming{Stage: desc, RowsIn: nIn, Rows: out.Len(), Duration: d})
+			record(StageTiming{Stage: desc, RowsIn: nIn, Rows: out.Len(), Duration: d, Path: PathRow})
 			endStageSpan(tr, sid, nIn, out.Len(), d)
 			stages++
 			cur = []*table.Table{out}
 			curNames = []string{""}
+			st = nil
 			i++
 			continue
 		}
@@ -489,12 +531,16 @@ func (e *Executor) runPipeline(ctx context.Context, env *task.Env, specs []task.
 			return nil, stages, err
 		}
 		d := time.Since(start)
-		record(StageTiming{Stage: desc, RowsIn: nIn, Rows: out.Len(), Duration: d})
+		record(StageTiming{Stage: desc, RowsIn: nIn, Rows: out.Len(), Duration: d, Path: PathRow})
 		endStageSpan(tr, sid, nIn, out.Len(), d)
 		stages++
 		cur = []*table.Table{out}
 		curNames = []string{""}
+		st = nil
 		i++
+	}
+	if cur[0] == nil && st != nil {
+		cur[0] = st.Table()
 	}
 	return cur[0], stages, nil
 }

@@ -119,6 +119,11 @@ func (f *File) Validate(allowShared bool) error {
 				e.add(d.Line, "data object D.%s: retries must be a non-negative integer (got %q)", name, v)
 			}
 		}
+		// The columnar detail steers the batch engine's vectorized
+		// execution planner (docs/ENGINE.md).
+		if v := d.Prop("columnar"); v != "" && v != "auto" && v != "on" && v != "off" {
+			e.add(d.Line, "data object D.%s: columnar must be auto, on or off (got %q)", name, v)
+		}
 	}
 	// A data object is locally resolvable if it has source details, a
 	// declared schema (inline/static data) or is produced by a flow.

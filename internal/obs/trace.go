@@ -43,7 +43,8 @@ type Tracer interface {
 	// SpanInt attaches an integer attribute (rows_in, rows_out,
 	// duration_us, queue_wait_us, bytes ...).
 	SpanInt(id int, key string, v int64)
-	// SpanFlag attaches a boolean marker (cache_hit, skipped ...).
+	// SpanFlag attaches a boolean marker (cache_hit, skipped, columnar,
+	// fallback ...).
 	SpanFlag(id int, flag string)
 }
 

@@ -276,6 +276,9 @@ type stageJSON struct {
 	Rows        int    `json:"rows"`
 	DurationUS  int64  `json:"duration_us"`
 	QueueWaitUS int64  `json:"queue_wait_us"`
+	// Path is the execution path that ran the stage: "row" or
+	// "columnar" (docs/ENGINE.md).
+	Path string `json:"path"`
 }
 
 func stagesJSON(timings []dashboard.StageTiming) []stageJSON {
@@ -284,6 +287,7 @@ func stagesJSON(timings []dashboard.StageTiming) []stageJSON {
 		out = append(out, stageJSON{
 			Output: st.Output, Stage: st.Stage, RowsIn: st.RowsIn, Rows: st.Rows,
 			DurationUS: st.Duration.Microseconds(), QueueWaitUS: st.QueueWait.Microseconds(),
+			Path: st.Path,
 		})
 	}
 	return out

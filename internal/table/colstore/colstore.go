@@ -1,0 +1,366 @@
+// Package colstore is the columnar execution layout of the batch
+// engine: typed column vectors (int64 / float64 / string / bool, each
+// with a null bitmap) plus vectorized kernels for the hot tasks —
+// filter, groupby, topn and map-expr.
+//
+// A row Table converts to a Batch when every column is kind-uniform
+// (one payload kind plus nulls); mixed-kind and time columns keep the
+// row representation, and the engine falls back to the row kernels.
+// Conversion copies cell headers but never string payloads (Go strings
+// are immutable), so a 100k-row text column costs 100k string headers,
+// not a byte of text. The kernels are semantically identical to the
+// reference task implementations — internal/engine/enginetest runs
+// both paths over the same pipelines and asserts equal outputs.
+package colstore
+
+import (
+	"math"
+
+	"shareinsights/internal/schema"
+	"shareinsights/internal/table"
+	"shareinsights/internal/value"
+)
+
+// anyKind marks a heterogeneous vector (boxed values). FromTable never
+// produces one; expression evaluation and aggregate outputs may.
+const anyKind value.Kind = 0xFF
+
+// Vec is one column of a Batch: a typed payload slice selected by kind,
+// plus an optional null bitmap (nil when the column has no nulls).
+// Null cells hold the zero value in the payload slice, which matches
+// the platform's coercion rules (null.Int() == 0, null.Str() == "").
+type Vec struct {
+	kind   value.Kind
+	ints   []int64
+	floats []float64
+	strs   []string
+	bools  []bool
+	anys   []value.V
+	nulls  *Bitmap
+	length int
+	// constant marks a broadcast vector: one stored element (index 0)
+	// logically repeated length times. The expression evaluator uses it
+	// for literals; Batch columns are always dense (see densify).
+	constant bool
+}
+
+// Len returns the number of elements.
+func (v *Vec) Len() int { return v.length }
+
+// Kind returns the vector's payload kind (value.Null for an all-null
+// column).
+func (v *Vec) Kind() value.Kind { return v.kind }
+
+// Nulls returns the null bitmap, or nil when the vector has none.
+func (v *Vec) Nulls() *Bitmap { return v.nulls }
+
+// hasNulls reports whether any element is null.
+func (v *Vec) hasNulls() bool { return v.kind == value.Null || (v.nulls != nil && !v.nulls.Empty()) }
+
+// null reports whether element i is null.
+func (v *Vec) null(i int) bool {
+	if v.kind == value.Null {
+		return true
+	}
+	if v.constant {
+		return false
+	}
+	return v.nulls != nil && v.nulls.Get(i)
+}
+
+// At reconstructs element i as a dynamic value.
+func (v *Vec) At(i int) value.V {
+	if v.null(i) {
+		return value.VNull
+	}
+	if v.constant {
+		i = 0
+	}
+	switch v.kind {
+	case value.Bool:
+		return value.NewBool(v.bools[i])
+	case value.Int:
+		return value.NewInt(v.ints[i])
+	case value.Float:
+		return value.NewFloat(v.floats[i])
+	case value.String:
+		return value.NewString(v.strs[i])
+	case anyKind:
+		return v.anys[i]
+	}
+	return value.VNull
+}
+
+// newVec allocates a dense vector of the given kind and length.
+func newVec(k value.Kind, n int) *Vec {
+	v := &Vec{kind: k, length: n}
+	switch k {
+	case value.Bool:
+		v.bools = make([]bool, n)
+	case value.Int:
+		v.ints = make([]int64, n)
+	case value.Float:
+		v.floats = make([]float64, n)
+	case value.String:
+		v.strs = make([]string, n)
+	case anyKind:
+		v.anys = make([]value.V, n)
+	}
+	return v
+}
+
+// setNull marks element i null, allocating the bitmap on first use.
+func (v *Vec) setNull(i int) {
+	if v.kind == value.Null {
+		return
+	}
+	if v.nulls == nil {
+		v.nulls = NewBitmap(v.length)
+	}
+	v.nulls.Set(i)
+}
+
+// set stores a value into element i of a vector whose kind matches
+// val's kind (or which is an any-vector).
+func (v *Vec) set(i int, val value.V) {
+	if val.IsNull() {
+		v.setNull(i)
+		if v.kind == anyKind {
+			v.anys[i] = val
+		}
+		return
+	}
+	switch v.kind {
+	case value.Bool:
+		v.bools[i] = val.Bool()
+	case value.Int:
+		v.ints[i] = val.Int()
+	case value.Float:
+		v.floats[i] = val.Float()
+	case value.String:
+		v.strs[i] = val.Str()
+	case anyKind:
+		v.anys[i] = val
+	}
+}
+
+// densify expands a constant vector into a dense one; dense vectors
+// are returned unchanged. Kernels densify before storing a vector into
+// a Batch, so batch columns always index positionally.
+func (v *Vec) densify() *Vec {
+	if !v.constant {
+		return v
+	}
+	out := newVec(v.kind, v.length)
+	if v.kind != value.Null {
+		val := v.At(0)
+		for i := 0; i < v.length; i++ {
+			out.set(i, val)
+		}
+	}
+	return out
+}
+
+// gather returns a new vector holding the elements of v at idx.
+func (v *Vec) gather(idx []int) *Vec {
+	out := &Vec{kind: v.kind, length: len(idx)}
+	if v.kind == value.Null {
+		return out
+	}
+	switch v.kind {
+	case value.Bool:
+		out.bools = make([]bool, len(idx))
+		for o, i := range idx {
+			out.bools[o] = v.bools[i]
+		}
+	case value.Int:
+		out.ints = make([]int64, len(idx))
+		for o, i := range idx {
+			out.ints[o] = v.ints[i]
+		}
+	case value.Float:
+		out.floats = make([]float64, len(idx))
+		for o, i := range idx {
+			out.floats[o] = v.floats[i]
+		}
+	case value.String:
+		out.strs = make([]string, len(idx))
+		for o, i := range idx {
+			out.strs[o] = v.strs[i]
+		}
+	case anyKind:
+		out.anys = make([]value.V, len(idx))
+		for o, i := range idx {
+			out.anys[o] = v.anys[i]
+		}
+	}
+	if v.nulls != nil {
+		for o, i := range idx {
+			if v.nulls.Get(i) {
+				out.setNull(o)
+			}
+		}
+	}
+	return out
+}
+
+// Batch is a columnar table: a schema plus one vector per column. All
+// vectors have the batch's length.
+type Batch struct {
+	schema *schema.Schema
+	cols   []*Vec
+	length int
+}
+
+// Schema returns the batch's schema.
+func (b *Batch) Schema() *schema.Schema { return b.schema }
+
+// Len returns the number of rows.
+func (b *Batch) Len() int { return b.length }
+
+// Col returns the i'th column vector.
+func (b *Batch) Col(i int) *Vec { return b.cols[i] }
+
+// FromTable converts a row table into a Batch. ok is false when the
+// table is not columnar-eligible: a column mixes payload kinds, or
+// holds time values (which have no typed vector). Nulls are always
+// allowed. String payloads are shared with the source table, never
+// copied.
+func FromTable(t *table.Table) (b *Batch, ok bool) {
+	s := t.Schema()
+	rows := t.Rows()
+	n := len(rows)
+	nc := s.Len()
+	cols := make([]*Vec, nc)
+	// One row-major pass: rows are individually allocated, so visiting
+	// each exactly once is ~nc times cheaper in memory traffic than a
+	// column-at-a-time sweep. The first non-null cell fixes a column's
+	// kind and backfills the leading nulls; payload reads go through the
+	// inlinable NumRaw/StrRaw accessors.
+	for i, r := range rows {
+		for c := 0; c < nc; c++ {
+			cell := r[c]
+			ck := cell.Kind()
+			v := cols[c]
+			if ck == value.Null {
+				if v != nil {
+					v.setNull(i)
+				}
+				continue
+			}
+			if v == nil {
+				if ck == value.Time {
+					return nil, false
+				}
+				v = newVec(ck, n)
+				for j := 0; j < i; j++ {
+					v.setNull(j)
+				}
+				cols[c] = v
+			} else if ck != v.kind {
+				return nil, false
+			}
+			switch ck {
+			case value.Int:
+				v.ints[i] = cell.NumRaw()
+			case value.Float:
+				v.floats[i] = math.Float64frombits(uint64(cell.NumRaw()))
+			case value.String:
+				v.strs[i] = cell.StrRaw()
+			case value.Bool:
+				v.bools[i] = cell.NumRaw() != 0
+			}
+		}
+	}
+	for c := 0; c < nc; c++ {
+		if cols[c] == nil {
+			// Column never produced a non-null cell (or the table is
+			// empty): an all-null vector.
+			cols[c] = newVec(value.Null, n)
+		}
+	}
+	return &Batch{schema: s, cols: cols, length: n}, true
+}
+
+// ToTable materializes the batch back into a row table.
+func (b *Batch) ToTable() *table.Table {
+	rows := make([]table.Row, b.length)
+	w := b.schema.Len()
+	// One flat cell allocation for the whole table keeps the conversion
+	// a single copy pass instead of one allocation per row.
+	cells := make([]value.V, b.length*w)
+	for i := range rows {
+		r := cells[i*w : (i+1)*w : (i+1)*w]
+		for c, v := range b.cols {
+			r[c] = v.At(i)
+		}
+		rows[i] = r
+	}
+	t, err := table.FromRows(b.schema, rows)
+	if err != nil {
+		// Vectors always match the schema arity; reaching here is a
+		// colstore bug.
+		panic(err)
+	}
+	return t
+}
+
+// Select returns a new batch holding the rows at idx, in order — the
+// gather step after a selection bitmap or heap selection.
+func (b *Batch) Select(idx []int) *Batch {
+	cols := make([]*Vec, len(b.cols))
+	for c, v := range b.cols {
+		cols[c] = v.gather(idx)
+	}
+	return &Batch{schema: b.schema, cols: cols, length: len(idx)}
+}
+
+// SelectBitmap is Select over a selection bitmap's set positions.
+func (b *Batch) SelectBitmap(sel *Bitmap) *Batch {
+	return b.Select(sel.Indices())
+}
+
+// withColumn returns a batch sharing b's vectors with vec placed at
+// column slot (overwriting, or appending when slot == len(cols)).
+func (b *Batch) withColumn(out *schema.Schema, slot int, vec *Vec) *Batch {
+	cols := make([]*Vec, out.Len())
+	copy(cols, b.cols)
+	cols[slot] = vec
+	return &Batch{schema: out, cols: cols, length: b.length}
+}
+
+// compress turns a boxed value slice into the tightest vector: a typed
+// vector when all non-null elements share one vectorizable kind, else
+// an any-vector.
+func compress(vals []value.V) *Vec {
+	k := value.Null
+	uniform := true
+	for _, v := range vals {
+		ck := v.Kind()
+		if ck == value.Null {
+			continue
+		}
+		if ck == value.Time {
+			uniform = false
+			break
+		}
+		if k == value.Null {
+			k = ck
+		} else if k != ck {
+			uniform = false
+			break
+		}
+	}
+	if !uniform {
+		out := newVec(anyKind, len(vals))
+		for i, v := range vals {
+			out.set(i, v)
+		}
+		return out
+	}
+	out := newVec(k, len(vals))
+	for i, v := range vals {
+		out.set(i, v)
+	}
+	return out
+}

@@ -57,8 +57,24 @@ func (t *Table) Schema() *schema.Schema { return t.schema }
 func (t *Table) Len() int { return len(t.rows) }
 
 // Rows returns the backing row slice. Callers must treat it as read-only
-// unless they own the table.
+// unless they own the table: the slice aliases the table's storage, so
+// sorting it, growing it, or replacing row headers mutates the table in
+// place — and any snapshot (cache entry, shared catalog copy) holding
+// the same *Table. Holders of long-lived references should store a
+// CloneShallow instead, which is immune to those structural mutations
+// (cell values themselves are immutable).
 func (t *Table) Rows() []Row { return t.rows }
+
+// CloneShallow returns a copy with a fresh row-header slice sharing the
+// row storage of t. The copy is insulated from structural mutation of
+// the original — Sort, Append, or writes through the Rows() slice —
+// while avoiding Clone's per-cell copy; it is NOT insulated from a
+// caller overwriting cells inside an aliased Row. Caches snapshotting
+// tables they do not own (last-good source snapshots, the shared
+// catalog) use it as a cheap copy-on-write boundary.
+func (t *Table) CloneShallow() *Table {
+	return &Table{schema: t.schema, rows: append([]Row(nil), t.rows...)}
+}
 
 // Row returns the i'th row.
 func (t *Table) Row(i int) Row { return t.rows[i] }

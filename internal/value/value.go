@@ -199,6 +199,42 @@ func (v V) String() string {
 	return ""
 }
 
+// NumRaw returns the raw 8-byte payload word without coercion: the
+// int64 for Int/Bool/Time values, the IEEE-754 bits for Float values,
+// and 0 for Null and String. Unlike Int, it is small enough to inline,
+// which is what the columnar converter's per-cell loops need; callers
+// must already know the kind.
+func (v V) NumRaw() int64 { return v.num }
+
+// StrRaw returns the raw string payload ("" unless the kind is String),
+// skipping Str's display-form fallback. See NumRaw.
+func (v V) StrRaw() string { return v.str }
+
+// AppendTo appends the display form of the value (exactly String's
+// output) to dst and returns the extended slice. Hot paths that build
+// composite keys — the columnar group-by kernel — use it to avoid an
+// intermediate string allocation per cell.
+func (v V) AppendTo(dst []byte) []byte {
+	switch v.kind {
+	case Null:
+		return dst
+	case Bool:
+		if v.num != 0 {
+			return append(dst, "true"...)
+		}
+		return append(dst, "false"...)
+	case Int:
+		return strconv.AppendInt(dst, v.num, 10)
+	case Float:
+		return strconv.AppendFloat(dst, v.Float(), 'g', -1, 64)
+	case String:
+		return append(dst, v.str...)
+	case Time:
+		return v.Time().AppendFormat(dst, "2006-01-02T15:04:05Z07:00")
+	}
+	return dst
+}
+
 // numericKind reports whether the kind participates in numeric coercion.
 func numericKind(k Kind) bool { return k == Bool || k == Int || k == Float }
 

@@ -39,6 +39,7 @@ import (
 	"shareinsights/internal/server"
 	"shareinsights/internal/share"
 	"shareinsights/internal/table"
+	"shareinsights/internal/table/colstore"
 	"shareinsights/internal/task"
 	"shareinsights/internal/value"
 	"shareinsights/internal/vcs"
@@ -56,6 +57,20 @@ type (
 	Row = table.Row
 	// Value is a dynamically typed cell value.
 	Value = value.V
+	// ColumnarBatch is the columnar representation of a Table: typed
+	// column vectors with null bitmaps, used by the batch engine's
+	// vectorized execution path (docs/ENGINE.md).
+	ColumnarBatch = colstore.Batch
+	// ColumnVec is one typed column vector of a ColumnarBatch.
+	ColumnVec = colstore.Vec
+)
+
+// Columnar planner modes for the batch engine's `columnar:` data detail
+// and Executor default; see docs/ENGINE.md.
+const (
+	ColumnarAuto = batch.ColumnarAuto
+	ColumnarOn   = batch.ColumnarOn
+	ColumnarOff  = batch.ColumnarOff
 )
 
 // Platform services.
