@@ -1,0 +1,155 @@
+package shareinsights
+
+// CLI-level durability tests: serve -data-dir must flush and fsync all
+// acknowledged state on SIGTERM, and a fresh process over the same
+// directory must recover it.
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// serveProc is one live `shareinsights serve` process.
+type serveProc struct {
+	cmd  *exec.Cmd
+	addr string
+	out  *bytes.Buffer
+	done chan error
+}
+
+// startServe launches the server and waits for its listening banner.
+func startServe(t *testing.T, args ...string) *serveProc {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(buildCLIs(t), "shareinsights"),
+		append([]string{"serve", "-addr", "127.0.0.1:0"}, args...)...)
+	pipe, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = cmd.Stdout
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := &serveProc{cmd: cmd, out: &bytes.Buffer{}, done: make(chan error, 1)}
+	addrc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(io.TeeReader(pipe, p.out))
+		for sc.Scan() {
+			line := sc.Text()
+			if _, rest, ok := strings.Cut(line, "listening on "); ok {
+				addrc <- strings.Fields(rest)[0]
+			}
+		}
+		p.done <- cmd.Wait()
+	}()
+	select {
+	case p.addr = <-addrc:
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		t.Fatalf("server never started:\n%s", p.out)
+	}
+	t.Cleanup(func() { cmd.Process.Kill(); cmd.Wait() })
+	return p
+}
+
+// stop sends SIGTERM and waits for a clean exit.
+func (p *serveProc) stop(t *testing.T) string {
+	t.Helper()
+	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-p.done:
+		if err != nil {
+			t.Fatalf("server exited uncleanly: %v\n%s", err, p.out)
+		}
+	case <-time.After(30 * time.Second):
+		p.cmd.Process.Kill()
+		t.Fatalf("server did not exit on SIGTERM:\n%s", p.out)
+	}
+	return p.out.String()
+}
+
+func httpDo(t *testing.T, method, url, body string) (int, string) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(b)
+}
+
+// TestCLIServeGracefulShutdownPersists is the graceful-shutdown
+// acceptance test: a dashboard saved over HTTP survives SIGTERM (which
+// must flush + fsync the durable state before exiting) and is served
+// again by a fresh process over the same -data-dir.
+func TestCLIServeGracefulShutdownPersists(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := writeFlowDir(t)
+	stateDir := filepath.Join(dir, "state")
+
+	p1 := startServe(t, "-data", dir, "-data-dir", stateDir)
+	if code, body := httpDo(t, "PUT", "http://"+p1.addr+"/dashboards/demo", cliFlow); code != 200 {
+		t.Fatalf("put: %d %s", code, body)
+	}
+	if code, body := httpDo(t, "POST", "http://"+p1.addr+"/dashboards/demo/branches/dev", ""); code != 200 {
+		t.Fatalf("branch: %d %s", code, body)
+	}
+	out := p1.stop(t)
+	if !strings.Contains(out, "shutting down") || !strings.Contains(out, "durable state closed") {
+		t.Fatalf("shutdown did not close the store:\n%s", out)
+	}
+
+	// A fresh process over the same directory recovers everything.
+	p2 := startServe(t, "-data", dir, "-data-dir", stateDir)
+	code, body := httpDo(t, "GET", "http://"+p2.addr+"/dashboards/demo", "")
+	if code != 200 || !strings.Contains(body, "D.sales") {
+		t.Fatalf("dashboard lost across restart: %d %s", code, body)
+	}
+	code, body = httpDo(t, "GET", "http://"+p2.addr+"/dashboards/demo/branches", "")
+	if code != 200 || !strings.Contains(body, `"dev"`) {
+		t.Fatalf("branch lost across restart: %d %s", code, body)
+	}
+	code, body = httpDo(t, "GET", "http://"+p2.addr+"/health", "")
+	if code != 200 || !strings.Contains(body, `"durability":"durable"`) {
+		t.Fatalf("health: %d %s", code, body)
+	}
+	code, body = httpDo(t, "GET", "http://"+p2.addr+"/metrics", "")
+	if code != 200 || !strings.Contains(body, "si_store_recoveries_total") {
+		t.Fatalf("si_store_* metrics missing: %d", code)
+	}
+	out = p2.stop(t)
+	if !strings.Contains(out, "recovered vcs:") {
+		t.Fatalf("recovery summary missing from startup output:\n%s", out)
+	}
+}
+
+// TestCLIServeInMemoryDefault pins the default: without -data-dir the
+// server keeps state in memory and says so on the health surface.
+func TestCLIServeInMemoryDefault(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	p := startServe(t, "-data", t.TempDir())
+	code, body := httpDo(t, "GET", "http://"+p.addr+"/health", "")
+	if code != 200 || !strings.Contains(body, `"durability":"in-memory"`) {
+		t.Fatalf("health: %d %s", code, body)
+	}
+	p.stop(t)
+}

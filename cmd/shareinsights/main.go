@@ -29,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -118,6 +119,13 @@ func main() {
 			Tasks:      p.Tasks,
 			Connectors: p.Connectors,
 			Shared:     p.Catalog.ResolveSchema,
+			Published: func() []analyze.PublishedObject {
+				var out []analyze.PublishedObject
+				for _, obj := range p.Catalog.Objects() {
+					out = append(out, analyze.PublishedObject{Name: obj.Name, Dashboard: obj.Dashboard})
+				}
+				return out
+			},
 		})
 		if *asJSON {
 			enc := json.NewEncoder(os.Stdout)
@@ -171,27 +179,63 @@ func main() {
 		fs := flag.NewFlagSet("serve", flag.ExitOnError)
 		addr := fs.String("addr", ":8080", "listen address")
 		dataDir := fs.String("data", ".", "data directory for file sources")
+		stateDir := fs.String("data-dir", "", "durable state directory (WAL + snapshots, docs/DURABILITY.md); empty keeps state in memory")
+		sharedCap := fs.Int("shared-cap", 0, "max published objects in the shared catalog (LRU eviction); 0 = unbounded")
 		timeout := fs.Duration("timeout", 0, "per-run deadline for dashboard runs; 0 disables")
 		retries := fs.Int("retries", -1, "connector retry budget per source; -1 keeps the default")
 		fs.Parse(args)
 		p := shareinsights.NewPlatform()
 		p.Connectors = shareinsights.NewConnectorRegistry(shareinsights.ConnectorOptions{DataDir: *dataDir})
 		configureResilience(p, *timeout, *retries)
-		srv := shareinsights.NewServer(p)
+		if *sharedCap > 0 {
+			p.Catalog.SetLimit(*sharedCap)
+		}
+		var opts []shareinsights.ServerOption
+		var st *shareinsights.Store
+		if *stateDir != "" {
+			p.Metrics = shareinsights.NewMetricsRegistry()
+			var err error
+			st, err = shareinsights.NewStore(*stateDir, p.Metrics)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, rec := range st.Recoveries() {
+				line := fmt.Sprintf("recovered %s: %d record(s) replayed", rec.Component, rec.RecordCount)
+				if rec.SnapshotBytes > 0 {
+					line += fmt.Sprintf(", snapshot %dB from %s", rec.SnapshotBytes, rec.SnapshotAt.Format(time.RFC3339))
+				}
+				if rec.TornBytes > 0 {
+					line += fmt.Sprintf(", %dB torn tail truncated", rec.TornBytes)
+				}
+				if rec.CorruptSnapshots > 0 {
+					line += fmt.Sprintf(", %d corrupt snapshot(s) skipped", rec.CorruptSnapshots)
+				}
+				fmt.Println(line)
+			}
+			opts = append(opts, shareinsights.WithStore(st))
+		}
+		srv := shareinsights.NewServer(p, opts...)
 		hs := &http.Server{
 			Addr:    *addr,
 			Handler: srv.Handler(),
 			// Slow-client protection: a stalled peer cannot pin a
-			// connection (and its goroutine) forever.
+			// connection (and its goroutine) forever, and a sink that
+			// stops reading a response cannot stall a writer goroutine.
 			ReadHeaderTimeout: 10 * time.Second,
 			ReadTimeout:       5 * time.Minute,
+			WriteTimeout:      5 * time.Minute,
 			IdleTimeout:       2 * time.Minute,
 		}
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
+		ln, err := net.Listen("tcp", *addr)
+		if err != nil {
+			log.Fatal(err)
+		}
 		errc := make(chan error, 1)
-		go func() { errc <- hs.ListenAndServe() }()
-		fmt.Printf("ShareInsights listening on %s (data dir %s)\n", *addr, *dataDir)
+		go func() { errc <- hs.Serve(ln) }()
+		// Print the resolved address (":0" picks a free port).
+		fmt.Printf("ShareInsights listening on %s (data dir %s)\n", ln.Addr(), *dataDir)
 		select {
 		case err := <-errc:
 			log.Fatal(err)
@@ -202,6 +246,14 @@ func main() {
 			defer cancel()
 			if err := hs.Shutdown(sctx); err != nil {
 				log.Fatal(err)
+			}
+			// In-flight requests have drained; flush and fsync the WAL
+			// so every acknowledged mutation is durable before exit.
+			if st != nil {
+				if err := st.Close(); err != nil {
+					log.Fatal(err)
+				}
+				fmt.Println("durable state closed")
 			}
 		}
 	case "time":

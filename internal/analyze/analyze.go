@@ -134,6 +134,18 @@ type Options struct {
 	Connectors *connector.Registry
 	// Shared resolves published data-object schemas (may be nil).
 	Shared dag.SharedResolver
+	// Published lists the platform's existing published objects with
+	// their owning dashboards, for the FL044 publish-collision check
+	// (may be nil).
+	Published func() []PublishedObject
+}
+
+// PublishedObject identifies one existing published object for FL044.
+type PublishedObject struct {
+	// Name is the name in the shared catalog.
+	Name string
+	// Dashboard is the publishing dashboard.
+	Dashboard string
 }
 
 // Lint analyzes the file and returns every finding, ordered by line.
@@ -154,6 +166,7 @@ func Lint(f *flowfile.File, opts Options) *Report {
 	l.checkDataProps()
 	l.checkResilienceProps()
 	l.checkColumnarProp()
+	l.checkPublish()
 	l.checkDeadEntities()
 	sort.SliceStable(l.report.Findings, func(i, j int) bool {
 		a, b := l.report.Findings[i], l.report.Findings[j]
@@ -336,6 +349,48 @@ func (l *linter) checkColumnarProp() {
 				fd.Hint = fmt.Sprintf("did you mean %q?", hint)
 			}
 			l.add(fd)
+		}
+	}
+}
+
+// checkPublish reports FL044 publish-name collisions. Two sinks in one
+// file publishing the same name, or a name another dashboard already
+// publishes, are last-writer-wins shadowing: each run silently
+// overwrites the other's object in the shared catalog. A near-miss
+// against an existing published name gets an info-level did-you-mean —
+// the typo that forks "sales_total" into "sales_totl" is otherwise
+// invisible until a consumer fails to resolve it.
+func (l *linter) checkPublish() {
+	owners := map[string]string{}
+	var published []string
+	if l.opts.Published != nil {
+		for _, po := range l.opts.Published() {
+			owners[po.Name] = po.Dashboard
+			published = append(published, po.Name)
+		}
+	}
+	seen := map[string]string{}
+	for _, name := range l.f.DataOrder {
+		d := l.f.Data[name]
+		if d.Publish == "" {
+			continue
+		}
+		if first, dup := seen[d.Publish]; dup {
+			l.add(Finding{Rule: "FL044", Severity: Warning, Entity: "D." + name, Line: d.Line,
+				Message: fmt.Sprintf("publish name %q is also published by D.%s in this file; the later sink overwrites the earlier object", d.Publish, first)})
+			continue
+		}
+		seen[d.Publish] = name
+		if owner, exists := owners[d.Publish]; exists && owner != l.f.Name {
+			l.add(Finding{Rule: "FL044", Severity: Warning, Entity: "D." + name, Line: d.Line,
+				Message: fmt.Sprintf("publish name %q is already published by dashboard %q; last writer wins — each run overwrites the other's object", d.Publish, owner),
+				Hint:    "pick a distinct name, or read the existing object instead of republishing it"})
+		} else if !exists {
+			if near := diagnose.Nearest(d.Publish, published); near != "" && near != d.Publish {
+				l.add(Finding{Rule: "FL044", Severity: Info, Entity: "D." + name, Line: d.Line,
+					Message: fmt.Sprintf("publish name %q is close to existing published object %q (dashboard %q)", d.Publish, near, owners[near]),
+					Hint:    fmt.Sprintf("did you mean %q?", near)})
+			}
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package dashboard
 
 import (
+	"strings"
 	"sync"
 
 	"shareinsights/internal/table"
@@ -14,6 +15,7 @@ import (
 type SourceCache struct {
 	mu      sync.Mutex
 	entries map[string]*table.Table
+	journal func(dash, source string, t *table.Table) error
 }
 
 // NewSourceCache returns an empty cache.
@@ -21,7 +23,23 @@ func NewSourceCache() *SourceCache {
 	return &SourceCache{entries: map[string]*table.Table{}}
 }
 
+// SetJournal installs a write-ahead hook invoked before each Put so the
+// last-good snapshots survive restarts (`on_error: stale` across
+// processes). A journal failure does NOT abort the Put: the cache is an
+// availability feature, so serving the freshest table in memory beats
+// losing it — durability of the entry is best-effort.
+func (c *SourceCache) SetJournal(fn func(dash, source string, t *table.Table) error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.journal = fn
+}
+
 func (c *SourceCache) lookup(dash, source string) (*table.Table, bool) {
+	return c.Lookup(dash, source)
+}
+
+// Lookup returns the last-good table for a (dashboard, source) pair.
+func (c *SourceCache) Lookup(dash, source string) (*table.Table, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	t, ok := c.entries[dash+"\x00"+source]
@@ -29,9 +47,36 @@ func (c *SourceCache) lookup(dash, source string) (*table.Table, bool) {
 }
 
 func (c *SourceCache) store(dash, source string, t *table.Table) {
+	c.Put(dash, source, t)
+}
+
+// Put records a source's last successfully loaded table, journaling it
+// first when a journal is installed.
+func (c *SourceCache) Put(dash, source string, t *table.Table) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.journal != nil {
+		// Best-effort; see SetJournal.
+		_ = c.journal(dash, source, t)
+	}
+	c.entries[dash+"\x00"+source] = t
+}
+
+// Seed installs a recovered entry without journaling it (replay).
+func (c *SourceCache) Seed(dash, source string, t *table.Table) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.entries[dash+"\x00"+source] = t
+}
+
+// Each visits every cached entry (snapshot export).
+func (c *SourceCache) Each(fn func(dash, source string, t *table.Table)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, t := range c.entries {
+		dash, source, _ := strings.Cut(k, "\x00")
+		fn(dash, source, t)
+	}
 }
 
 // Len reports the number of cached snapshots.

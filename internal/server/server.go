@@ -53,6 +53,7 @@ import (
 	"shareinsights/internal/obs"
 	"shareinsights/internal/obs/ops"
 	"shareinsights/internal/profile"
+	"shareinsights/internal/store/persist"
 	"shareinsights/internal/table"
 	"shareinsights/internal/vcs"
 )
@@ -61,6 +62,7 @@ import (
 type Server struct {
 	platform *dashboard.Platform
 	httpm    *obs.HTTPMetrics
+	store    *persist.Store // nil when running in-memory
 
 	mu     sync.RWMutex
 	repos  map[string]*vcs.Repo
@@ -70,12 +72,24 @@ type Server struct {
 	author func(*http.Request) string
 }
 
+// Option configures a Server at construction.
+type Option func(*Server)
+
+// WithStore attaches a durable state store (docs/DURABILITY.md): the
+// recovered dashboard repositories become the server's, the platform's
+// catalog and last-good cache are seeded from recovery, and every later
+// mutation is journaled write-ahead. Without this option all state is
+// in-memory, as before.
+func WithStore(st *persist.Store) Option {
+	return func(s *Server) { s.store = st }
+}
+
 // New builds a server around a platform. The incremental-execution
 // cache is enabled if the platform has none: the editor's save-and-rerun
 // loop is exactly the workload it exists for. Likewise a metrics
 // registry is attached if the platform has none, so GET /metrics always
 // serves engine and HTTP telemetry.
-func New(p *dashboard.Platform) *Server {
+func New(p *dashboard.Platform, opts ...Option) *Server {
 	if p.Cache == nil {
 		p.Cache = dashboard.NewResultCache()
 	}
@@ -87,7 +101,8 @@ func New(p *dashboard.Platform) *Server {
 	}
 	// Connector retries and breaker transitions surface in GET /metrics.
 	p.Connectors.SetMetrics(p.Metrics)
-	return &Server{
+	p.Catalog.SetMetrics(p.Metrics)
+	s := &Server{
 		platform: p,
 		httpm:    obs.NewHTTPMetrics(p.Metrics),
 		repos:    map[string]*vcs.Repo{},
@@ -101,6 +116,33 @@ func New(p *dashboard.Platform) *Server {
 			return "anonymous"
 		},
 	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	if s.store != nil {
+		// Seed the platform with recovered state and start journaling.
+		// WirePlatform only fails on recovered state that cannot be
+		// re-applied, which recovery itself would already have rejected.
+		if err := s.store.WirePlatform(p); err != nil {
+			panic(fmt.Sprintf("server: wire recovered state: %v", err))
+		}
+		s.repos = s.store.Repos()
+	}
+	return s
+}
+
+// newRepoLocked creates a repository for a dashboard and, when a store
+// is attached, adopts it into the journal before first use. Callers
+// hold s.mu.
+func (s *Server) newRepoLocked(name string) (*vcs.Repo, error) {
+	repo := vcs.NewRepo(name)
+	if s.store != nil {
+		if err := s.store.AdoptRepo(repo); err != nil {
+			return nil, err
+		}
+	}
+	s.repos[name] = repo
+	return repo, nil
 }
 
 // Handler returns the HTTP handler with all routes installed, each
@@ -130,6 +172,7 @@ func (s *Server) Handler() http.Handler {
 	handle("GET /dashboards/{name}/ops", s.handleOps)
 	handle("GET /shared", s.handleShared)
 	handle("GET /dashboards/{name}/edit", s.handleEditor)
+	handle("GET /health", s.handleServerHealth)
 	mux.Handle("GET /metrics", s.platform.Metrics.Handler())
 	s.vcsRoutes(mux)
 	s.discoveryRoutes(mux)
@@ -190,8 +233,11 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	repo, ok := s.repos[name]
 	if !ok {
-		repo = vcs.NewRepo(name)
-		s.repos[name] = repo
+		if repo, err = s.newRepoLocked(name); err != nil {
+			s.mu.Unlock()
+			jsonError(w, http.StatusInternalServerError, err)
+			return
+		}
 	}
 	hash, err := repo.Commit(vcs.DefaultBranch, s.author(r), "save "+name, body)
 	s.mu.Unlock()
@@ -214,6 +260,13 @@ func (s *Server) lintFile(f *flowfile.File) *analyze.Report {
 	opts := analyze.Options{Tasks: s.platform.Tasks, Connectors: s.platform.Connectors}
 	if s.platform.Catalog != nil {
 		opts.Shared = s.platform.Catalog.ResolveSchema
+		opts.Published = func() []analyze.PublishedObject {
+			var out []analyze.PublishedObject
+			for _, obj := range s.platform.Catalog.Objects() {
+				out = append(out, analyze.PublishedObject{Name: obj.Name, Dashboard: obj.Dashboard})
+			}
+			return out
+		}
 	}
 	return analyze.Lint(f, opts)
 }
@@ -346,6 +399,32 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	jsonOK(w, statsBody(name, d, r.URL.Query().Get("full") == "1"))
+}
+
+// handleServerHealth is the process-level health surface. With a
+// durable store attached it reports each component's recovery outcome
+// (records replayed, torn tail dropped, snapshot age) and any WAL
+// damage; "degraded" means a component is fail-stop on appends until
+// the next snapshot repairs it.
+func (s *Server) handleServerHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	dashboards := len(s.repos)
+	s.mu.RUnlock()
+	body := map[string]any{"status": "ok", "dashboards": dashboards}
+	if s.store == nil {
+		body["durability"] = "in-memory"
+		jsonOK(w, body)
+		return
+	}
+	body["durability"] = "durable"
+	statuses := s.store.Status()
+	for _, cs := range statuses {
+		if cs.Damaged != "" {
+			body["status"] = "degraded"
+		}
+	}
+	body["store"] = statuses
+	jsonOK(w, body)
 }
 
 // handleHealth reports the last run attempt's health: overall status
@@ -743,8 +822,10 @@ func (s *Server) SaveDashboard(name, author string, content []byte) (string, err
 	defer s.mu.Unlock()
 	repo, ok := s.repos[name]
 	if !ok {
-		repo = vcs.NewRepo(name)
-		s.repos[name] = repo
+		var err error
+		if repo, err = s.newRepoLocked(name); err != nil {
+			return "", err
+		}
 	}
 	return repo.Commit(vcs.DefaultBranch, author, "save "+name, content)
 }

@@ -158,6 +158,15 @@ func (s *Server) handleFork(w http.ResponseWriter, r *http.Request) {
 		jsonError(w, http.StatusInternalServerError, err)
 		return
 	}
+	if s.store != nil {
+		// The fork's initial commit predates its journal; adoption
+		// records the full state and journals everything after.
+		if err := s.store.AdoptRepo(fork); err != nil {
+			s.mu.Unlock()
+			jsonError(w, http.StatusInternalServerError, err)
+			return
+		}
+	}
 	s.repos[newName] = fork
 	// The fork starts with a copy of the parent's uploaded data files so
 	// it runs out of the box.

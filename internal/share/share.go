@@ -37,16 +37,28 @@ type Object struct {
 	Version int
 }
 
-// Catalog is a concurrency-safe registry of published objects.
+// Catalog is a concurrency-safe registry of published objects. It can
+// be bounded (SetLimit), journaled for durability (SetJournal) and
+// instrumented (SetMetrics).
 type Catalog struct {
 	mu      sync.RWMutex
 	objects map[string]*Object
 	now     func() time.Time
+
+	// limit caps the object count; 0 means unbounded. When a new publish
+	// would exceed it, the least-recently-used unreferenced objects are
+	// evicted (see SetReferenced).
+	limit      int
+	lastUsed   map[string]uint64
+	useSeq     uint64
+	referenced func(name string) bool
+	journal    func(Entry) error
+	met        *catalogMetrics
 }
 
 // NewCatalog returns an empty catalog.
 func NewCatalog() *Catalog {
-	return &Catalog{objects: map[string]*Object{}, now: time.Now}
+	return &Catalog{objects: map[string]*Object{}, lastUsed: map[string]uint64{}, now: time.Now}
 }
 
 // SetClock overrides the catalog's clock (tests).
@@ -77,15 +89,78 @@ func (c *Catalog) Publish(dashboard, name string, data *table.Table) (*Object, e
 	} else {
 		obj.Version = 1
 	}
+	// Journal before install: the publish is acknowledged only once it is
+	// durable, so a consumer that resolved the object will resolve it
+	// again after a crash.
+	if c.journal != nil {
+		if err := c.journal(Entry{Kind: EntryPublish, Object: obj}); err != nil {
+			return nil, fmt.Errorf("share: journal publish %q: %w", name, err)
+		}
+	}
 	c.objects[name] = obj
+	c.touchLocked(name)
+	if !exists {
+		c.evictOverLimitLocked(name)
+	}
+	c.setGaugeLocked()
 	return obj, nil
 }
 
-// Resolve returns a published object by name.
+func (c *Catalog) touchLocked(name string) {
+	c.useSeq++
+	c.lastUsed[name] = c.useSeq
+}
+
+// evictOverLimitLocked drops least-recently-used unreferenced objects
+// until the catalog fits its limit. keep is never evicted (it is the
+// object just published). Evictions are journaled like removes; if the
+// journal fails the object stays — the cap yields to durability.
+func (c *Catalog) evictOverLimitLocked(keep string) {
+	if c.limit <= 0 {
+		return
+	}
+	for len(c.objects) > c.limit {
+		victim := ""
+		var oldest uint64
+		for n := range c.objects {
+			if n == keep || (c.referenced != nil && c.referenced(n)) {
+				continue
+			}
+			if u := c.lastUsed[n]; victim == "" || u < oldest {
+				victim, oldest = n, u
+			}
+		}
+		if victim == "" {
+			return // everything else is referenced: exceed the cap
+		}
+		if c.journal != nil {
+			if err := c.journal(Entry{Kind: EntryRemove, Name: victim}); err != nil {
+				return
+			}
+		}
+		delete(c.objects, victim)
+		delete(c.lastUsed, victim)
+		if c.met != nil {
+			c.met.evictions.Inc()
+		}
+	}
+}
+
+func (c *Catalog) setGaugeLocked() {
+	if c.met != nil {
+		c.met.objects.Set(float64(len(c.objects)))
+	}
+}
+
+// Resolve returns a published object by name and marks it
+// recently-used for the eviction policy.
 func (c *Catalog) Resolve(name string) (*Object, bool) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	o, ok := c.objects[name]
+	if ok {
+		c.touchLocked(name)
+	}
 	return o, ok
 }
 
@@ -191,6 +266,13 @@ func (c *Catalog) Remove(dashboard, name string) error {
 	if o.Dashboard != dashboard {
 		return fmt.Errorf("share: %q is owned by dashboard %q", name, o.Dashboard)
 	}
+	if c.journal != nil {
+		if err := c.journal(Entry{Kind: EntryRemove, Name: name}); err != nil {
+			return fmt.Errorf("share: journal remove %q: %w", name, err)
+		}
+	}
 	delete(c.objects, name)
+	delete(c.lastUsed, name)
+	c.setGaugeLocked()
 	return nil
 }

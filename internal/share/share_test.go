@@ -1,6 +1,7 @@
 package share
 
 import (
+	"errors"
 	"strings"
 	"sync"
 	"testing"
@@ -161,3 +162,100 @@ func TestSearch(t *testing.T) {
 		t.Errorf("Search(zzz) = %v", got)
 	}
 }
+
+func TestCatalogLimitLRUEviction(t *testing.T) {
+	c := NewCatalog()
+	c.SetLimit(3)
+	for _, n := range []string{"a", "b", "c"} {
+		if _, err := c.Publish("dash", n, sampleTable(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch "a" so "b" becomes the least recently used.
+	c.Resolve("a")
+	if _, err := c.Publish("dash", "d", sampleTable(1)); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", c.Len())
+	}
+	if _, ok := c.Resolve("b"); ok {
+		t.Error("LRU object b survived eviction")
+	}
+	for _, n := range []string{"a", "c", "d"} {
+		if _, ok := c.Resolve(n); !ok {
+			t.Errorf("object %s was evicted", n)
+		}
+	}
+	// Re-publishing an existing object never triggers eviction.
+	if _, err := c.Publish("dash", "a", sampleTable(2)); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len after republish = %d", c.Len())
+	}
+}
+
+func TestCatalogReferencedObjectsPinned(t *testing.T) {
+	c := NewCatalog()
+	c.SetLimit(2)
+	c.SetReferenced(func(name string) bool { return name == "pinned" })
+	c.Publish("dash", "pinned", sampleTable(1))
+	c.Publish("dash", "old", sampleTable(1))
+	c.Publish("dash", "new", sampleTable(1))
+	if _, ok := c.Resolve("pinned"); !ok {
+		t.Error("referenced object was evicted")
+	}
+	if _, ok := c.Resolve("old"); ok {
+		t.Error("unreferenced LRU object survived")
+	}
+	// If everything else is referenced, the cap yields rather than
+	// evicting live data.
+	c.SetReferenced(func(string) bool { return true })
+	c.Publish("dash", "extra", sampleTable(1))
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3 (cap exceeded, nothing evictable)", c.Len())
+	}
+}
+
+func TestCatalogJournalAcksBeforeInstall(t *testing.T) {
+	c := NewCatalog()
+	var entries []Entry
+	fail := false
+	c.SetJournal(func(e Entry) error {
+		if fail {
+			return errFailedJournal
+		}
+		entries = append(entries, e)
+		return nil
+	})
+	if _, err := c.Publish("dash", "ok", sampleTable(1)); err != nil {
+		t.Fatal(err)
+	}
+	fail = true
+	if _, err := c.Publish("dash", "lost", sampleTable(1)); err == nil {
+		t.Fatal("publish acknowledged despite journal failure")
+	}
+	if _, ok := c.Resolve("lost"); ok {
+		t.Error("unjournaled publish installed in memory")
+	}
+	fail = false
+	if err := c.Remove("dash", "ok"); err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[0].Kind != EntryPublish || entries[1].Kind != EntryRemove {
+		t.Fatalf("journal = %+v", entries)
+	}
+	// Replaying the journal into a fresh catalog reproduces the state.
+	c2 := NewCatalog()
+	for _, e := range entries {
+		if err := c2.Apply(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c2.Len() != 0 {
+		t.Fatalf("replayed catalog has %d objects", c2.Len())
+	}
+}
+
+var errFailedJournal = errors.New("journal down")

@@ -1,0 +1,110 @@
+// Package store is the platform's crash-consistent persistence layer
+// (docs/DURABILITY.md): an append-only write-ahead log with per-record
+// CRC32C framing plus periodic compacted snapshots written via
+// temp-file + fsync + atomic rename.
+//
+// The paper's collaboration features — the DVCS-style flow-file
+// repository (§4.5.1), `publish:` shared data objects (§3.4.1) and
+// `endpoint:` REST-visible data — all assume state that outlives a
+// process. This package provides the storage primitive those components
+// journal through; internal/store/persist wires them up.
+//
+// Everything touches disk through the FS interface so tests can inject
+// torn writes, failed fsyncs, ENOSPC and crash points (see faultfs.go)
+// and prove recovery byte-exact.
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// File is an append-only file handle. Writes are durable only after
+// Sync returns nil.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+// FS is the filesystem surface the store needs. Paths are
+// slash-separated and relative to the filesystem root. Implementations:
+// OSFS (production), MemFS and FaultFS (tests).
+type FS interface {
+	// MkdirAll creates a directory and any missing parents.
+	MkdirAll(dir string) error
+	// Create opens a file for writing, truncating any existing content.
+	Create(name string) (File, error)
+	// OpenAppend opens an existing file for appending (the file must
+	// exist; the store creates WAL segments explicitly via Create).
+	OpenAppend(name string) (File, error)
+	// ReadFile returns a file's full content.
+	ReadFile(name string) ([]byte, error)
+	// Rename atomically replaces newname with oldname.
+	Rename(oldname, newname string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// List returns the file names (not paths) in a directory, sorted.
+	List(dir string) ([]string, error)
+	// SyncDir flushes directory metadata (created/renamed/removed
+	// entries) to stable storage.
+	SyncDir(dir string) error
+}
+
+// osFS is the production FS, rooted at a data directory.
+type osFS struct{ root string }
+
+// NewOSFS returns an FS backed by the operating system, with all paths
+// resolved relative to root.
+func NewOSFS(root string) FS { return &osFS{root: root} }
+
+func (fs *osFS) path(name string) string { return filepath.Join(fs.root, filepath.FromSlash(name)) }
+
+func (fs *osFS) MkdirAll(dir string) error { return os.MkdirAll(fs.path(dir), 0o755) }
+
+func (fs *osFS) Create(name string) (File, error) {
+	return os.OpenFile(fs.path(name), os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+}
+
+func (fs *osFS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(fs.path(name), os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+func (fs *osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(fs.path(name)) }
+
+func (fs *osFS) Rename(oldname, newname string) error {
+	return os.Rename(fs.path(oldname), fs.path(newname))
+}
+
+func (fs *osFS) Remove(name string) error { return os.Remove(fs.path(name)) }
+
+func (fs *osFS) List(dir string) ([]string, error) {
+	entries, err := os.ReadDir(fs.path(dir))
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			out = append(out, e.Name())
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func (fs *osFS) SyncDir(dir string) error {
+	d, err := os.Open(fs.path(dir))
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		// Some filesystems reject fsync on directories; the rename was
+		// still atomic, so degrade rather than fail the operation.
+		return fmt.Errorf("store: sync dir %s: %w", dir, err)
+	}
+	return nil
+}

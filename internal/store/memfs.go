@@ -1,0 +1,187 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// MemFS is an in-memory FS that models fsync durability: every file
+// tracks how many of its bytes have been synced, and Durable derives
+// the disk image a crash would leave behind. It is the substrate the
+// fault-injection tests (FaultFS) recover from.
+//
+// The durability model: file data is durable up to the last Sync;
+// directory operations (create, rename, remove) are treated as atomic
+// and immediately durable — the crash-point matrix injects failures at
+// those operation boundaries instead of modeling directory journals.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string]*memFile
+	dirs  map[string]bool
+}
+
+type memFile struct {
+	data   []byte
+	synced int
+}
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS {
+	return &MemFS{files: map[string]*memFile{}, dirs: map[string]bool{"": true, ".": true}}
+}
+
+// UnsyncedPolicy decides what happens to un-fsynced bytes in a crash's
+// durable image. Real crashes land anywhere on this spectrum, so the
+// recovery tests run the whole matrix.
+type UnsyncedPolicy int
+
+const (
+	// DropUnsynced loses every byte written after the last fsync — the
+	// conservative page-cache-gone case.
+	DropUnsynced UnsyncedPolicy = iota
+	// KeepUnsynced persists everything written — the lucky case where
+	// the kernel flushed on its own before the crash.
+	KeepUnsynced
+	// TornUnsynced persists half of the unsynced suffix — a torn tail
+	// the WAL must detect and truncate on replay.
+	TornUnsynced
+)
+
+// Durable returns a copy of the filesystem as a crash would leave it:
+// each file truncated to its synced prefix plus whatever the policy
+// keeps of the unsynced tail. Files that were never synced disappear
+// entirely under DropUnsynced (their directory entry was never made
+// durable by a data fsync).
+func (m *MemFS) Durable(policy UnsyncedPolicy) *MemFS {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := NewMemFS()
+	for d := range m.dirs {
+		out.dirs[d] = true
+	}
+	for name, f := range m.files {
+		n := f.synced
+		switch policy {
+		case KeepUnsynced:
+			n = len(f.data)
+		case TornUnsynced:
+			n = f.synced + (len(f.data)-f.synced)/2
+		}
+		if n == 0 && f.synced == 0 && policy == DropUnsynced {
+			continue
+		}
+		out.files[name] = &memFile{data: append([]byte(nil), f.data[:n]...), synced: n}
+	}
+	return out
+}
+
+// memHandle is an append-only handle on a MemFS file.
+type memHandle struct {
+	fs   *MemFS
+	name string
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	f, ok := h.fs.files[h.name]
+	if !ok {
+		return 0, fmt.Errorf("memfs: write to removed file %s", h.name)
+	}
+	f.data = append(f.data, p...)
+	return len(p), nil
+}
+
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	f, ok := h.fs.files[h.name]
+	if !ok {
+		return fmt.Errorf("memfs: sync of removed file %s", h.name)
+	}
+	f.synced = len(f.data)
+	return nil
+}
+
+func (h *memHandle) Close() error { return nil }
+
+func (m *MemFS) MkdirAll(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.dirs[dir] = true
+	return nil
+}
+
+func (m *MemFS) Create(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.files[name] = &memFile{}
+	return &memHandle{fs: m, name: name}, nil
+}
+
+func (m *MemFS) OpenAppend(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[name]; !ok {
+		return nil, fmt.Errorf("memfs: open %s: %w", name, os.ErrNotExist)
+	}
+	return &memHandle{fs: m, name: name}, nil
+}
+
+func (m *MemFS) ReadFile(name string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok {
+		return nil, fmt.Errorf("memfs: read %s: %w", name, os.ErrNotExist)
+	}
+	return append([]byte(nil), f.data...), nil
+}
+
+func (m *MemFS) Rename(oldname, newname string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[oldname]
+	if !ok {
+		return fmt.Errorf("memfs: rename %s: %w", oldname, os.ErrNotExist)
+	}
+	m.files[newname] = f
+	delete(m.files, oldname)
+	return nil
+}
+
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[name]; !ok {
+		return fmt.Errorf("memfs: remove %s: %w", name, os.ErrNotExist)
+	}
+	delete(m.files, name)
+	return nil
+}
+
+func (m *MemFS) List(dir string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	prefix := dir
+	if prefix != "" && !strings.HasSuffix(prefix, "/") {
+		prefix += "/"
+	}
+	var out []string
+	for name := range m.files {
+		if !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		rest := strings.TrimPrefix(name, prefix)
+		if rest != "" && !strings.Contains(rest, "/") {
+			out = append(out, rest)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func (m *MemFS) SyncDir(dir string) error { return nil }

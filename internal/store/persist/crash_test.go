@@ -1,0 +1,307 @@
+package persist
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"shareinsights/internal/dashboard"
+	"shareinsights/internal/store"
+	"shareinsights/internal/table"
+	"shareinsights/internal/vcs"
+)
+
+// crashWorkload drives a scripted mutation sequence against a store and
+// records what was acknowledged. The live components themselves ARE the
+// acked model: journal-before-install means they never hold an
+// unacknowledged mutation.
+type crashWorkload struct {
+	st    *Store
+	p     *dashboard.Platform
+	repo  *vcs.Repo
+	clock func() time.Time
+
+	adopted bool
+	// attemptedVersions maps catalog object name -> version -> content
+	// fingerprint, for every publish attempted (acked or not).
+	attemptedVersions map[string]map[int]string
+	// attemptedCache maps dash\x00source -> fingerprints attempted.
+	attemptedCache map[string]map[string]bool
+	// attemptedBlobs is every flow-file content ever committed.
+	attemptedBlobs map[string]bool
+	ackedOps       int
+}
+
+func tbl(i int) *table.Table { return sampleTable(i + 1) }
+
+func newCrashWorkload(st *Store) *crashWorkload {
+	w := &crashWorkload{
+		st:                st,
+		p:                 dashboard.NewPlatform(),
+		clock:             fixedClock(),
+		attemptedVersions: map[string]map[int]string{},
+		attemptedCache:    map[string]map[string]bool{},
+		attemptedBlobs:    map[string]bool{},
+	}
+	st.WirePlatform(w.p)
+	w.repo = vcs.NewRepo("alpha")
+	w.repo.SetClock(w.clock)
+	return w
+}
+
+func (w *crashWorkload) commit(msg, content string) error {
+	w.attemptedBlobs[content] = true
+	_, err := w.repo.Commit(vcs.DefaultBranch, "ann", msg, []byte(content))
+	return err
+}
+
+func (w *crashWorkload) publish(name string, t *table.Table) error {
+	next := 1
+	if cur, ok := w.p.Catalog.Resolve(name); ok {
+		next = cur.Version + 1
+	}
+	if w.attemptedVersions[name] == nil {
+		w.attemptedVersions[name] = map[int]string{}
+	}
+	w.attemptedVersions[name][next] = t.Fingerprint()
+	_, err := w.p.Catalog.Publish("alpha", name, t)
+	return err
+}
+
+func (w *crashWorkload) cachePut(src string, t *table.Table) error {
+	key := "alpha\x00" + src
+	if w.attemptedCache[key] == nil {
+		w.attemptedCache[key] = map[string]bool{}
+	}
+	w.attemptedCache[key][t.Fingerprint()] = true
+	w.p.LastGood.Put("alpha", src, t)
+	return nil // Put is best-effort by design; durability checked on recovery
+}
+
+// run executes the script, stopping at the first failed operation (after
+// a crash point fires every subsequent operation fails too).
+func (w *crashWorkload) run() {
+	steps := []func() error{
+		func() error { return w.commit("initial", "flow v1") },
+		func() error {
+			if err := w.st.AdoptRepo(w.repo); err != nil {
+				return err
+			}
+			w.adopted = true
+			return nil
+		},
+		func() error { return w.commit("second", "flow v2") },
+		func() error { return w.publish("sales", tbl(0)) },
+		func() error { return w.cachePut("raw", tbl(1)) },
+		func() error { return w.commit("third", "flow v3") },
+		func() error { return w.repo.Branch(vcs.DefaultBranch, "dev") },
+		func() error { return w.publish("sales", tbl(2)) },
+		func() error { return w.publish("metrics", tbl(3)) },
+		func() error { return w.commit("fourth", "flow v4") },
+		func() error { return w.cachePut("raw", tbl(4)) },
+		func() error { return w.p.Catalog.Remove("alpha", "metrics") },
+		func() error { return w.commit("fifth", "flow v5") },
+	}
+	for _, step := range steps {
+		if step() != nil {
+			return
+		}
+		w.ackedOps++
+	}
+}
+
+// verifyRecovery checks the recovered store against the workload's
+// acked state. exact demands byte-identical equality (every component
+// equals the acknowledged state); otherwise the recovered state may
+// additionally contain the single in-flight operation that was durable
+// but never acknowledged.
+func (w *crashWorkload) verifyRecovery(t *testing.T, name string, st2 *Store, exact bool) {
+	t.Helper()
+	p2 := dashboard.NewPlatform()
+	if err := st2.WirePlatform(p2); err != nil {
+		t.Fatalf("%s: wire recovered platform: %v", name, err)
+	}
+	recRepo := st2.Repos()["alpha"]
+
+	// VCS: every acknowledged commit and branch must be recovered
+	// byte-identically; nothing outside the attempted set may appear.
+	if w.adopted {
+		if recRepo == nil {
+			t.Fatalf("%s: adopted repo lost", name)
+		}
+		if exact && !recRepo.Equal(w.repo) {
+			t.Fatalf("%s: recovered repo differs from acked:\n%+v\nvs\n%+v", name, recRepo.State(), w.repo.State())
+		}
+		ast, rst := w.repo.State(), recRepo.State()
+		for hash, c := range ast.Commits {
+			rc, ok := rst.Commits[hash]
+			if !ok {
+				t.Fatalf("%s: acked commit %s lost", name, hash[:10])
+			}
+			if string(rst.Blobs[rc.Blob]) != string(ast.Blobs[c.Blob]) {
+				t.Fatalf("%s: commit %s content differs", name, hash[:10])
+			}
+		}
+		for b, tip := range ast.Branches {
+			if rst.Branches[b] != tip && !(!exact && rst.Branches[b] != "") {
+				t.Fatalf("%s: acked branch %s at %s, recovered %s", name, b, tip[:10], rst.Branches[b])
+			}
+		}
+		if len(rst.Commits) > len(ast.Commits)+1 {
+			t.Fatalf("%s: recovered %d commits, acked %d", name, len(rst.Commits), len(ast.Commits))
+		}
+		for _, c := range rst.Commits {
+			if !w.attemptedBlobs[string(rst.Blobs[c.Blob])] {
+				t.Fatalf("%s: recovered commit %s has never-attempted content", name, c.Hash[:10])
+			}
+		}
+	} else if recRepo != nil && exact {
+		t.Fatalf("%s: unadopted repo present after recovery", name)
+	}
+
+	// Catalog: recovered objects must come from the attempted set, and
+	// must match the acked catalog up to one in-flight divergence.
+	divergences := 0
+	seen := map[string]bool{}
+	for _, name2 := range p2.Catalog.Names() {
+		ro, _ := p2.Catalog.Resolve(name2)
+		seen[name2] = true
+		wantFP, ok := w.attemptedVersions[name2][ro.Version]
+		if !ok {
+			t.Fatalf("%s: recovered object %s@v%d never attempted", name, name2, ro.Version)
+		}
+		if ro.Data.Fingerprint() != wantFP {
+			t.Fatalf("%s: recovered object %s@v%d content differs", name, name2, ro.Version)
+		}
+		ao, ok := w.p.Catalog.Resolve(name2)
+		if !ok || ao.Version != ro.Version {
+			divergences++
+		}
+	}
+	for _, name2 := range w.p.Catalog.Names() {
+		if !seen[name2] {
+			divergences++
+		}
+	}
+	if exact && divergences != 0 {
+		t.Fatalf("%s: recovered catalog differs from acked (%d divergences)", name, divergences)
+	}
+	if divergences > 1 {
+		t.Fatalf("%s: %d catalog divergences; at most one in-flight op allowed", name, divergences)
+	}
+
+	// Cache: every recovered entry must be an attempted content.
+	p2.LastGood.Each(func(dash, src string, tb *table.Table) {
+		if !w.attemptedCache[dash+"\x00"+src][tb.Fingerprint()] {
+			t.Fatalf("%s: recovered cache entry %s/%s never attempted", name, dash, src)
+		}
+	})
+}
+
+// serviceable proves the recovered store accepts and persists new
+// mutations: commit + publish, reopen, verify.
+func serviceable(t *testing.T, name string, fs store.FS, st2 *Store) {
+	t.Helper()
+	p2 := dashboard.NewPlatform()
+	st2.WirePlatform(p2)
+	repo := st2.Repos()["alpha"]
+	if repo == nil {
+		repo = vcs.NewRepo("alpha")
+		repo.SetClock(fixedClock())
+		if err := st2.AdoptRepo(repo); err != nil {
+			t.Fatalf("%s: adopt after recovery: %v", name, err)
+		}
+	}
+	hash, err := repo.Commit(vcs.DefaultBranch, "bob", "post-crash", []byte("rebuilt"))
+	if err != nil {
+		t.Fatalf("%s: commit after recovery: %v", name, err)
+	}
+	if _, err := p2.Catalog.Publish("alpha", "post", sampleTable(2)); err != nil {
+		t.Fatalf("%s: publish after recovery: %v", name, err)
+	}
+	st2.Close()
+	st3, err := Open(fs, Options{Now: fixedClock(), CompactRecords: 3})
+	if err != nil {
+		t.Fatalf("%s: reopen after post-crash writes: %v", name, err)
+	}
+	defer st3.Close()
+	if _, err := st3.Repos()["alpha"].ContentAt(hash); err != nil {
+		t.Fatalf("%s: post-crash commit lost: %v", name, err)
+	}
+	p3 := dashboard.NewPlatform()
+	st3.WirePlatform(p3)
+	if _, ok := p3.Catalog.Resolve("post"); !ok {
+		t.Fatalf("%s: post-crash publish lost", name)
+	}
+}
+
+// TestCrashKillPointMatrix kills the store at every filesystem
+// operation the workload performs — every write (whole and mid-record),
+// fsync, file creation, rename and remove, both before and after the
+// operation applies — then recovers from the crash's durable image and
+// asserts the recovered state equals the acknowledged prefix.
+func TestCrashKillPointMatrix(t *testing.T) {
+	type variant struct {
+		op      store.Op
+		mode    store.Mode
+		partial int
+		policy  store.UnsyncedPolicy
+		exact   bool // recovery must equal acked state exactly
+	}
+	variants := []variant{
+		// The four canonical kill points under the conservative policy.
+		{store.OpWrite, store.Crash, 0, store.DropUnsynced, true},
+		{store.OpWrite, store.Crash, 7, store.DropUnsynced, true},       // mid-record torn write
+		{store.OpSync, store.Crash, 0, store.DropUnsynced, true},        // pre-fsync
+		{store.OpRename, store.Crash, 0, store.DropUnsynced, true},      // mid-rename
+		{store.OpRename, store.CrashAfter, 0, store.DropUnsynced, true}, // post-rename
+		// Directory-operation kill points.
+		{store.OpCreate, store.Crash, 0, store.DropUnsynced, true},
+		{store.OpRemove, store.Crash, 0, store.DropUnsynced, true},
+		{store.OpRemove, store.CrashAfter, 0, store.DropUnsynced, true},
+		// CrashAfter on data ops can leave one durable-but-unacked op.
+		{store.OpWrite, store.CrashAfter, 0, store.DropUnsynced, false},
+		{store.OpSync, store.CrashAfter, 0, store.DropUnsynced, false},
+		// Optimistic and torn page-cache policies: unsynced bytes may
+		// survive (whole or torn), recovery may include the in-flight op.
+		{store.OpWrite, store.Crash, 7, store.KeepUnsynced, false},
+		{store.OpWrite, store.Crash, 7, store.TornUnsynced, false},
+		{store.OpSync, store.Crash, 0, store.KeepUnsynced, false},
+		{store.OpSync, store.Crash, 0, store.TornUnsynced, false},
+	}
+	for _, v := range variants {
+		fired := 0
+		for after := 0; ; after++ {
+			name := fmt.Sprintf("%s/mode=%d/partial=%d/policy=%d/after=%d", v.op, v.mode, v.partial, v.policy, after)
+			ffs := store.NewFaultFS()
+			ffs.Inject(store.Fault{Op: v.op, After: after, Mode: v.mode, Partial: v.partial})
+			// Small compaction threshold so snapshot rotations (create,
+			// rename, remove) happen inside the workload window.
+			st, err := Open(ffs, Options{Now: fixedClock(), CompactRecords: 3})
+			var w *crashWorkload
+			if err == nil {
+				w = newCrashWorkload(st)
+				w.run()
+			}
+			if !ffs.Crashed() {
+				if err != nil {
+					t.Fatalf("%s: open failed without crash: %v", name, err)
+				}
+				break // swept past the last matching operation
+			}
+			fired++
+			durable := ffs.Durable(v.policy)
+			st2, err := Open(durable, Options{Now: fixedClock(), CompactRecords: 3})
+			if err != nil {
+				t.Fatalf("%s: recovery open failed: %v", name, err)
+			}
+			if w != nil {
+				w.verifyRecovery(t, name, st2, v.exact)
+			}
+			serviceable(t, name, durable, st2)
+		}
+		if fired == 0 {
+			t.Errorf("variant %s/mode=%d never fired", v.op, v.mode)
+		}
+	}
+}

@@ -49,6 +49,7 @@ type Repo struct {
 	branches map[string]string
 	now      func() time.Time
 	seq      int
+	journal  func(Entry) error
 }
 
 // DefaultBranch is where initial commits land.
@@ -69,11 +70,9 @@ func NewRepo(name string) *Repo {
 // which replays competition time).
 func (r *Repo) SetClock(now func() time.Time) { r.now = now }
 
-func (r *Repo) putBlob(content []byte) string {
+func blobID(content []byte) string {
 	h := sha256.Sum256(content)
-	id := hex.EncodeToString(h[:])
-	r.blobs[id] = append([]byte(nil), content...)
-	return id
+	return hex.EncodeToString(h[:])
 }
 
 // Commit records content on a branch (created if absent) and returns the
@@ -89,8 +88,8 @@ func (r *Repo) Commit(branch, author, message string, content []byte) (string, e
 }
 
 func (r *Repo) commitLocked(branch, author, message string, content []byte, parents []string) (string, error) {
-	blob := r.putBlob(content)
-	r.seq++
+	blob := blobID(content)
+	seq := r.seq + 1
 	c := &Commit{
 		Parents: parents,
 		Author:  author,
@@ -101,8 +100,17 @@ func (r *Repo) commitLocked(branch, author, message string, content []byte, pare
 	// The hash covers parents, metadata, blob and a sequence number so
 	// identical content committed twice still gets distinct identity.
 	h := sha256.Sum256([]byte(fmt.Sprintf("%v|%s|%s|%s|%d|%d",
-		parents, author, message, blob, c.Time.UnixNano(), r.seq)))
+		parents, author, message, blob, c.Time.UnixNano(), seq)))
 	c.Hash = hex.EncodeToString(h[:])
+	// Journal first: the commit exists in memory only once it is durable,
+	// so a caller that sees the hash will see it again after a crash.
+	if r.journal != nil {
+		if err := r.journal(Entry{Kind: EntryCommit, Branch: branch, Commit: c, Content: content, Seq: seq}); err != nil {
+			return "", fmt.Errorf("vcs: journal commit: %w", err)
+		}
+	}
+	r.seq = seq
+	r.blobs[blob] = append([]byte(nil), content...)
 	r.commits[c.Hash] = c
 	r.branches[branch] = c.Hash
 	return c.Hash, nil
@@ -118,6 +126,11 @@ func (r *Repo) Branch(from, name string) error {
 	}
 	if _, exists := r.branches[name]; exists {
 		return fmt.Errorf("vcs: branch %q already exists", name)
+	}
+	if r.journal != nil {
+		if err := r.journal(Entry{Kind: EntryBranch, Branch: name, Tip: tip}); err != nil {
+			return fmt.Errorf("vcs: journal branch: %w", err)
+		}
 	}
 	r.branches[name] = tip
 	return nil

@@ -38,6 +38,8 @@ import (
 	"shareinsights/internal/schema"
 	"shareinsights/internal/server"
 	"shareinsights/internal/share"
+	"shareinsights/internal/store"
+	"shareinsights/internal/store/persist"
 	"shareinsights/internal/table"
 	"shareinsights/internal/table/colstore"
 	"shareinsights/internal/task"
@@ -157,7 +159,25 @@ func NewConnectorRegistry(opts ConnectorOptions) *ConnectorRegistry {
 }
 
 // NewServer wraps a platform in the REST API of §4.3/§4.4.
-func NewServer(p *Platform) *Server { return server.New(p) }
+func NewServer(p *Platform, opts ...ServerOption) *Server { return server.New(p, opts...) }
+
+// ServerOption configures NewServer.
+type ServerOption = server.Option
+
+// NewStore opens the durable state store rooted at dataDir: WAL +
+// snapshot persistence with crash recovery for dashboard repositories,
+// the shared catalog and last-good source tables (docs/DURABILITY.md).
+// metrics may be nil; pass the platform's registry to expose the
+// si_store_* series. Attach the store with WithStore.
+func NewStore(dataDir string, metrics *MetricsRegistry) (*Store, error) {
+	return persist.Open(store.NewOSFS(dataDir), persist.Options{Metrics: metrics})
+}
+
+// Store is the durable state store; see NewStore.
+type Store = persist.Store
+
+// WithStore attaches a durable state store to a server.
+func WithStore(st *Store) ServerOption { return server.WithStore(st) }
 
 // NewRepo creates a flow-file repository for the branch-and-merge
 // collaboration model of §4.5.1.
