@@ -2,10 +2,18 @@
 //
 //	shareinsights run <flow-file>        compile, run, print endpoint data
 //	shareinsights validate <flow-file>   parse and cross-check the sections
-//	shareinsights lint [-json] <flow-file>
+//	shareinsights lint [-json] [-fail-on sev] <flow-file>
 //	                                     static analysis: type-check every
 //	                                     expression, find dead entities,
-//	                                     bad properties (docs/LINTING.md)
+//	                                     bad properties (docs/LINTING.md);
+//	                                     exits 1 when a finding at or above
+//	                                     sev (error|warning|info) exists
+//	shareinsights check [-json] <flow-file>
+//	                                     lint plus the inferred facts: per-
+//	                                     object column types, constants,
+//	                                     value intervals, cardinality
+//	                                     bounds, filter verdicts and dead
+//	                                     columns (docs/TYPES.md)
 //	shareinsights fmt <flow-file>        print the canonical form
 //	shareinsights plan <flow-file>       print the compiled DAG
 //	shareinsights explore <flow-file>    run and print every endpoint table
@@ -34,12 +42,15 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"sort"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
 	"shareinsights"
 	"shareinsights/internal/analyze"
+	"shareinsights/internal/analyze/flowcheck"
 	"shareinsights/internal/dag"
 	"shareinsights/internal/diagnose"
 	"shareinsights/internal/profile"
@@ -111,22 +122,15 @@ func main() {
 	case "lint":
 		fs := flag.NewFlagSet("lint", flag.ExitOnError)
 		asJSON := fs.Bool("json", false, "emit findings as JSON")
+		failOn := fs.String("fail-on", "error", "exit nonzero when a finding at or above this severity exists: error, warning or info")
 		fs.Parse(args)
+		gate, ok := analyze.ParseSeverity(*failOn)
+		if !ok {
+			fatalUsage("bad -fail-on %q: want error, warning or info", *failOn)
+		}
 		path := mustArg(fs.Args(), "flow file")
 		f := mustParse(path)
-		p := platformFor(path)
-		report := analyze.Lint(f, analyze.Options{
-			Tasks:      p.Tasks,
-			Connectors: p.Connectors,
-			Shared:     p.Catalog.ResolveSchema,
-			Published: func() []analyze.PublishedObject {
-				var out []analyze.PublishedObject
-				for _, obj := range p.Catalog.Objects() {
-					out = append(out, analyze.PublishedObject{Name: obj.Name, Dashboard: obj.Dashboard})
-				}
-				return out
-			},
-		})
+		report, _ := lintFile(f, path)
 		if *asJSON {
 			enc := json.NewEncoder(os.Stdout)
 			enc.SetIndent("", "  ")
@@ -142,6 +146,28 @@ func main() {
 				fmt.Printf("%s: clean\n", f.Name)
 			} else {
 				fmt.Printf("%s: %d error(s), %d warning(s), %d info(s)\n", f.Name, errs, warns, infos)
+			}
+		}
+		if report.HasAtLeast(gate) {
+			os.Exit(1)
+		}
+	case "check":
+		fs := flag.NewFlagSet("check", flag.ExitOnError)
+		asJSON := fs.Bool("json", false, "emit findings and facts as JSON")
+		fs.Parse(args)
+		path := mustArg(fs.Args(), "flow file")
+		f := mustParse(path)
+		report, facts := lintFile(f, path)
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(map[string]any{"findings": report.Findings, "facts": facts}); err != nil {
+				log.Fatal(err)
+			}
+		} else {
+			printFacts(f.Name, facts)
+			for _, fd := range report.Findings {
+				fmt.Println(fd)
 			}
 		}
 		if report.HasErrors() {
@@ -318,13 +344,107 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: shareinsights {run|validate|lint|fmt|plan|explore|render|time|profile|serve|library} [args]")
+	fmt.Fprintln(os.Stderr, "usage: shareinsights {run|validate|lint|check|fmt|plan|explore|render|time|profile|serve|library} [args]")
+	os.Exit(2)
+}
+
+// lintFile runs the static analyzer with the platform context rooted at
+// the flow file's directory, returning the report and the inferred
+// facts.
+func lintFile(f *shareinsights.FlowFile, path string) (*analyze.Report, *flowcheck.Facts) {
+	p := platformFor(path)
+	return analyze.LintWithFacts(f, analyze.Options{
+		Tasks:      p.Tasks,
+		Connectors: p.Connectors,
+		Shared:     p.Catalog.ResolveSchema,
+		Published: func() []analyze.PublishedObject {
+			var out []analyze.PublishedObject
+			for _, obj := range p.Catalog.Objects() {
+				out = append(out, analyze.PublishedObject{Name: obj.Name, Dashboard: obj.Dashboard})
+			}
+			return out
+		},
+	})
+}
+
+// printFacts renders the typed per-object summary of `shareinsights
+// check`: column types with constants and value bounds, row-count
+// bounds, filter verdicts, and dead columns.
+func printFacts(name string, facts *flowcheck.Facts) {
+	fmt.Printf("%s: %d data object(s)\n", name, len(facts.Objects))
+	objs := make([]string, 0, len(facts.Objects))
+	for obj := range facts.Objects {
+		objs = append(objs, obj)
+	}
+	sort.Strings(objs)
+	for _, obj := range objs {
+		of := facts.Objects[obj]
+		line := fmt.Sprintf("D.%s  <- %s  rows %s", obj, of.Producer, cardString(of.Card))
+		if of.Verdict != "" {
+			line += "  [" + of.Verdict + "]"
+		}
+		fmt.Println(line)
+		cols := make([]string, 0, len(of.Columns))
+		for c := range of.Columns {
+			cols = append(cols, c)
+		}
+		sort.Strings(cols)
+		live := map[string]bool{}
+		for _, c := range of.Live {
+			live[c] = true
+		}
+		for _, c := range cols {
+			cf := of.Columns[c]
+			line := fmt.Sprintf("  %-20s %s", c, cf.Type)
+			if cf.Const != nil {
+				line += fmt.Sprintf("  = %s", *cf.Const)
+			} else if cf.Lo != nil || cf.Hi != nil {
+				lo, hi := "-inf", "+inf"
+				if cf.Lo != nil {
+					lo = strconv.FormatFloat(*cf.Lo, 'g', -1, 64)
+				}
+				if cf.Hi != nil {
+					hi = strconv.FormatFloat(*cf.Hi, 'g', -1, 64)
+				}
+				line += fmt.Sprintf("  in [%s, %s]", lo, hi)
+			}
+			if of.Live != nil && !live[c] {
+				line += "  (unused)"
+			}
+			fmt.Println(line)
+		}
+	}
+	for _, d := range facts.Dead {
+		role := "fetched"
+		if d.Computed {
+			role = "computed"
+		}
+		fmt.Printf("dead column: D.%s.%s (%s, never read downstream)\n", d.Object, d.Column, role)
+	}
+}
+
+// cardString renders a row-count bound compactly: "0..100", ">=5", "?".
+func cardString(c flowcheck.Card) string {
+	if c.Unbounded {
+		if c.Min > 0 {
+			return fmt.Sprintf(">=%d", c.Min)
+		}
+		return "?"
+	}
+	return fmt.Sprintf("%d..%d", c.Min, c.Max)
+}
+
+// fatalUsage reports a usage-level problem (bad argument, unreadable
+// or unparsable input) and exits 2, distinguishing it from exit 1,
+// which lint/check reserve for "findings at or above the gate".
+func fatalUsage(format string, args ...any) {
+	log.Printf(format, args...)
 	os.Exit(2)
 }
 
 func mustArg(args []string, what string) string {
 	if len(args) < 1 {
-		log.Fatalf("missing %s argument", what)
+		fatalUsage("missing %s argument", what)
 	}
 	return args[0]
 }
@@ -332,12 +452,12 @@ func mustArg(args []string, what string) string {
 func mustParse(path string) *shareinsights.FlowFile {
 	src, err := os.ReadFile(path)
 	if err != nil {
-		log.Fatal(err)
+		fatalUsage("%v", err)
 	}
 	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
 	f, err := shareinsights.ParseFlowFile(name, string(src))
 	if err != nil {
-		log.Fatal(err)
+		fatalUsage("%v", err)
 	}
 	return f
 }

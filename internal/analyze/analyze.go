@@ -21,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"shareinsights/internal/analyze/flowcheck"
 	"shareinsights/internal/connector"
 	"shareinsights/internal/dag"
 	"shareinsights/internal/diagnose"
@@ -109,6 +110,31 @@ func (r *Report) HasErrors() bool {
 	return false
 }
 
+// HasAtLeast reports whether any finding is at or above sev — the
+// `lint -fail-on` gating condition (HasAtLeast(Error) == HasErrors).
+func (r *Report) HasAtLeast(sev Severity) bool {
+	for _, f := range r.Findings {
+		if f.Severity >= sev {
+			return true
+		}
+	}
+	return false
+}
+
+// ParseSeverity maps a severity name ("error", "warning", "info") to its
+// level; ok is false for anything else.
+func ParseSeverity(s string) (Severity, bool) {
+	switch s {
+	case "error":
+		return Error, true
+	case "warning":
+		return Warning, true
+	case "info":
+		return Info, true
+	}
+	return Info, false
+}
+
 // Counts returns the number of errors, warnings and infos.
 func (r *Report) Counts() (errors, warnings, infos int) {
 	for _, f := range r.Findings {
@@ -138,6 +164,11 @@ type Options struct {
 	// their owning dashboards, for the FL044 publish-collision check
 	// (may be nil).
 	Published func() []PublishedObject
+	// SourceScopes seeds column facts for source data objects whose true
+	// types the caller knows (the differential fuzzer provides its
+	// generator's types; production lint leaves sources unknown, exactly
+	// as before).
+	SourceScopes map[string]flowcheck.Scope
 }
 
 // PublishedObject identifies one existing published object for FL044.
@@ -150,14 +181,25 @@ type PublishedObject struct {
 
 // Lint analyzes the file and returns every finding, ordered by line.
 func Lint(f *flowfile.File, opts Options) *Report {
+	r, _ := LintWithFacts(f, opts)
+	return r
+}
+
+// LintWithFacts analyzes the file and additionally returns the flowcheck
+// fact export — per-object column types, constants, intervals,
+// cardinality bounds and liveness — for `shareinsights check`, the check
+// endpoint and the optimizer.
+func LintWithFacts(f *flowfile.File, opts Options) (*Report, *flowcheck.Facts) {
 	l := &linter{
-		f:       f,
-		opts:    opts,
-		report:  &Report{},
-		schemas: map[string]*schema.Schema{},
-		types:   map[string]typeEnv{},
-		specs:   map[string]task.Spec{},
-		broken:  map[string]bool{},
+		f:        f,
+		opts:     opts,
+		report:   &Report{},
+		schemas:  map[string]*schema.Schema{},
+		scopes:   map[string]flowcheck.Scope{},
+		cards:    map[string]flowcheck.Card{},
+		specs:    map[string]task.Spec{},
+		broken:   map[string]bool{},
+		flowRecs: map[int]*chainRec{},
 	}
 	l.validation()
 	l.parseTasks()
@@ -168,6 +210,7 @@ func Lint(f *flowfile.File, opts Options) *Report {
 	l.checkColumnarProp()
 	l.checkPublish()
 	l.checkDeadEntities()
+	l.checkDeadColumns()
 	sort.SliceStable(l.report.Findings, func(i, j int) bool {
 		a, b := l.report.Findings[i], l.report.Findings[j]
 		if a.Line != b.Line {
@@ -178,7 +221,61 @@ func Lint(f *flowfile.File, opts Options) *Report {
 		}
 		return a.Entity < b.Entity
 	})
-	return l.report
+	return l.report, l.exportFacts()
+}
+
+// exportFacts assembles the stable fact structure from the walk's
+// per-object results and the liveness pass.
+func (l *linter) exportFacts() *flowcheck.Facts {
+	facts := flowcheck.NewFacts()
+	producer := map[string]string{}
+	verdict := map[string]string{}
+	for i, fl := range l.f.Flows {
+		rec := l.flowRecs[i]
+		if rec == nil || !rec.ok {
+			continue
+		}
+		p, v := "flow", ""
+		if n := len(rec.stages); n > 0 {
+			last := rec.stages[n-1]
+			p = "T." + last.name
+			v = last.verdict
+		}
+		for _, o := range fl.Outputs {
+			producer[o.Name] = p
+			verdict[o.Name] = v
+		}
+	}
+	for name, sc := range l.scopes {
+		prod, ok := producer[name]
+		if !ok {
+			prod = "source"
+		}
+		card, haveCard := l.cards[name]
+		if !haveCard {
+			card = flowcheck.CardUnknown()
+		}
+		facts.Record(name, prod, sc, card, verdict[name])
+		if l.full[name] {
+			all := map[string]bool{}
+			if s := l.schemas[name]; s != nil {
+				for _, n := range s.Names() {
+					all[n] = true
+				}
+			}
+			facts.SetLive(name, all)
+		} else if l.consumed[name] {
+			facts.SetLive(name, l.live[name])
+			if s := l.schemas[name]; s != nil {
+				for _, col := range s.Names() {
+					if !l.live[name][col] {
+						facts.AddDead(name, col, prod != "source")
+					}
+				}
+			}
+		}
+	}
+	return facts
 }
 
 // linter holds one run's state.
@@ -188,13 +285,22 @@ type linter struct {
 	report *Report
 	// schemas maps resolved data-object names to their column structure.
 	schemas map[string]*schema.Schema
-	// types maps resolved data-object names to inferred column types.
-	types map[string]typeEnv
+	// scopes maps resolved data-object names to flowcheck column facts.
+	scopes map[string]flowcheck.Scope
+	// cards maps resolved data-object names to row-count bounds.
+	cards map[string]flowcheck.Card
 	// specs maps task names to parsed specs (absent on parse failure).
 	specs map[string]task.Spec
 	// broken marks tasks whose configuration failed to parse, so
 	// pipelines through them are skipped without double-reporting.
 	broken map[string]bool
+	// flowRecs keeps each flow's walked chain for liveness and facts.
+	flowRecs map[int]*chainRec
+	// full / live / consumed are the liveness pass results (see
+	// checkDeadColumns).
+	full     map[string]bool
+	live     map[string]map[string]bool
+	consumed map[string]bool
 }
 
 func (l *linter) add(f Finding) { l.report.Findings = append(l.report.Findings, f) }
@@ -207,24 +313,24 @@ func (l *linter) validation() {
 		return
 	}
 	for _, d := range diagnose.Diagnose(l.f, err) {
-		if resilienceProblem(d.Problem) {
-			// Re-reported as FL042 with did-you-mean hints by
-			// checkResilienceProps; skipping here avoids duplicates.
+		if reclaimedCodes[d.Code] {
+			// A structural problem some specific rule re-reports with a
+			// rule ID and did-you-mean hints (FL042 resilience, FL043
+			// columnar); skipping it here keeps each problem reported
+			// exactly once. The code travels with the Problem from
+			// flowfile.Validate, so the suppression cannot drift out of
+			// sync with message wording.
 			continue
 		}
 		l.add(Finding{Rule: "FL000", Severity: Error, Entity: d.Entity, Line: d.Line, Message: d.Problem, Hint: d.Hint})
 	}
 }
 
-// resilienceProblem matches the Validate messages for bad
-// on_error/timeout/retries details (flowfile/validate.go keeps the
-// wording in sync).
-func resilienceProblem(msg string) bool {
-	return strings.Contains(msg, "on_error must be") ||
-		strings.Contains(msg, "timeout must be") ||
-		strings.Contains(msg, "is not a duration") ||
-		strings.Contains(msg, "retries must be") ||
-		strings.Contains(msg, "columnar must be")
+// reclaimedCodes are the flowfile.Problem codes a dedicated rule
+// re-reports, keyed by the code each Validate problem carries.
+var reclaimedCodes = map[string]bool{
+	flowfile.ProblemResilience: true, // FL042: on_error / timeout / retries
+	flowfile.ProblemColumnar:   true, // FL043: columnar
 }
 
 // parseTasks type-checks every task definition against the registry:
@@ -451,9 +557,8 @@ func (l *linter) checkWidgets() {
 		if w.Source == nil {
 			continue
 		}
-		out, env, resolved := l.walkPipeline(w.Source, entity, w.Line)
-		_ = env
-		if !resolved || out == nil {
+		out, _, _, rec := l.walkPipeline(w.Source, entity, w.Line)
+		if !rec.ok || out == nil {
 			continue
 		}
 		for _, a := range desc.DataAttrs {

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"shareinsights/internal/analyze/flowcheck"
 	"shareinsights/internal/connector"
 	"shareinsights/internal/flowfile"
 	"shareinsights/internal/task"
@@ -705,5 +706,221 @@ T:
 	}
 	if got := findRule(report, "FL000"); len(got) != 0 {
 		t.Fatalf("bad on_error duplicated as FL000; report:\n%s", renderReport(report))
+	}
+}
+
+// TestColumnarFindingsNotDuplicatedAsFL000 pins the same dedup for the
+// columnar detail: a bad columnar: value surfaces once, as FL043.
+func TestColumnarFindingsNotDuplicatedAsFL000(t *testing.T) {
+	report := lintSrc(t, `
+D:
+  src: [region, amount]
+D.src:
+  source: mem:src.csv
+  columnar: never
+F:
+  +D.out: D.src | T.agg
+T:
+  agg:
+    type: groupby
+    groupby: [region]
+`)
+	if got := findRule(report, "FL043"); len(got) != 1 {
+		t.Fatalf("FL043 findings = %d, want 1; report:\n%s", len(got), renderReport(report))
+	}
+	if got := findRule(report, "FL000"); len(got) != 0 {
+		t.Fatalf("bad columnar duplicated as FL000; report:\n%s", renderReport(report))
+	}
+}
+
+// TestConstantFilterVerdicts pins FL063: provably-constant filter
+// predicates are reported with their direction.
+func TestConstantFilterVerdicts(t *testing.T) {
+	report := lintSrc(t, `
+D:
+  src: [region, amount]
+D.src:
+  source: mem:src.csv
+F:
+  +D.out: D.src | T.nothing
+T:
+  nothing:
+    type: filter_by
+    filter_expression: 1 > 2
+`)
+	got := findRule(report, "FL063")
+	if len(got) != 1 || !strings.Contains(got[0].Message, "provably false") {
+		t.Fatalf("FL063 = %v; report:\n%s", got, renderReport(report))
+	}
+
+	report = lintSrc(t, `
+D:
+  src: [region, amount]
+D.src:
+  source: mem:src.csv
+F:
+  +D.out: D.src | T.everything
+T:
+  everything:
+    type: filter_by
+    filter_expression: 1 == 1 or region == 'east'
+`)
+	got = findRule(report, "FL063")
+	if len(got) != 1 || !strings.Contains(got[0].Message, "provably true") {
+		t.Fatalf("FL063 = %v; report:\n%s", got, renderReport(report))
+	}
+}
+
+// TestDeadComputedColumn pins FL064: a computed column nothing reads is
+// reported; the same column becomes clean once a widget consumes the
+// producing object (widget demand is conservatively all-columns).
+func TestDeadComputedColumn(t *testing.T) {
+	const flow = `
+D:
+  src: [region, amount]
+D.src:
+  source: mem:src.csv
+F:
+  D.mid: D.src | T.extra
+  +D.out: D.mid | T.agg
+T:
+  extra:
+    type: map
+    operator: expr
+    expression: amount * 2
+    output: unused_double
+  agg:
+    type: groupby
+    groupby: [region]
+    aggregates:
+      - operator: sum
+        apply_on: amount
+        out_field: total
+`
+	report := lintSrc(t, flow)
+	got := findRule(report, "FL064")
+	if len(got) != 1 || !strings.Contains(got[0].Message, `"unused_double"`) {
+		t.Fatalf("FL064 = %v; report:\n%s", got, renderReport(report))
+	}
+
+	// A widget on D.mid consumes every column: the finding must vanish.
+	report = lintSrc(t, flow+`
+W:
+  peek:
+    type: table
+    source: D.mid
+`)
+	if got := findRule(report, "FL064"); len(got) != 0 {
+		t.Fatalf("FL064 fired despite widget consumer; report:\n%s", renderReport(report))
+	}
+}
+
+// TestMapExprUnknownColumn pins the fuzzer-found gap: a map expression
+// naming a missing column must fail lint (FL003), not compile and then
+// die at run time.
+func TestMapExprUnknownColumn(t *testing.T) {
+	report := lintSrc(t, `
+D:
+  src: [region, amount]
+D.src:
+  source: mem:src.csv
+F:
+  +D.out: D.src | T.bad
+T:
+  bad:
+    type: map
+    operator: expr
+    expression: amonut * 2
+    output: double
+`)
+	got := findRule(report, "FL003")
+	if len(got) != 1 || got[0].Severity != Error {
+		t.Fatalf("FL003 = %v; report:\n%s", got, renderReport(report))
+	}
+	if !strings.Contains(got[0].Hint, `"amount"`) {
+		t.Fatalf("missing did-you-mean hint: %v", got[0])
+	}
+}
+
+// TestSeverityGate pins the lint -fail-on contract helpers.
+func TestSeverityGate(t *testing.T) {
+	r := &Report{Findings: []Finding{{Rule: "FL051", Severity: Info}, {Rule: "FL004", Severity: Warning}}}
+	if r.HasAtLeast(Error) {
+		t.Errorf("HasAtLeast(Error) true without errors")
+	}
+	if !r.HasAtLeast(Warning) || !r.HasAtLeast(Info) {
+		t.Errorf("HasAtLeast misses warning/info findings")
+	}
+	if s, ok := ParseSeverity("warning"); !ok || s != Warning {
+		t.Errorf("ParseSeverity(warning) = %v, %v", s, ok)
+	}
+	if _, ok := ParseSeverity("fatal"); ok {
+		t.Errorf("ParseSeverity accepted junk")
+	}
+}
+
+// TestFactsExport pins the stable Facts contract on a small typed flow:
+// inferred types, the propagated constant, the row bound from limit, and
+// the fetched-but-unused source column.
+func TestFactsExport(t *testing.T) {
+	f, err := flowfile.Parse("demo", `
+D:
+  src: [region, amount, junk]
+D.src:
+  source: mem:src.csv
+F:
+  +D.out: D.src | T.tag | T.keep | T.cut
+T:
+  tag:
+    type: map
+    operator: constant
+    output: label
+    value: "42"
+  keep:
+    type: project
+    columns: [region, amount, label]
+  cut:
+    type: limit
+    limit: 10
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, facts := LintWithFacts(f, Options{
+		Tasks:      task.NewRegistry(),
+		Connectors: connector.NewRegistry(connector.Options{DataDir: "."}),
+		SourceScopes: map[string]flowcheck.Scope{"src": {
+			"region": {Type: flowcheck.Type{Kind: flowcheck.KString}},
+			"amount": {Type: flowcheck.Type{Kind: flowcheck.KInt, Nullable: true}},
+			"junk":   {Type: flowcheck.Type{Kind: flowcheck.KString}},
+		}},
+	})
+	if report.HasErrors() {
+		t.Fatalf("unexpected errors:\n%s", renderReport(report))
+	}
+	out := facts.Objects["out"]
+	if out == nil {
+		t.Fatalf("no facts for D.out; have %v", facts.Objects)
+	}
+	if out.Producer != "T.cut" {
+		t.Errorf("producer = %q, want T.cut", out.Producer)
+	}
+	if out.Card.Unbounded || out.Card.Max != 10 {
+		t.Errorf("card = %+v, want max 10", out.Card)
+	}
+	if got := out.Columns["label"]; got.Type != "int" || got.Const == nil || *got.Const != "42" {
+		t.Errorf("label facts = %+v, want const int 42", got)
+	}
+	if got := out.Columns["amount"]; got.Type != "int?" {
+		t.Errorf("amount type = %q, want int?", got.Type)
+	}
+	var sawJunk bool
+	for _, d := range facts.Dead {
+		if d.Object == "src" && d.Column == "junk" && !d.Computed {
+			sawJunk = true
+		}
+	}
+	if !sawJunk {
+		t.Errorf("fetched-but-unused src.junk not in dead facts: %+v", facts.Dead)
 	}
 }

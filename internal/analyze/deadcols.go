@@ -1,0 +1,178 @@
+package analyze
+
+import (
+	"fmt"
+
+	"shareinsights/internal/analyze/flowcheck"
+	"shareinsights/internal/flowfile"
+	"shareinsights/internal/task"
+)
+
+// checkDeadColumns is the backward liveness pass: starting from what the
+// outside world can observe (endpoints, published objects, widget
+// bindings, pipelines the walk could not analyze — all conservatively
+// fully live), it propagates column demand backward through every walked
+// flow and reports FL064 for columns a task computes that no downstream
+// consumer ever reads. Source columns that are fetched but unused are
+// recorded as facts only (projection-pushdown input for the optimizer),
+// not findings — the flow author often cannot change a source's schema.
+func (l *linter) checkDeadColumns() {
+	l.full = map[string]bool{}
+	l.live = map[string]map[string]bool{}
+	l.consumed = map[string]bool{}
+
+	// Externally visible objects need every column.
+	for _, name := range l.f.DataOrder {
+		d := l.f.Data[name]
+		if d.Endpoint || d.Publish != "" {
+			l.full[name] = true
+		}
+	}
+	// Widgets may render any column of their source pipeline's inputs;
+	// their demand is not tracked column-by-column.
+	for _, wname := range l.f.WidgetOrder {
+		if w := l.f.Widgets[wname]; w.Source != nil {
+			for _, in := range w.Source.Inputs {
+				l.full[in.Name] = true
+				l.consumed[in.Name] = true
+			}
+		}
+	}
+	// A flow the walk could not analyze may read anything.
+	for i, fl := range l.f.Flows {
+		if fl.Pipeline == nil {
+			continue
+		}
+		for _, in := range fl.Pipeline.Inputs {
+			l.consumed[in.Name] = true
+		}
+		if rec := l.flowRecs[i]; rec == nil || !rec.ok {
+			for _, in := range fl.Pipeline.Inputs {
+				l.full[in.Name] = true
+			}
+		}
+	}
+
+	lookup := l.taskLookup()
+	for changed := true; changed; {
+		changed = false
+		for i, fl := range l.f.Flows {
+			rec := l.flowRecs[i]
+			if rec == nil || !rec.ok {
+				continue
+			}
+			sets, _ := l.backProp(rec, lookup, l.outLive(fl.Outputs))
+			for j, name := range rec.inputs {
+				if j >= len(sets) || l.full[name] {
+					continue
+				}
+				if l.live[name] == nil {
+					l.live[name] = map[string]bool{}
+				}
+				for c := range sets[j] {
+					if !l.live[name][c] {
+						l.live[name][c] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// FL064: a computed column nothing downstream reads. Deduplicated by
+	// task and column — a task shared by several flows reports once.
+	seen := map[string]bool{}
+	for i, fl := range l.f.Flows {
+		rec := l.flowRecs[i]
+		if rec == nil || !rec.ok {
+			continue
+		}
+		_, liveAfter := l.backProp(rec, lookup, l.outLive(fl.Outputs))
+		for k, st := range rec.stages {
+			for _, c := range computedCols(st.spec) {
+				if liveAfter[k][c] || seen[st.name+"\x00"+c] {
+					continue
+				}
+				seen[st.name+"\x00"+c] = true
+				l.add(Finding{Rule: "FL064", Severity: Info, Entity: "T." + st.name, Line: st.def.Line,
+					Message: fmt.Sprintf("column %q is computed but never used downstream — no endpoint, widget, filter or later task reads it", c),
+					Hint:    "drop the column, or remove the task if nothing else needs it"})
+			}
+		}
+	}
+}
+
+// outLive is the union of column demand over a flow's output objects; a
+// fully-live output expands to its whole schema.
+func (l *linter) outLive(outs []flowfile.Ref) map[string]bool {
+	demand := map[string]bool{}
+	for _, o := range outs {
+		if l.full[o.Name] {
+			if s := l.schemas[o.Name]; s != nil {
+				for _, n := range s.Names() {
+					demand[n] = true
+				}
+			}
+			continue
+		}
+		for c := range l.live[o.Name] {
+			demand[c] = true
+		}
+	}
+	return demand
+}
+
+// backProp pushes a demand set backward through one walked chain. It
+// returns the per-pipeline-input demand and, for FL064, the demand set
+// live immediately after each stage.
+func (l *linter) backProp(rec *chainRec, lookup flowcheck.TaskLookup, liveOut map[string]bool) ([]map[string]bool, []map[string]bool) {
+	liveAfter := make([]map[string]bool, len(rec.stages))
+	cur := liveOut
+	for k := len(rec.stages) - 1; k >= 0; k-- {
+		liveAfter[k] = cur
+		st := rec.stages[k]
+		sets := flowcheck.LiveIn(st.spec, st.def, lookup, st.ins, cur)
+		if k == 0 {
+			return sets, liveAfter
+		}
+		if len(sets) > 0 {
+			cur = sets[0]
+		} else {
+			cur = map[string]bool{}
+		}
+	}
+	// No stages: every input feeds the output unchanged.
+	sets := make([]map[string]bool, len(rec.inputs))
+	for i := range sets {
+		c := map[string]bool{}
+		for k := range liveOut {
+			c[k] = true
+		}
+		sets[i] = c
+	}
+	return sets, liveAfter
+}
+
+// computedCols names the columns a stage derives (as opposed to carries):
+// map and parallel operator outputs and group-by aggregate fields.
+func computedCols(sp task.Spec) []string {
+	switch t := sp.(type) {
+	case *task.MapSpec:
+		return t.OutColumns()
+	case *task.ParallelSpec:
+		var out []string
+		for _, sub := range t.Subs {
+			if ms, ok := sub.(*task.MapSpec); ok {
+				out = append(out, ms.OutColumns()...)
+			}
+		}
+		return out
+	case *task.GroupBySpec:
+		var out []string
+		for _, a := range t.Aggs {
+			out = append(out, a.OutField)
+		}
+		return out
+	}
+	return nil
+}

@@ -5,12 +5,35 @@ import (
 	"regexp"
 	"strings"
 
+	"shareinsights/internal/analyze/flowcheck"
 	"shareinsights/internal/dag"
 	"shareinsights/internal/diagnose"
+	"shareinsights/internal/expr"
 	"shareinsights/internal/flowfile"
 	"shareinsights/internal/schema"
 	"shareinsights/internal/task"
 )
+
+// stageRec is one walked stage, kept for the backward liveness pass and
+// the facts export.
+type stageRec struct {
+	name string
+	spec task.Spec
+	def  *flowfile.TaskDef
+	// ins snapshots the stage's inputs (names, schemas, scopes) before it
+	// ran; out is its bound output schema.
+	ins []flowcheck.Input
+	out *schema.Schema
+	// verdict is the filter constant-predicate verdict, "" otherwise.
+	verdict string
+}
+
+// chainRec is one walked pipeline: its input object names and stages.
+type chainRec struct {
+	inputs []string
+	stages []stageRec
+	ok     bool
+}
 
 // resolveAndWalk resolves every data object's schema and walks every
 // flow pipeline stage by stage. Unlike dag.Build — which aborts on the
@@ -27,7 +50,9 @@ func (l *linter) resolveAndWalk() {
 	}
 	// Seed source schemas: declared inline, or resolved from the shared
 	// catalog. Source column types are unknown — values are parsed
-	// dynamically — so inference starts at the first deriving task.
+	// dynamically — so inference starts at the first deriving task. A
+	// caller that does know source types (the differential fuzzer seeds
+	// its generator's true column types) provides them via SourceScopes.
 	for _, name := range l.f.DataOrder {
 		if produced[name] {
 			continue
@@ -35,13 +60,15 @@ func (l *linter) resolveAndWalk() {
 		d := l.f.Data[name]
 		if d.Schema != nil {
 			l.schemas[name] = d.Schema
-			l.types[name] = typeEnv{}
+			l.scopes[name] = l.sourceScope(name)
+			l.cards[name] = flowcheck.CardUnknown()
 			continue
 		}
 		if l.opts.Shared != nil {
 			if s, ok := l.opts.Shared(name); ok {
 				l.schemas[name] = s
-				l.types[name] = typeEnv{}
+				l.scopes[name] = l.sourceScope(name)
+				l.cards[name] = flowcheck.CardUnknown()
 				continue
 			}
 		}
@@ -69,16 +96,29 @@ func (l *linter) resolveAndWalk() {
 			}
 			pending[i] = false
 			changed = true
-			out, env, ok := l.walkPipeline(fl.Pipeline, "D."+fl.Outputs[0].Name, fl.Line)
-			if !ok {
+			out, sc, card, rec := l.walkPipeline(fl.Pipeline, "D."+fl.Outputs[0].Name, fl.Line)
+			l.flowRecs[i] = rec
+			if !rec.ok {
 				continue
 			}
 			for _, o := range fl.Outputs {
 				l.schemas[o.Name] = out
-				l.types[o.Name] = env
+				l.scopes[o.Name] = sc
+				l.cards[o.Name] = card
 			}
 		}
 	}
+}
+
+// sourceScope returns the caller-provided facts for a source object
+// (empty — all unknown — unless Options.SourceScopes supplies them).
+func (l *linter) sourceScope(name string) flowcheck.Scope {
+	if l.opts.SourceScopes != nil {
+		if sc, ok := l.opts.SourceScopes[name]; ok {
+			return sc
+		}
+	}
+	return flowcheck.Scope{}
 }
 
 // inputsReady reports whether every pipeline input has a resolved schema.
@@ -93,23 +133,27 @@ func (l *linter) inputsReady(p *flowfile.Pipeline) bool {
 
 // walkPipeline steps a pipeline's spec chain, mirroring dag.BindPipeline
 // but collecting findings instead of failing fast. It returns the final
-// schema and type environment; ok is false when the walk aborted (a
-// missing input, unparsed task, or bind error — all reported elsewhere
-// or here).
-func (l *linter) walkPipeline(p *flowfile.Pipeline, owner string, ownerLine int) (*schema.Schema, typeEnv, bool) {
-	ins := make([]task.Input, 0, len(p.Inputs))
-	envs := make([]typeEnv, 0, len(p.Inputs))
+// schema, column facts and cardinality bound; rec.ok is false when the
+// walk aborted (a missing input, unparsed task, or bind error — all
+// reported elsewhere or here).
+func (l *linter) walkPipeline(p *flowfile.Pipeline, owner string, ownerLine int) (*schema.Schema, flowcheck.Scope, flowcheck.Card, *chainRec) {
+	rec := &chainRec{}
+	ins := make([]flowcheck.Input, 0, len(p.Inputs))
 	for _, in := range p.Inputs {
 		s := l.schemas[in.Name]
 		if s == nil {
-			return nil, nil, false
+			return nil, nil, flowcheck.Card{}, rec
 		}
-		ins = append(ins, task.Input{Name: in.Name, Schema: s})
-		env := l.types[in.Name]
-		if env == nil {
-			env = typeEnv{}
+		sc := l.scopes[in.Name]
+		if sc == nil {
+			sc = flowcheck.Scope{}
 		}
-		envs = append(envs, env)
+		card, ok := l.cards[in.Name]
+		if !ok {
+			card = flowcheck.CardUnknown()
+		}
+		ins = append(ins, flowcheck.Input{Name: in.Name, Schema: s, Scope: sc, Card: card})
+		rec.inputs = append(rec.inputs, in.Name)
 	}
 	specs := make([]task.Spec, 0, len(p.Tasks))
 	defs := make([]*flowfile.TaskDef, 0, len(p.Tasks))
@@ -118,21 +162,30 @@ func (l *linter) walkPipeline(p *flowfile.Pipeline, owner string, ownerLine int)
 		if !ok || l.broken[t.Name] {
 			// Undefined (FL000) or unparsable (FL001/FL002): already
 			// reported; the chain past this point has no schema.
-			return nil, nil, false
+			return nil, nil, flowcheck.Card{}, rec
 		}
 		specs = append(specs, l.specs[t.Name])
 		defs = append(defs, def)
 	}
+	taskIns := make([]task.Input, 0, len(ins))
+	for _, in := range ins {
+		taskIns = append(taskIns, task.Input{Name: in.Name, Schema: in.Schema})
+	}
 	for k, sp := range specs {
-		l.checkStage(specs, k, defs[k], p.Tasks[k].Name, ins, envs)
-		out, err := sp.Out(ins)
+		l.checkStage(specs, k, defs[k], p.Tasks[k].Name, ins)
+		out, err := sp.Out(taskIns)
 		if err != nil {
-			l.reportBindError(p.Tasks[k].Name, defs[k], err, ins)
-			return nil, nil, false
+			l.reportBindError(p.Tasks[k].Name, defs[k], err, taskIns)
+			return nil, nil, flowcheck.Card{}, rec
 		}
-		env := l.outTypes(sp, defs[k], ins, envs, out)
-		ins = []task.Input{{Name: ins[0].Name, Schema: out}}
-		envs = []typeEnv{env}
+		res := flowcheck.TransferStage(sp, defs[k], l.taskLookup(), ins, out)
+		l.checkFilterVerdict(sp, defs[k], p.Tasks[k].Name, res.Verdict)
+		rec.stages = append(rec.stages, stageRec{
+			name: p.Tasks[k].Name, spec: sp, def: defs[k],
+			ins: ins, out: out, verdict: res.Verdict,
+		})
+		ins = []flowcheck.Input{{Name: ins[0].Name, Schema: out, Scope: res.Scope, Card: res.Card}}
+		taskIns = []task.Input{{Name: ins[0].Name, Schema: out}}
 	}
 	// Advisories over the whole chain: filters the optimizer cannot hoist.
 	for _, bf := range dag.BlockedFilters(specs) {
@@ -148,24 +201,54 @@ func (l *linter) walkPipeline(p *flowfile.Pipeline, owner string, ownerLine int)
 	if len(ins) != 1 {
 		// A multi-input pipeline whose chain never merged them (e.g. no
 		// tasks at all): no single output schema to propagate.
-		return nil, nil, false
+		return nil, nil, flowcheck.Card{}, rec
 	}
-	return ins[0].Schema, envs[0], true
+	rec.ok = true
+	return ins[0].Schema, ins[0].Scope, ins[0].Card, rec
 }
 
-// checkStage runs the per-stage rules that need the input environment:
-// FL004 expression type mismatches, FL021 join key mismatches, FL051
-// ordering advisories.
-func (l *linter) checkStage(specs []task.Spec, k int, def *flowfile.TaskDef, name string, ins []task.Input, envs []typeEnv) {
+// checkFilterVerdict reports FL063 for a filter whose expression has a
+// proven constant truth value. The flowcheck folder suppresses verdicts
+// on expressions already condemned by FL061/FL062, so the two never
+// stack on one root cause.
+func (l *linter) checkFilterVerdict(sp task.Spec, def *flowfile.TaskDef, name, verdict string) {
+	if verdict == "" {
+		return
+	}
+	if _, ok := sp.(*task.FilterSpec); !ok {
+		return
+	}
+	line := configLine(def, "filter_expression")
+	if verdict == "always_false" {
+		l.add(Finding{Rule: "FL063", Severity: Warning, Entity: "T." + name, Line: line,
+			Message: "filter expression is provably false on every row: the stage and everything downstream are empty",
+			Hint:    "the predicate contradicts an upstream filter or constant; remove the stage or fix the bounds"})
+		return
+	}
+	l.add(Finding{Rule: "FL063", Severity: Warning, Entity: "T." + name, Line: line,
+		Message: "filter expression is provably true on every row: the stage passes everything through",
+		Hint:    "remove the stage, or tighten the predicate"})
+}
+
+// checkStage runs the per-stage rules that need the input facts: FL004/
+// FL060/FL061/FL062 expression findings, FL021 join key mismatches,
+// FL051 ordering advisories.
+func (l *linter) checkStage(specs []task.Spec, k int, def *flowfile.TaskDef, name string, ins []flowcheck.Input) {
 	entity := "T." + name
+	in := flowcheck.Scope{}
+	if len(ins) > 0 {
+		in = ins[0].Scope
+	}
 	switch t := specs[k].(type) {
 	case *task.FilterSpec:
 		if t.Expression != "" {
-			l.checkExprTypes(t.Expression, envs[0], entity, configLine(def, "filter_expression"))
+			l.checkExprIssues(t.Expression, in, entity, configLine(def, "filter_expression"))
 		}
 	case *task.MapSpec:
 		if t.Operator == "expr" {
-			l.checkExprTypes(def.Config.Str("expression"), envs[0], entity, configLine(def, "expression"))
+			line := configLine(def, "expression")
+			l.checkExprColumns(def.Config.Str("expression"), ins, entity, line)
+			l.checkExprIssues(def.Config.Str("expression"), in, entity, line)
 		}
 	case *task.ParallelSpec:
 		for i, sub := range t.Subs {
@@ -174,11 +257,13 @@ func (l *linter) checkStage(specs []task.Spec, k int, def *flowfile.TaskDef, nam
 				continue
 			}
 			if sdef, ok := l.f.Tasks[t.Names[i]]; ok {
-				l.checkExprTypes(sdef.Config.Str("expression"), envs[0], "T."+t.Names[i], configLine(sdef, "expression"))
+				line := configLine(sdef, "expression")
+				l.checkExprColumns(sdef.Config.Str("expression"), ins, "T."+t.Names[i], line)
+				l.checkExprIssues(sdef.Config.Str("expression"), in, "T."+t.Names[i], line)
 			}
 		}
 	case *task.JoinSpec:
-		l.checkJoinKeys(t, entity, def, ins, envs)
+		l.checkJoinKeys(t, entity, def, ins)
 	case *task.TopNSpec:
 		for _, key := range t.OrderBy {
 			if hasString(t.GroupBy, key.Column) {
@@ -196,22 +281,32 @@ func (l *linter) checkStage(specs []task.Spec, k int, def *flowfile.TaskDef, nam
 	}
 }
 
-// checkJoinKeys compares the inferred types of paired join keys: FL021.
-func (l *linter) checkJoinKeys(j *task.JoinSpec, entity string, def *flowfile.TaskDef, ins []task.Input, envs []typeEnv) {
-	if len(ins) != 2 || len(envs) != 2 {
+// checkExprColumns reports FL003 for expression columns absent from the
+// stage's input schema — the same error the engine's Bind raises at run
+// time, caught statically. Filter expressions are validated by
+// FilterSpec.Out already; map operators extend the schema without
+// binding the expression, so the walk checks them itself (the
+// differential fuzzer found this gap: a lint-clean flow whose map expr
+// named a missing column compiled but failed mid-run).
+func (l *linter) checkExprColumns(src string, ins []flowcheck.Input, entity string, line int) {
+	if src == "" || len(ins) == 0 || ins[0].Schema == nil {
 		return
 	}
-	left, right := envs[0], envs[1]
-	if ins[0].Name == j.RightName && ins[1].Name == j.LeftName && j.LeftName != j.RightName {
-		left, right = right, left
+	sch := ins[0].Schema
+	cols, err := expr.ReferencedColumns(src)
+	if err != nil {
+		return // FL002 reports unparsable expressions
 	}
-	for i := 0; i < len(j.LeftKeys) && i < len(j.RightKeys); i++ {
-		lt, rt := left[j.LeftKeys[i]], right[j.RightKeys[i]]
-		if conflict(lt, rt) {
-			l.add(Finding{Rule: "FL021", Severity: Warning, Entity: entity, Line: def.Line,
-				Message: fmt.Sprintf("join keys %q (%s) and %q (%s) have different types; rows will never match",
-					j.LeftKeys[i], lt, j.RightKeys[i], rt)})
+	for _, c := range cols {
+		if sch.Has(c) {
+			continue
 		}
+		fd := Finding{Rule: "FL003", Severity: Error, Entity: entity, Line: line,
+			Message: fmt.Sprintf("column %q not found (have %s)", c, strings.Join(sch.Names(), ", "))}
+		if hint := diagnose.Nearest(c, sch.Names()); hint != "" {
+			fd.Hint = fmt.Sprintf("did you mean %q?", hint)
+		}
+		l.add(fd)
 	}
 }
 

@@ -3,283 +3,52 @@ package analyze
 import (
 	"fmt"
 
-	"shareinsights/internal/expr"
+	"shareinsights/internal/analyze/flowcheck"
 	"shareinsights/internal/flowfile"
-	"shareinsights/internal/schema"
 	"shareinsights/internal/task"
-	"shareinsights/internal/value"
 )
 
-// colType is the inferred static type of a column. Source columns start
-// unknown — values are parsed dynamically — and types appear as soon as
-// a task derives a column whose kind is fixed: aggregates are numbers,
-// extract outputs are text, a constant has its literal's kind. The
-// lattice is deliberately flat: a check fires only when both sides are
-// known and disagree, so inference can never produce a false positive on
-// untyped source data.
-type colType int
+// The linter's type inference is flowcheck (the typed expression IR and
+// fact lattice); this file adapts its output to findings. The legacy
+// coarse column types survive as flowcheck's Type.Coarse projection, so
+// FL004 and FL021 keep their exact historical wording while FL060–FL063
+// report what only the fine lattice can prove.
 
-const (
-	tyUnknown colType = iota
-	tyNum
-	tyStr
-	tyBool
-	tyTime
-)
-
-// String names the type in user vocabulary.
-func (t colType) String() string {
-	switch t {
-	case tyNum:
-		return "number"
-	case tyStr:
-		return "text"
-	case tyBool:
-		return "boolean"
-	case tyTime:
-		return "time"
-	}
-	return "unknown"
-}
-
-// typeEnv maps column names to inferred types for one data object.
-type typeEnv map[string]colType
-
-// litType maps a literal's value kind to a column type.
-func litType(v value.V) colType {
-	switch v.Kind() {
-	case value.Int, value.Float:
-		return tyNum
-	case value.String:
-		return tyStr
-	case value.Bool:
-		return tyBool
-	case value.Time:
-		return tyTime
-	}
-	return tyUnknown
-}
-
-// conflict reports whether two known types cannot meaningfully meet in a
-// comparison. Text/time pairs are exempt — date columns compare against
-// their string forms throughout the engine.
-func conflict(a, b colType) bool {
-	if a == tyUnknown || b == tyUnknown || a == b {
-		return false
-	}
-	if (a == tyTime && b == tyStr) || (a == tyStr && b == tyTime) {
-		return false
-	}
-	return true
-}
-
-// checkExprTypes type-checks one expression source against the
-// environment, emitting FL004 warnings. Parse failures are ignored here:
-// the spec parser already rejected them as FL002.
-func (l *linter) checkExprTypes(src string, env typeEnv, entity string, line int) {
+// checkExprIssues lowers one expression through flowcheck and converts
+// its issues to findings at the given entity/line.
+func (l *linter) checkExprIssues(src string, sc flowcheck.Scope, entity string, line int) {
 	if src == "" {
 		return
 	}
-	n, err := expr.Parse(src)
-	if err != nil {
+	_, issues := flowcheck.CheckExpr(src, sc)
+	for _, is := range issues {
+		l.add(Finding{Rule: is.Rule, Severity: Severity(is.Severity), Entity: entity,
+			Line: line, Message: is.Message, Hint: is.Hint})
+	}
+}
+
+// taskLookup resolves parallel sub-task definitions for flowcheck.
+func (l *linter) taskLookup() flowcheck.TaskLookup {
+	return func(name string) *flowfile.TaskDef { return l.f.Tasks[name] }
+}
+
+// checkJoinKeys compares the inferred types of paired join keys: FL021.
+// The conflict predicate is flowcheck's coarse projection — identical to
+// the pre-flowcheck rule.
+func (l *linter) checkJoinKeys(j *task.JoinSpec, entity string, def *flowfile.TaskDef, ins []flowcheck.Input) {
+	if len(ins) != 2 {
 		return
 	}
-	var issues []string
-	inferExpr(n, env, &issues)
-	for _, issue := range issues {
-		l.add(Finding{Rule: "FL004", Severity: Warning, Entity: entity, Line: line,
-			Message: fmt.Sprintf("expression type mismatch: %s", issue)})
+	left, right := ins[0].Scope, ins[1].Scope
+	if ins[0].Name == j.RightName && ins[1].Name == j.LeftName && j.LeftName != j.RightName {
+		left, right = right, left
 	}
-}
-
-// inferExpr computes an expression's type bottom-up, appending a
-// description of every impossible operand pairing it meets.
-func inferExpr(n expr.Node, env typeEnv, issues *[]string) colType {
-	switch t := n.(type) {
-	case *expr.Lit:
-		return litType(t.Val)
-	case *expr.Col:
-		return env[t.Name]
-	case *expr.Unary:
-		x := inferExpr(t.X, env, issues)
-		if t.Op == "-" {
-			if x == tyStr {
-				*issues = append(*issues, fmt.Sprintf("negating %s, a text value", t.X))
-			}
-			return tyNum
-		}
-		return tyBool
-	case *expr.Tuple:
-		ty := tyUnknown
-		for i, it := range t.Items {
-			e := inferExpr(it, env, issues)
-			if i == 0 {
-				ty = e
-			} else if e != ty {
-				ty = tyUnknown
-			}
-		}
-		return ty
-	case *expr.Binary:
-		return inferBinary(t, env, issues)
-	}
-	return tyUnknown
-}
-
-func inferBinary(t *expr.Binary, env typeEnv, issues *[]string) colType {
-	switch t.Op {
-	case "and", "or", "&&", "||":
-		inferExpr(t.L, env, issues)
-		inferExpr(t.R, env, issues)
-		return tyBool
-	case "<", "<=", ">", ">=", "==", "!=", "=":
-		lt := inferExpr(t.L, env, issues)
-		rt := inferExpr(t.R, env, issues)
-		if conflict(lt, rt) {
-			*issues = append(*issues, fmt.Sprintf("%q compares %s (%s) with %s (%s)",
-				t.Op, t.L, lt, t.R, rt))
-		}
-		return tyBool
-	case "in":
-		lt := inferExpr(t.L, env, issues)
-		if tup, ok := t.R.(*expr.Tuple); ok {
-			for _, it := range tup.Items {
-				rt := inferExpr(it, env, issues)
-				if conflict(lt, rt) {
-					*issues = append(*issues, fmt.Sprintf("'in' list item %s (%s) can never match %s (%s)",
-						it, rt, t.L, lt))
-				}
-			}
-		} else {
-			inferExpr(t.R, env, issues)
-		}
-		return tyBool
-	case "contains":
-		lt := inferExpr(t.L, env, issues)
-		inferExpr(t.R, env, issues)
-		if lt == tyNum {
-			*issues = append(*issues, fmt.Sprintf("'contains' matches text, but %s is a number", t.L))
-		}
-		return tyBool
-	default: // arithmetic: + - * / %
-		lt := inferExpr(t.L, env, issues)
-		rt := inferExpr(t.R, env, issues)
-		for _, side := range []struct {
-			n  expr.Node
-			ty colType
-		}{{t.L, lt}, {t.R, rt}} {
-			if side.ty == tyStr || side.ty == tyBool {
-				*issues = append(*issues, fmt.Sprintf("arithmetic %q on %s, a %s value", t.Op, side.n, side.ty))
-			}
-		}
-		return tyNum
-	}
-}
-
-// outTypes computes the column-type environment after sp runs, given the
-// inputs (aligned with envs) and sp's already-computed output schema.
-// Unhandled spec kinds fall back to carrying same-name columns and
-// leaving new ones unknown — always safe, never wrong.
-func (l *linter) outTypes(sp task.Spec, def *flowfile.TaskDef, ins []task.Input, envs []typeEnv, out *schema.Schema) typeEnv {
-	env := typeEnv{}
-	// Default: carry columns whose name survives. For multi-input specs
-	// (union), a name typed differently across inputs degrades to unknown.
-	for _, c := range out.Columns() {
-		ty, seen := tyUnknown, false
-		for _, e := range envs {
-			t, ok := e[c.Name]
-			if !ok {
-				continue
-			}
-			if !seen {
-				ty, seen = t, true
-			} else if t != ty {
-				ty = tyUnknown
-			}
-		}
-		env[c.Name] = ty
-	}
-	switch t := sp.(type) {
-	case *task.GroupBySpec:
-		for _, a := range t.Aggs {
-			env[a.OutField] = aggType(a, envs[0])
-		}
-	case *task.MapSpec:
-		l.applyMapTypes(t, def, envs[0], env)
-	case *task.ParallelSpec:
-		for i, sub := range t.Subs {
-			ms, ok := sub.(*task.MapSpec)
-			if !ok || i >= len(t.Names) {
-				continue
-			}
-			if sdef, ok := l.f.Tasks[t.Names[i]]; ok {
-				l.applyMapTypes(ms, sdef, envs[0], env)
-			}
-		}
-	case *task.JoinSpec:
-		applyJoinTypes(t, ins, envs, env)
-	}
-	return env
-}
-
-// aggType is the output type of one groupby aggregate.
-func aggType(a task.AggSpec, in typeEnv) colType {
-	switch a.Operator {
-	case "count", "count_distinct", "sum", "avg", "stddev", "median":
-		return tyNum
-	case "min", "max", "first", "last":
-		return in[a.ApplyOn]
-	}
-	return tyUnknown
-}
-
-// applyMapTypes assigns the map operator's output columns their types.
-func (l *linter) applyMapTypes(m *task.MapSpec, def *flowfile.TaskDef, in typeEnv, env typeEnv) {
-	ty := tyUnknown
-	switch m.Operator {
-	case "date", "extract", "extract_location", "extract_words",
-		"upper", "lower", "trim", "concat", "replace", "case":
-		ty = tyStr
-	case "bucket":
-		ty = tyNum
-	case "constant":
-		if def.Config != nil {
-			ty = litType(value.Parse(def.Config.Str("value")))
-		}
-	case "expr":
-		if def.Config != nil {
-			if n, err := expr.Parse(def.Config.Str("expression")); err == nil {
-				var drop []string
-				ty = inferExpr(n, in, &drop)
-			}
-		}
-	}
-	for _, c := range m.OutColumns() {
-		env[c] = ty
-	}
-}
-
-// applyJoinTypes maps qualified (and projected) output columns back to
-// their side's input types.
-func applyJoinTypes(j *task.JoinSpec, ins []task.Input, envs []typeEnv, env typeEnv) {
-	if len(ins) != 2 || len(envs) != 2 {
-		return
-	}
-	qual := map[string]colType{}
-	for i, in := range ins {
-		for col, ty := range envs[i] {
-			qual[in.Name+"_"+col] = ty
-		}
-	}
-	if len(j.Project) > 0 {
-		for _, p := range j.Project {
-			env[p.Out] = qual[p.Qualified]
-		}
-		return
-	}
-	for name, ty := range qual {
-		if _, ok := env[name]; ok {
-			env[name] = ty
+	for i := 0; i < len(j.LeftKeys) && i < len(j.RightKeys); i++ {
+		lt, rt := left.TypeOf(j.LeftKeys[i]), right.TypeOf(j.RightKeys[i])
+		if flowcheck.CoarseConflict(lt, rt) {
+			l.add(Finding{Rule: "FL021", Severity: Warning, Entity: entity, Line: def.Line,
+				Message: fmt.Sprintf("join keys %q (%s) and %q (%s) have different types; rows will never match",
+					j.LeftKeys[i], lt.Coarse(), j.RightKeys[i], rt.Coarse())})
 		}
 	}
 }

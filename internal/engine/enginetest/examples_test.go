@@ -9,6 +9,7 @@ import (
 	"sync"
 	"testing"
 
+	"shareinsights/internal/analyze"
 	"shareinsights/internal/connector"
 	"shareinsights/internal/dashboard"
 	"shareinsights/internal/flowfile"
@@ -219,6 +220,54 @@ func TestExampleFlowsDifferential(t *testing.T) {
 					continue
 				}
 				assertKindsEqual(t, name, want, got)
+			}
+		})
+	}
+}
+
+// TestQuickstartFlowFileInSync guards examples/quickstart/dashboard.flow
+// — the standalone flow file CI lints with `shareinsights lint
+// -fail-on=error` — against drifting from the constant the example
+// program actually runs.
+func TestQuickstartFlowFileInSync(t *testing.T) {
+	base := examplesDir(t)
+	want := extractConst(t, filepath.Join(base, "quickstart", "main.go"), "flow")
+	got, err := os.ReadFile(filepath.Join(base, "quickstart", "dashboard.flow"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(string(got)) != strings.TrimSpace(want) {
+		t.Fatalf("examples/quickstart/dashboard.flow differs from the flow constant in main.go; regenerate the file from the constant")
+	}
+}
+
+// TestExampleFlowsLintClean is the static half of the example smoke
+// gate: every flow file the examples ship must lint with no
+// error-severity findings (the `lint -fail-on=error` contract,
+// docs/LINTING.md#exit-codes). Warnings and advisories are tolerated.
+func TestExampleFlowsLintClean(t *testing.T) {
+	registerExampleExtensions()
+	base := examplesDir(t)
+	for _, ec := range exampleCases {
+		ec := ec
+		t.Run(ec.dir, func(t *testing.T) {
+			p := dashboard.NewPlatform()
+			p.Connectors = connector.NewRegistry(connector.Options{Mem: map[string][]byte{}})
+			if ec.predictor {
+				registerPredictor(t, p.Tasks)
+			}
+			for _, constName := range ec.flows {
+				src := extractConst(t, filepath.Join(base, ec.dir, "main.go"), constName)
+				f, err := flowfile.Parse(ec.dir+"_"+constName, src)
+				if err != nil {
+					t.Fatalf("%s: parse: %v", constName, err)
+				}
+				report := analyze.Lint(f, analyze.Options{Tasks: p.Tasks, Connectors: p.Connectors})
+				for _, fd := range report.Findings {
+					if fd.Severity >= analyze.Error {
+						t.Errorf("%s: %s", constName, fd)
+					}
+				}
 			}
 		})
 	}

@@ -16,7 +16,20 @@ type Problem struct {
 	Line int
 	// Message describes the problem in flow-file vocabulary.
 	Message string
+	// Code classifies problems that downstream reporters (flowlint)
+	// re-report under a dedicated rule, so they can suppress the generic
+	// copy without matching message text. "" for everything else.
+	Code string
 }
+
+// Problem codes. A code marks a class of structural problem that a
+// specific flowlint rule re-reports with hints (FL042, FL043).
+const (
+	// ProblemResilience marks bad on_error/timeout/retries details.
+	ProblemResilience = "resilience"
+	// ProblemColumnar marks a bad columnar: value.
+	ProblemColumnar = "columnar"
+)
 
 // String renders the problem with its line prefix.
 func (p Problem) String() string {
@@ -46,6 +59,11 @@ func (e *ValidationError) Error() string {
 
 func (e *ValidationError) add(line int, format string, args ...any) {
 	e.Problems = append(e.Problems, Problem{Line: line, Message: fmt.Sprintf(format, args...)})
+}
+
+// addCoded records a problem carrying a classification code.
+func (e *ValidationError) addCoded(code string, line int, format string, args ...any) {
+	e.Problems = append(e.Problems, Problem{Line: line, Message: fmt.Sprintf(format, args...), Code: code})
 }
 
 // label names a flow by its first output for messages, guarding against
@@ -105,24 +123,24 @@ func (f *File) Validate(allowShared bool) error {
 	for _, name := range f.DataOrder {
 		d := f.Data[name]
 		if m := d.Prop("on_error"); m != "" && m != "fail" && m != "stale" && m != "empty" {
-			e.add(d.Line, "data object D.%s: on_error must be fail, stale or empty (got %q)", name, m)
+			e.addCoded(ProblemResilience, d.Line, "data object D.%s: on_error must be fail, stale or empty (got %q)", name, m)
 		}
 		if v := d.Prop("timeout"); v != "" {
 			if dur, err := time.ParseDuration(v); err != nil {
-				e.add(d.Line, "data object D.%s: timeout %q is not a duration (try 30s or 2m)", name, v)
+				e.addCoded(ProblemResilience, d.Line, "data object D.%s: timeout %q is not a duration (try 30s or 2m)", name, v)
 			} else if dur <= 0 {
-				e.add(d.Line, "data object D.%s: timeout must be positive (got %q)", name, v)
+				e.addCoded(ProblemResilience, d.Line, "data object D.%s: timeout must be positive (got %q)", name, v)
 			}
 		}
 		if v := d.Prop("retries"); v != "" {
 			if n, err := strconv.Atoi(v); err != nil || n < 0 {
-				e.add(d.Line, "data object D.%s: retries must be a non-negative integer (got %q)", name, v)
+				e.addCoded(ProblemResilience, d.Line, "data object D.%s: retries must be a non-negative integer (got %q)", name, v)
 			}
 		}
 		// The columnar detail steers the batch engine's vectorized
 		// execution planner (docs/ENGINE.md).
 		if v := d.Prop("columnar"); v != "" && v != "auto" && v != "on" && v != "off" {
-			e.add(d.Line, "data object D.%s: columnar must be auto, on or off (got %q)", name, v)
+			e.addCoded(ProblemColumnar, d.Line, "data object D.%s: columnar must be auto, on or off (got %q)", name, v)
 		}
 	}
 	// A data object is locally resolvable if it has source details, a

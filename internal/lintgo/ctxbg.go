@@ -1,0 +1,94 @@
+package lintgo
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// CtxBG flags context.Background() and context.TODO() calls inside
+// functions that already receive a context.Context parameter. Those
+// call sites sever the caller's cancellation and deadline: a request
+// handler or dashboard run that spawns work under a fresh root context
+// keeps running after the client is gone.
+//
+// The check is syntactic. A function "receives a context" when any
+// parameter's type is written `context.Context` under the file's
+// import of the standard "context" package (aliased imports are
+// followed; dot imports are not). Compat shims that take no ctx and
+// exist to mint one — Run vs RunContext — are untouched.
+var CtxBG = &Analyzer{
+	Name: "ctxbg",
+	Doc:  "flag context.Background/TODO inside functions that receive a context.Context",
+	Run:  runCtxBG,
+}
+
+func runCtxBG(p *Pass) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ctxPkg := importName(f, "context")
+		if ctxPkg == "" || ctxPkg == "_" || ctxPkg == "." {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasCtxParam(fd.Type, ctxPkg) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if name := freshCtxCall(call, ctxPkg); name != "" {
+					out = append(out, Diagnostic{
+						Pos: call.Pos(),
+						Message: fmt.Sprintf("%s.%s() inside a function that receives a context.Context; thread the caller's ctx instead",
+							ctxPkg, name),
+					})
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// hasCtxParam reports whether the signature declares a parameter of
+// type <ctxPkg>.Context.
+func hasCtxParam(ft *ast.FuncType, ctxPkg string) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if isCtxType(field.Type, ctxPkg) {
+			return true
+		}
+	}
+	return false
+}
+
+func isCtxType(e ast.Expr, ctxPkg string) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Context" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == ctxPkg
+}
+
+// freshCtxCall returns "Background" or "TODO" when the call mints a
+// fresh root context from the context package, else "".
+func freshCtxCall(call *ast.CallExpr, ctxPkg string) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || id.Name != ctxPkg {
+		return ""
+	}
+	if sel.Sel.Name == "Background" || sel.Sel.Name == "TODO" {
+		return sel.Sel.Name
+	}
+	return ""
+}

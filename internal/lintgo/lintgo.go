@@ -1,0 +1,139 @@
+// Package lintgo is a dependency-free mini framework for project-local
+// Go static analysis. It mirrors the shape of golang.org/x/tools'
+// analysis package — an Analyzer owns a Run function over a Pass and
+// returns position-anchored Diagnostics — but is built on the standard
+// library only (go/ast, go/parser, go/token), so it works in
+// environments without a populated module cache.
+//
+// Analyzers here are syntactic: they see parsed files, not type
+// information. Each analyzer documents the (narrow) false-positive
+// surface that trade-off buys.
+//
+// The cmd/lintgo driver runs every registered analyzer either directly
+// over files and directories or as a `go vet -vettool` backend.
+package lintgo
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass is the unit of work handed to an analyzer: one package's worth
+// of parsed files sharing a FileSet.
+type Pass struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+}
+
+// Analyzer is a named syntactic check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) []Diagnostic
+}
+
+// All lists every analyzer the driver and the vet tool run.
+var All = []*Analyzer{CtxBG, MetricName}
+
+// Problem is a rendered diagnostic: position resolved against the
+// FileSet and tagged with the analyzer that produced it.
+type Problem struct {
+	Position token.Position
+	Analyzer string
+	Message  string
+}
+
+func (p Problem) String() string {
+	return fmt.Sprintf("%s: %s: %s", p.Position, p.Analyzer, p.Message)
+}
+
+// RunAll parses the given Go files as one pass and runs every analyzer
+// in All, returning the merged problems in file/line order.
+func RunAll(paths []string) ([]Problem, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, p := range paths {
+		f, err := parser.ParseFile(fset, p, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	pass := &Pass{Fset: fset, Files: files}
+	var out []Problem
+	for _, a := range All {
+		for _, d := range a.Run(pass) {
+			out = append(out, Problem{Position: fset.Position(d.Pos), Analyzer: a.Name, Message: d.Message})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Position, out[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return out, nil
+}
+
+// GoFilesUnder expands files and directories into the list of Go
+// source files to analyze, walking directories recursively and
+// skipping testdata and hidden directories.
+func GoFilesUnder(args []string) ([]string, error) {
+	var out []string
+	for _, arg := range args {
+		err := filepath.WalkDir(arg, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() {
+				name := d.Name()
+				if path != arg && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if strings.HasSuffix(path, ".go") {
+				out = append(out, path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// importName returns the local identifier a file binds the given
+// import path to ("" when the path is not imported, "_" or "." kept
+// verbatim for the caller to reject).
+func importName(f *ast.File, path string) string {
+	for _, imp := range f.Imports {
+		p, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || p != path {
+			continue
+		}
+		if imp.Name != nil {
+			return imp.Name.Name
+		}
+		return path[strings.LastIndex(path, "/")+1:]
+	}
+	return ""
+}

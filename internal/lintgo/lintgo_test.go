@@ -1,0 +1,115 @@
+package lintgo
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+)
+
+// wantRe extracts the expectation from a `// want `pattern“ trailing
+// comment, analysistest-style: the backquoted pattern is a regexp the
+// diagnostic message on that line must match.
+var wantRe = regexp.MustCompile("// want `([^`]+)`")
+
+// runFixture checks one analyzer against one testdata fixture: every
+// `// want` comment must be matched by exactly one diagnostic on its
+// line, and no diagnostic may appear on a line without one. Fixtures
+// use a .src extension so the toolchain never builds them.
+func runFixture(t *testing.T, a *Analyzer, fixture string) {
+	t.Helper()
+	path := filepath.Join("testdata", fixture)
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse %s: %v", path, err)
+	}
+
+	wants := map[int]*regexp.Regexp{} // line -> expected message pattern
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := wantRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			re, err := regexp.Compile(m[1])
+			if err != nil {
+				t.Fatalf("%s:%d: bad want pattern %q: %v", path, line, m[1], err)
+			}
+			wants[line] = re
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatalf("%s: fixture has no // want comments", path)
+	}
+
+	got := map[int][]string{}
+	for _, d := range a.Run(&Pass{Fset: fset, Files: []*ast.File{f}}) {
+		line := fset.Position(d.Pos).Line
+		got[line] = append(got[line], d.Message)
+	}
+
+	for line, re := range wants {
+		msgs := got[line]
+		if len(msgs) != 1 {
+			t.Errorf("%s:%d: want exactly 1 diagnostic matching %v, got %d: %v", path, line, re, len(msgs), msgs)
+			continue
+		}
+		if !re.MatchString(msgs[0]) {
+			t.Errorf("%s:%d: diagnostic %q does not match want pattern %v", path, line, msgs[0], re)
+		}
+	}
+	for line, msgs := range got {
+		if _, ok := wants[line]; !ok {
+			t.Errorf("%s:%d: unexpected diagnostic(s): %v", path, line, msgs)
+		}
+	}
+}
+
+func TestCtxBG(t *testing.T)      { runFixture(t, CtxBG, "ctxbg.go.src") }
+func TestMetricName(t *testing.T) { runFixture(t, MetricName, "metricname.go.src") }
+
+// TestRepoIsClean runs every analyzer over the repository's own
+// source: the naming and context contracts the analyzers enforce must
+// hold here, or the CI static-analysis job would fail.
+func TestRepoIsClean(t *testing.T) {
+	files, err := GoFilesUnder([]string{"../../cmd", "../../internal"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probs, err := RunAll(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range probs {
+		t.Errorf("%s", p)
+	}
+}
+
+// TestImportName pins alias handling: aliased imports resolve to the
+// alias, absent imports to "".
+func TestImportName(t *testing.T) {
+	cases := []struct {
+		src, path, want string
+	}{
+		{`package p; import "context"`, "context", "context"},
+		{`package p; import stdctx "context"`, "context", "stdctx"},
+		{`package p; import _ "context"`, "context", "_"},
+		{`package p; import "fmt"`, "context", ""},
+	}
+	for i, c := range cases {
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, fmt.Sprintf("case%d.go", i), c.src+"\n", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := importName(f, c.path); got != c.want {
+			t.Errorf("importName(%s, %q) = %q, want %q", strconv.Quote(c.src), c.path, got, c.want)
+		}
+	}
+}

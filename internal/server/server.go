@@ -20,6 +20,9 @@
 //	PUT  /dashboards/{name}/data/{file}        upload a data/dictionary file (§4.3.2)
 //	GET  /dashboards/{name}/profile            §6 data-profile meta-dashboard
 //	GET  /dashboards/{name}/lint               static analysis findings (docs/LINTING.md)
+//	GET  /dashboards/{name}/check              findings plus inferred facts: column
+//	                                           types, constants, intervals, row
+//	                                           bounds, liveness (docs/TYPES.md)
 //	GET  /dashboards/{name}/stats              last run's execution stats (?full=1
 //	                                           for every stage timing, not just top-5)
 //	GET  /dashboards/{name}/trace              last run's span tree (?format=chrome
@@ -46,6 +49,7 @@ import (
 	"sync"
 
 	"shareinsights/internal/analyze"
+	"shareinsights/internal/analyze/flowcheck"
 	"shareinsights/internal/connector"
 	"shareinsights/internal/dashboard"
 	"shareinsights/internal/diagnose"
@@ -166,6 +170,7 @@ func (s *Server) Handler() http.Handler {
 	handle("PUT /dashboards/{name}/data/{file}", s.handleUpload)
 	handle("GET /dashboards/{name}/profile", s.handleProfile)
 	handle("GET /dashboards/{name}/lint", s.handleLint)
+	handle("GET /dashboards/{name}/check", s.handleCheck)
 	handle("GET /dashboards/{name}/health", s.handleHealth)
 	handle("GET /dashboards/{name}/stats", s.handleStats)
 	handle("GET /dashboards/{name}/trace", s.handleTrace)
@@ -248,15 +253,16 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 	resp := map[string]any{"dashboard": name, "commit": hash}
 	// The save already passed validation, so lint findings here are
 	// advisory: the commit stands either way, the editor just shows them.
-	if report := s.lintFile(f); len(report.Findings) > 0 {
+	if report, _ := s.lintFile(f); len(report.Findings) > 0 {
 		resp["lint"] = report.Findings
 	}
 	jsonOK(w, resp)
 }
 
 // lintFile runs the static analyzer against the platform's registries
-// and shared catalog.
-func (s *Server) lintFile(f *flowfile.File) *analyze.Report {
+// and shared catalog, returning the report and the inferred per-object
+// facts.
+func (s *Server) lintFile(f *flowfile.File) (*analyze.Report, *flowcheck.Facts) {
 	opts := analyze.Options{Tasks: s.platform.Tasks, Connectors: s.platform.Connectors}
 	if s.platform.Catalog != nil {
 		opts.Shared = s.platform.Catalog.ResolveSchema
@@ -268,31 +274,42 @@ func (s *Server) lintFile(f *flowfile.File) *analyze.Report {
 			return out
 		}
 	}
-	return analyze.Lint(f, opts)
+	return analyze.LintWithFacts(f, opts)
+}
+
+// lintTarget loads and parses the latest committed flow file of a named
+// dashboard for the analysis endpoints; on failure it writes the error
+// response and returns nil.
+func (s *Server) lintTarget(w http.ResponseWriter, name string) *flowfile.File {
+	s.mu.RLock()
+	repo, ok := s.repos[name]
+	s.mu.RUnlock()
+	if !ok {
+		jsonError(w, http.StatusNotFound, fmt.Errorf("no dashboard %q", name))
+		return nil
+	}
+	content, err := repo.Content(vcs.DefaultBranch)
+	if err != nil {
+		jsonError(w, http.StatusInternalServerError, err)
+		return nil
+	}
+	f, err := flowfile.Parse(name, string(content))
+	if err != nil {
+		jsonError(w, http.StatusUnprocessableEntity, err)
+		return nil
+	}
+	return f
 }
 
 // handleLint re-analyzes the latest committed flow file on demand —
 // the editor's "check my dashboard" button, no execution involved.
 func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	s.mu.RLock()
-	repo, ok := s.repos[name]
-	s.mu.RUnlock()
-	if !ok {
-		jsonError(w, http.StatusNotFound, fmt.Errorf("no dashboard %q", name))
+	f := s.lintTarget(w, name)
+	if f == nil {
 		return
 	}
-	content, err := repo.Content(vcs.DefaultBranch)
-	if err != nil {
-		jsonError(w, http.StatusInternalServerError, err)
-		return
-	}
-	f, err := flowfile.Parse(name, string(content))
-	if err != nil {
-		jsonError(w, http.StatusUnprocessableEntity, err)
-		return
-	}
-	report := s.lintFile(f)
+	report, _ := s.lintFile(f)
 	errs, warns, infos := report.Counts()
 	jsonOK(w, map[string]any{
 		"dashboard": name,
@@ -300,6 +317,24 @@ func (s *Server) handleLint(w http.ResponseWriter, r *http.Request) {
 		"errors":    errs,
 		"warnings":  warns,
 		"infos":     infos,
+	})
+}
+
+// handleCheck is handleLint plus the typed summary: the flowcheck facts
+// (per-object column types, constants, value intervals, cardinality
+// bounds, filter verdicts and liveness) the analysis inferred. The
+// structure is the stable flowcheck.Facts contract (docs/TYPES.md).
+func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	f := s.lintTarget(w, name)
+	if f == nil {
+		return
+	}
+	report, facts := s.lintFile(f)
+	jsonOK(w, map[string]any{
+		"dashboard": name,
+		"findings":  report.Findings,
+		"facts":     facts,
 	})
 }
 
