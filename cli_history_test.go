@@ -1,0 +1,83 @@
+package shareinsights
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCLIHistoryCompare drives the flight recorder through the real
+// command line: two `time -compare` invocations (separate processes, so
+// the baseline must survive on disk in .sihistory) and the `history`
+// subcommand over the accumulated records.
+func TestCLIHistoryCompare(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := writeFlowDir(t)
+	flow := filepath.Join(dir, "demo.flow")
+
+	// First run: records, but there is no baseline yet.
+	out, err := runCLI(t, "shareinsights", "time", "-compare", flow)
+	if err != nil || !strings.Contains(out, "no baseline yet") {
+		t.Fatalf("first time -compare: %v\n%s", err, out)
+	}
+	if _, err := os.Stat(filepath.Join(dir, ".sihistory")); err != nil {
+		t.Fatalf("recorder directory not created: %v", err)
+	}
+
+	// Second run, fresh process: the baseline recovered from disk and
+	// the per-stage deltas print.
+	out, err = runCLI(t, "shareinsights", "time", "-compare", flow)
+	if err != nil || !strings.Contains(out, "vs baseline") || !strings.Contains(out, "delta=") {
+		t.Fatalf("second time -compare: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "by_region") {
+		t.Fatalf("deltas missing stage detail:\n%s", out)
+	}
+
+	// history: both runs, the stage profiles, and the latest comparison.
+	out, err = runCLI(t, "shareinsights", "history", flow)
+	if err != nil || !strings.Contains(out, "run history for demo (2 run(s)") {
+		t.Fatalf("history: %v\n%s", err, out)
+	}
+	for _, want := range []string{"#1", "#2", "stage profiles", "ewma=", "p99=", "vs baseline"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("history output missing %q:\n%s", want, out)
+		}
+	}
+
+	// history -json: machine-readable runs and profiles.
+	out, err = runCLI(t, "shareinsights", "history", "-json", flow)
+	if err != nil {
+		t.Fatalf("history -json: %v\n%s", err, out)
+	}
+	var body struct {
+		Dashboard string `json:"dashboard"`
+		FlowHash  string `json:"flow_hash"`
+		Runs      []struct {
+			Seq    uint64 `json:"seq"`
+			Status string `json:"status"`
+		} `json:"runs"`
+		Profiles []struct {
+			Count int64 `json:"count"`
+		} `json:"profiles"`
+	}
+	if err := json.Unmarshal([]byte(out), &body); err != nil {
+		t.Fatalf("decode %s: %v", out, err)
+	}
+	if body.Dashboard != "demo" || body.FlowHash == "" || len(body.Runs) != 2 {
+		t.Fatalf("history -json = %+v", body)
+	}
+	if len(body.Profiles) == 0 || body.Profiles[0].Count != 2 {
+		t.Fatalf("profiles = %+v", body.Profiles)
+	}
+
+	// An explicit -history-dir with no recorded runs reports cleanly.
+	out, err = runCLI(t, "shareinsights", "history", "-history-dir", t.TempDir(), flow)
+	if err == nil || !strings.Contains(out, "no recorded runs") {
+		t.Fatalf("empty history dir: %v\n%s", err, out)
+	}
+}

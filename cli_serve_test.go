@@ -44,7 +44,7 @@ func startServe(t *testing.T, args ...string) *serveProc {
 		sc := bufio.NewScanner(io.TeeReader(pipe, p.out))
 		for sc.Scan() {
 			line := sc.Text()
-			if _, rest, ok := strings.Cut(line, "listening on "); ok {
+			if _, rest, ok := strings.Cut(line, "ShareInsights listening on "); ok {
 				addrc <- strings.Fields(rest)[0]
 			}
 		}
@@ -141,7 +141,8 @@ func TestCLIServeGracefulShutdownPersists(t *testing.T) {
 }
 
 // TestCLIServeInMemoryDefault pins the default: without -data-dir the
-// server keeps state in memory and says so on the health surface.
+// server keeps state in memory and says so on the health surface, and
+// without -pprof no profiling endpoint exists anywhere.
 func TestCLIServeInMemoryDefault(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds binaries")
@@ -151,5 +152,91 @@ func TestCLIServeInMemoryDefault(t *testing.T) {
 	if code != 200 || !strings.Contains(body, `"durability":"in-memory"`) {
 		t.Fatalf("health: %d %s", code, body)
 	}
+	if code, _ := httpDo(t, "GET", "http://"+p.addr+"/debug/pprof/", ""); code != 404 {
+		t.Fatalf("pprof on public mux without -pprof: %d", code)
+	}
+	out := p.stop(t)
+	if strings.Contains(out, "pprof listening") {
+		t.Fatalf("pprof started without -pprof:\n%s", out)
+	}
+}
+
+// TestCLIServePprof pins the profiler isolation contract: -pprof serves
+// net/http/pprof on its own listener and mux, and the public route
+// table never exposes /debug/pprof even while the profiler is up.
+func TestCLIServePprof(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	p := startServe(t, "-data", t.TempDir(), "-pprof", "127.0.0.1:0")
+	// The pprof banner prints before the main one, so it is already in
+	// the captured output once startServe returns.
+	_, rest, ok := strings.Cut(p.out.String(), "pprof listening on ")
+	if !ok {
+		t.Fatalf("pprof banner missing:\n%s", p.out)
+	}
+	pprofAddr := strings.Fields(rest)[0]
+	if pprofAddr == p.addr {
+		t.Fatalf("pprof shares the public listener %s", p.addr)
+	}
+	code, body := httpDo(t, "GET", "http://"+pprofAddr+"/debug/pprof/", "")
+	if code != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index: %d %s", code, body)
+	}
+	// The public mux stays clean even with the profiler running.
+	if code, _ := httpDo(t, "GET", "http://"+p.addr+"/debug/pprof/", ""); code != 404 {
+		t.Fatalf("pprof leaked onto the public mux: %d", code)
+	}
+	// And the profiler listener serves nothing but pprof.
+	if code, _ := httpDo(t, "GET", "http://"+pprofAddr+"/dashboards", ""); code != 404 {
+		t.Fatalf("public route on the pprof mux: %d", code)
+	}
 	p.stop(t)
+}
+
+// TestCLIServeHistoryPersists is the flight-recorder restart
+// acceptance: runs recorded before a SIGTERM survive into a fresh
+// process over the same -data-dir, and a run in the new process
+// compares against the recovered baseline.
+func TestCLIServeHistoryPersists(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := writeFlowDir(t)
+	stateDir := filepath.Join(dir, "state")
+
+	p1 := startServe(t, "-data", dir, "-data-dir", stateDir)
+	base1 := "http://" + p1.addr + "/dashboards/demo"
+	if code, body := httpDo(t, "PUT", base1, cliFlow); code != 200 {
+		t.Fatalf("put: %d %s", code, body)
+	}
+	if code, body := httpDo(t, "POST", base1+"/run", ""); code != 200 {
+		t.Fatalf("run: %d %s", code, body)
+	}
+	code, body := httpDo(t, "GET", base1+"/history", "")
+	if code != 200 || !strings.Contains(body, `"seq":1`) {
+		t.Fatalf("history before restart: %d %s", code, body)
+	}
+	p1.stop(t)
+
+	p2 := startServe(t, "-data", dir, "-data-dir", stateDir)
+	base2 := "http://" + p2.addr + "/dashboards/demo"
+	// The recorded run survived the restart.
+	code, body = httpDo(t, "GET", base2+"/history", "")
+	if code != 200 || !strings.Contains(body, `"seq":1`) {
+		t.Fatalf("history lost across restart: %d %s", code, body)
+	}
+	// A fresh run compares against the recovered baseline.
+	if code, body := httpDo(t, "POST", base2+"/run", ""); code != 200 {
+		t.Fatalf("run after restart: %d %s", code, body)
+	}
+	code, body = httpDo(t, "GET", base2+"/history?baseline=1", "")
+	if code != 200 || !strings.Contains(body, `"seq":2`) ||
+		!strings.Contains(body, `"baseline"`) || !strings.Contains(body, `"baseline_us"`) {
+		t.Fatalf("baseline after restart: %d %s", code, body)
+	}
+	out := p2.stop(t)
+	if !strings.Contains(out, "recovered history:") {
+		t.Fatalf("history recovery summary missing:\n%s", out)
+	}
 }

@@ -18,11 +18,24 @@
 //	shareinsights plan <flow-file>       print the compiled DAG
 //	shareinsights explore <flow-file>    run and print every endpoint table
 //	shareinsights render <flow-file>     run and write <name>.html
-//	shareinsights time <flow-file>       run and print the slowest pipeline
-//	                                     stages (§6 bottleneck analysis)
+//	shareinsights time [-compare] <flow-file>
+//	                                     run and print the slowest pipeline
+//	                                     stages (§6 bottleneck analysis);
+//	                                     -compare records the run in the
+//	                                     flight recorder (.sihistory beside
+//	                                     the flow file, or -history-dir) and
+//	                                     prints per-stage deltas against the
+//	                                     EWMA baseline of earlier runs
+//	shareinsights history [-json] [-limit N] <flow-file>
+//	                                     print the recorded run history and
+//	                                     per-stage latency profiles without
+//	                                     running (docs/OBSERVABILITY.md)
 //	shareinsights profile <flow-file>    run and print the auto-generated
 //	                                     data-profile meta-dashboard (§6)
 //	shareinsights serve [-addr :8080]    start the REST development server
+//	                                     (-pprof addr serves net/http/pprof
+//	                                     on its own listener and mux, never
+//	                                     the public route table)
 //	shareinsights library                list installed tasks, operators,
 //	                                     aggregates, widgets, connectors
 //
@@ -39,6 +52,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -53,7 +67,9 @@ import (
 	"shareinsights/internal/analyze/flowcheck"
 	"shareinsights/internal/dag"
 	"shareinsights/internal/diagnose"
+	"shareinsights/internal/obs/history"
 	"shareinsights/internal/profile"
+	"shareinsights/internal/store"
 	"shareinsights/internal/task"
 	"shareinsights/internal/widget"
 )
@@ -209,6 +225,7 @@ func main() {
 		sharedCap := fs.Int("shared-cap", 0, "max published objects in the shared catalog (LRU eviction); 0 = unbounded")
 		timeout := fs.Duration("timeout", 0, "per-run deadline for dashboard runs; 0 disables")
 		retries := fs.Int("retries", -1, "connector retry budget per source; -1 keeps the default")
+		pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (own listener and mux); empty disables")
 		fs.Parse(args)
 		p := shareinsights.NewPlatform()
 		p.Connectors = shareinsights.NewConnectorRegistry(shareinsights.ConnectorOptions{DataDir: *dataDir})
@@ -260,6 +277,25 @@ func main() {
 		}
 		errc := make(chan error, 1)
 		go func() { errc <- hs.Serve(ln) }()
+		// The profiler gets its own mux on its own listener: the pprof
+		// handlers never join the public route table, and the default
+		// (-pprof unset) exposes nothing.
+		var ps *http.Server
+		if *pprofAddr != "" {
+			pmux := http.NewServeMux()
+			pmux.HandleFunc("/debug/pprof/", pprof.Index)
+			pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+			pln, err := net.Listen("tcp", *pprofAddr)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ps = &http.Server{Handler: pmux, ReadHeaderTimeout: 10 * time.Second}
+			go func() { ps.Serve(pln) }()
+			fmt.Printf("pprof listening on %s\n", pln.Addr())
+		}
 		// Print the resolved address (":0" picks a free port).
 		fmt.Printf("ShareInsights listening on %s (data dir %s)\n", ln.Addr(), *dataDir)
 		select {
@@ -273,6 +309,9 @@ func main() {
 			if err := hs.Shutdown(sctx); err != nil {
 				log.Fatal(err)
 			}
+			if ps != nil {
+				ps.Shutdown(sctx)
+			}
 			// In-flight requests have drained; flush and fsync the WAL
 			// so every acknowledged mutation is durable before exit.
 			if st != nil {
@@ -283,7 +322,23 @@ func main() {
 			}
 		}
 	case "time":
-		d := mustRun(mustArg(args, "flow file"))
+		fs := flag.NewFlagSet("time", flag.ExitOnError)
+		compare := fs.Bool("compare", false, "record the run in the flight recorder and print per-stage deltas vs the EWMA baseline")
+		histDir := fs.String("history-dir", "", "flight-recorder directory; default .sihistory beside the flow file")
+		fs.Parse(args)
+		path := mustArg(fs.Args(), "flow file")
+		var rec *history.Recorder
+		d := mustRunTraced(path, func(p *shareinsights.Platform, name string) {
+			if !*compare {
+				return
+			}
+			var err error
+			rec, err = history.Open(store.NewOSFS(historyDir(path, *histDir)), history.Options{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			p.History = rec
+		})
 		st := d.Result().Stats
 		fmt.Println("slowest pipeline stages:")
 		for _, s := range st.Slowest(10) {
@@ -317,6 +372,75 @@ func main() {
 		} else {
 			fmt.Println("degraded sources: none")
 		}
+		if rec != nil {
+			printCompare(rec, d.Name)
+			if err := rec.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}
+	case "history":
+		fs := flag.NewFlagSet("history", flag.ExitOnError)
+		asJSON := fs.Bool("json", false, "emit runs and profiles as JSON")
+		limit := fs.Int("limit", 10, "max runs to print; 0 = all")
+		histDir := fs.String("history-dir", "", "flight-recorder directory; default .sihistory beside the flow file")
+		fs.Parse(args)
+		path := mustArg(fs.Args(), "flow file")
+		f := mustParse(path)
+		rec, err := history.Open(store.NewOSFS(historyDir(path, *histDir)), history.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer rec.Close()
+		runs := rec.Runs(f.Name, *limit)
+		if len(runs) == 0 {
+			fatalUsage("no recorded runs for %s; run `shareinsights time -compare %s` first", f.Name, path)
+		}
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			body := map[string]any{
+				"dashboard": f.Name,
+				"flow_hash": runs[0].FlowHash,
+				"runs":      runs,
+				"profiles":  rec.Profiles(runs[0].FlowHash),
+			}
+			if err := enc.Encode(body); err != nil {
+				log.Fatal(err)
+			}
+			break
+		}
+		fmt.Printf("run history for %s (%d run(s), newest first):\n", f.Name, len(runs))
+		for _, r := range runs {
+			line := fmt.Sprintf("  #%-4d %s  %-8s  %8s  %d stage(s)",
+				r.Seq, r.StartedAt.Format(time.RFC3339), r.Status,
+				time.Duration(r.DurationUS)*time.Microsecond, len(r.Stages))
+			if r.Retries > 0 {
+				line += fmt.Sprintf("  retries=%d", r.Retries)
+			}
+			if r.CacheHits > 0 {
+				line += fmt.Sprintf("  cache_hits=%d", r.CacheHits)
+			}
+			if r.ColumnarFallbacks > 0 {
+				line += fmt.Sprintf("  fallbacks=%d", r.ColumnarFallbacks)
+			}
+			if len(r.DegradedSources) > 0 {
+				line += "  degraded=" + strings.Join(r.DegradedSources, ",")
+			}
+			fmt.Println(line)
+		}
+		profs := rec.Profiles(runs[0].FlowHash)
+		if len(profs) > 0 {
+			fmt.Printf("stage profiles (flow %s):\n", runs[0].FlowHash)
+			for _, p := range profs {
+				fmt.Printf("  D.%-20s %-24s n=%-4d ewma=%-10s p50=%-10s p99=%-10s sel=%.2f\n",
+					p.Output, p.Stage, p.Count,
+					time.Duration(int64(p.EWMAUS))*time.Microsecond,
+					time.Duration(int64(p.Latency.Quantile(0.5)))*time.Microsecond,
+					time.Duration(int64(p.Latency.Quantile(0.99)))*time.Microsecond,
+					p.Selectivity)
+			}
+		}
+		printCompare(rec, f.Name)
 	case "profile":
 		d := mustRun(mustArg(args, "flow file"))
 		meta, err := profile.BuildMeta(d)
@@ -344,8 +468,45 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: shareinsights {run|validate|lint|check|fmt|plan|explore|render|time|profile|serve|library} [args]")
+	fmt.Fprintln(os.Stderr, "usage: shareinsights {run|validate|lint|check|fmt|plan|explore|render|time|history|profile|serve|library} [args]")
 	os.Exit(2)
+}
+
+// historyDir resolves the flight-recorder directory: an explicit
+// -history-dir wins, else .sihistory beside the flow file so repeated
+// `time -compare` runs of the same dashboard share one baseline.
+func historyDir(flowPath, dir string) string {
+	if dir != "" {
+		return dir
+	}
+	return filepath.Join(filepath.Dir(flowPath), ".sihistory")
+}
+
+// printCompare prints the latest recorded run's per-stage deltas
+// against the EWMA baseline of earlier runs — the regression view of
+// `time -compare` and GET /dashboards/{name}/history?baseline=1.
+// Regressions (beyond the recorder's threshold) are marked with '!'.
+func printCompare(rec *history.Recorder, dash string) {
+	last, ok := rec.LastRun(dash)
+	if !ok {
+		return
+	}
+	if len(last.Deltas) == 0 {
+		fmt.Println("baseline: first recorded run for this flow revision, no baseline yet")
+		return
+	}
+	fmt.Println("vs baseline (EWMA of prior runs, '!' = regressed):")
+	for _, dl := range last.Deltas {
+		mark := " "
+		if dl.Regressed {
+			mark = "!"
+		}
+		fmt.Printf("%s D.%-20s %-24s %-8s last=%-10s base=%-10s delta=%+.1f%%\n",
+			mark, dl.Output, dl.Stage, dl.Path,
+			time.Duration(dl.LastUS)*time.Microsecond,
+			time.Duration(dl.BaselineUS)*time.Microsecond,
+			dl.DeltaPct)
+	}
 }
 
 // lintFile runs the static analyzer with the platform context rooted at

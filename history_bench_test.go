@@ -1,0 +1,56 @@
+package shareinsights
+
+// Flight-recorder overhead pair: the same end-to-end dashboard run with
+// the run-history recorder off and on (memory-backed, as `serve`
+// without -data-dir records). The delta is the per-run observability
+// tax — BENCH_history.json snapshots it, and docs/OBSERVABILITY.md
+// quotes the bound (< 2%).
+
+import (
+	"testing"
+
+	"shareinsights/internal/connector"
+	"shareinsights/internal/dashboard"
+	"shareinsights/internal/flowfile"
+	"shareinsights/internal/gen"
+	"shareinsights/internal/obs/history"
+)
+
+// benchHistoryRun is benchPipeline over the Apache pipeline with an
+// optional recorder attached to the platform.
+func benchHistoryRun(b *testing.B, withRecorder bool) {
+	f, err := flowfile.Parse("apache", apacheBenchFlow)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mem := map[string][]byte{
+		"svn.csv":  gen.SvnJiraSummaryCSV(gen.ApacheOptions{Seed: 7}),
+		"meta.csv": gen.ProjectMetaCSV(),
+	}
+	var rec *history.Recorder
+	if withRecorder {
+		rec = history.NewRecorder(history.Options{})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := dashboard.NewPlatform()
+		p.Connectors = connector.NewRegistry(connector.Options{Mem: mem})
+		p.History = rec
+		d, err := p.Compile(f, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := d.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if withRecorder {
+		if _, ok := rec.LastRun("apache"); !ok {
+			b.Fatal("recorder captured no runs")
+		}
+	}
+}
+
+func BenchmarkHistoryRunOff(b *testing.B) { benchHistoryRun(b, false) }
+func BenchmarkHistoryRunOn(b *testing.B)  { benchHistoryRun(b, true) }

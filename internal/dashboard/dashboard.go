@@ -20,6 +20,8 @@
 package dashboard
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"time"
 
@@ -28,6 +30,7 @@ import (
 	"shareinsights/internal/engine/batch"
 	"shareinsights/internal/flowfile"
 	"shareinsights/internal/obs"
+	"shareinsights/internal/obs/history"
 	"shareinsights/internal/schema"
 	"shareinsights/internal/share"
 	"shareinsights/internal/table"
@@ -82,6 +85,11 @@ type Platform struct {
 	// (runs, stage timings, rows produced, cache hits). The server
 	// exposes it at GET /metrics.
 	Metrics *obs.Registry
+	// History, when non-nil, receives a structured RunRecord for every
+	// completed run: the flight recorder behind `shareinsights history`,
+	// `time -compare` and GET /dashboards/{name}/history. See
+	// internal/obs/history and docs/OBSERVABILITY.md.
+	History *history.Recorder
 }
 
 // NewPlatform returns a platform with default services and optimization
@@ -135,6 +143,7 @@ type Dashboard struct {
 	result   *batch.Result
 	tracer   obs.Tracer
 	health   RunHealth
+	flowHash string
 
 	// TransferredBytes counts endpoint-data bytes shipped from the
 	// processing context to the interactive context in the last Run.
@@ -158,6 +167,7 @@ func (p *Platform) Compile(f *flowfile.File, resources map[string][]byte) (*Dash
 	if err != nil {
 		return nil, err
 	}
+	sum := sha256.Sum256([]byte(f.String()))
 	d := &Dashboard{
 		Name:     f.Name,
 		File:     f,
@@ -165,6 +175,7 @@ func (p *Platform) Compile(f *flowfile.File, resources map[string][]byte) (*Dash
 		platform: p,
 		plans:    map[string]*widgetPlan{},
 		widgets:  map[string]*widget.Instance{},
+		flowHash: hex.EncodeToString(sum[:8]),
 	}
 	d.env = &task.Env{
 		Resources:   resources,
@@ -293,3 +304,11 @@ func (d *Dashboard) Tracer() obs.Tracer {
 	}
 	return d.platform.Tracer
 }
+
+// FlowHash identifies the compiled flow-file revision: the content
+// hash run-history profiles and baselines are keyed by.
+func (d *Dashboard) FlowHash() string { return d.flowHash }
+
+// History returns the platform's run-history recorder (nil when the
+// platform records no history).
+func (d *Dashboard) History() *history.Recorder { return d.platform.History }

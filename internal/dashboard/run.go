@@ -13,6 +13,7 @@ import (
 	"shareinsights/internal/engine/cube"
 	"shareinsights/internal/flowfile"
 	"shareinsights/internal/obs"
+	"shareinsights/internal/obs/history"
 	"shareinsights/internal/resilience"
 	"shareinsights/internal/table"
 	"shareinsights/internal/task"
@@ -64,6 +65,7 @@ func (d *Dashboard) RunContext(ctx context.Context) error {
 		tr.EndSpan(runSpan)
 	}
 	d.recordRunMetrics(time.Since(start), err)
+	d.recordRunHistory(time.Since(start), err)
 	return err
 }
 
@@ -285,11 +287,70 @@ func (d *Dashboard) recordRunMetrics(dur time.Duration, runErr error) {
 	stageDur := m.Histogram("si_engine_stage_duration_seconds", "Wall time of executed pipeline stages.", nil)
 	queueWait := m.Histogram("si_engine_queue_wait_seconds", "Scheduler queue wait between node readiness and execution.", nil)
 	rows := m.Counter("si_engine_rows_produced_total", "Rows produced by executed pipeline stages.")
+	// Labelled per-stage series: duration by (output, path) and rows by
+	// output, so a dashboard can watch one pipeline stage's trajectory
+	// and spot a row→columnar path flip (docs/OBSERVABILITY.md).
+	stageDurVec := m.HistogramVec("si_stage_duration_seconds", "Wall time of executed pipeline stages, by output object and execution path.", nil, "output", "path")
+	stageRows := m.CounterVec("si_stage_rows_total", "Rows produced by executed pipeline stages, by output object.", "output")
 	for _, t := range st.Timings {
 		stageDur.Observe(t.Duration.Seconds())
 		queueWait.Observe(t.QueueWait.Seconds())
 		rows.Add(int64(t.Rows))
+		stageDurVec.With(t.Output, t.Path).Observe(t.Duration.Seconds())
+		stageRows.With(t.Output).Add(int64(t.Rows))
 	}
+	if st.ColumnarFallbacks > 0 {
+		m.Counter("si_stage_columnar_fallbacks_total", "Stages that started on the vectorized path and fell back to the row kernels.").Add(int64(st.ColumnarFallbacks))
+	}
+}
+
+// recordRunHistory captures a completed run into the platform's
+// flight recorder (when one is attached): the structured RunRecord
+// behind `shareinsights history`, `time -compare` and
+// GET /dashboards/{name}/history. Recording is best-effort — a
+// durability failure degrades history, never the run.
+func (d *Dashboard) recordRunHistory(dur time.Duration, runErr error) {
+	rec := d.platform.History
+	if rec == nil {
+		return
+	}
+	h := d.health
+	run := &history.RunRecord{
+		Dashboard:  d.Name,
+		FlowHash:   d.flowHash,
+		DurationUS: dur.Microseconds(),
+		Status:     h.Status,
+		Error:      h.Error,
+		Retries:    h.Retries,
+	}
+	for _, sh := range h.Sources {
+		if sh.Status != "ok" {
+			run.DegradedSources = append(run.DegradedSources, sh.Name+":"+sh.Status)
+		}
+	}
+	if d.platform.Connectors != nil {
+		for _, st := range d.platform.Connectors.Breakers().States() {
+			if st != resilience.Closed {
+				run.OpenBreakers++
+			}
+		}
+	}
+	if runErr == nil && d.result != nil {
+		st := &d.result.Stats
+		run.TasksRun = st.TasksRun
+		run.CacheHits = len(st.CacheHits)
+		run.SkippedSinks = len(st.SkippedSinks)
+		run.ColumnarFallbacks = st.ColumnarFallbacks
+		run.Stages = make([]history.StageRecord, 0, len(st.Timings))
+		for _, t := range st.Timings {
+			run.Stages = append(run.Stages, history.StageRecord{
+				Output: t.Output, Stage: t.Stage, RowsIn: t.RowsIn, Rows: t.Rows,
+				DurationUS: t.Duration.Microseconds(), QueueWaitUS: t.QueueWait.Microseconds(),
+				Path: t.Path,
+			})
+		}
+	}
+	rec.Record(run)
 }
 
 // loadSource materializes one source data object: shared catalog

@@ -25,6 +25,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"shareinsights/internal/dag"
@@ -96,6 +97,11 @@ type Stats struct {
 	SkippedSinks []string
 	// CacheHits lists produced nodes served from the incremental cache.
 	CacheHits []string
+	// ColumnarFallbacks counts stages that started on the vectorized
+	// path and fell back to the row kernels at run time (the kernel met
+	// data it has no typed path for; see docs/ENGINE.md). Planner
+	// declines are not counted — only run-time fallbacks.
+	ColumnarFallbacks int
 	// Timings records every executed stage.
 	Timings []StageTiming
 	// Failures records every node whose pipeline failed — including
@@ -233,6 +239,7 @@ func (e *Executor) RunWithCacheContext(ctx context.Context, g *dag.Graph, env *t
 	tr := e.Tracer
 	var mu sync.Mutex
 	var wg sync.WaitGroup
+	var fallbacks atomic.Int64
 	for _, name := range g.Order {
 		n := g.Nodes[name]
 		s := slots[name]
@@ -327,7 +334,7 @@ func (e *Executor) RunWithCacheContext(ctx context.Context, g *dag.Graph, env *t
 				res.Stats.Timings = append(res.Stats.Timings, t)
 				mu.Unlock()
 			}
-			out, stages, err := e.runPipeline(ctx, env, specs, ins, n.Inputs, record, tr, nodeSpan, n.ColumnarMode())
+			out, stages, err := e.runPipelineCounted(ctx, env, specs, ins, n.Inputs, record, tr, nodeSpan, n.ColumnarMode(), &fallbacks)
 			if err != nil {
 				if tr != nil {
 					tr.SpanFlag(nodeSpan, "error")
@@ -351,6 +358,7 @@ func (e *Executor) RunWithCacheContext(ctx context.Context, g *dag.Graph, env *t
 		}(n, s)
 	}
 	wg.Wait()
+	res.Stats.ColumnarFallbacks = int(fallbacks.Load())
 	var firstErr error
 	for _, name := range g.Order {
 		s := slots[name]
@@ -415,6 +423,12 @@ func rowsIn(in []*table.Table) int {
 }
 
 func (e *Executor) runPipeline(ctx context.Context, env *task.Env, specs []task.Spec, in []*table.Table, names []string, record func(StageTiming), tr obs.Tracer, parent int, nodeColumnar string) (*table.Table, int, error) {
+	return e.runPipelineCounted(ctx, env, specs, in, names, record, tr, parent, nodeColumnar, nil)
+}
+
+// runPipelineCounted is runPipeline with a run-wide columnar-fallback
+// counter (nil when the caller does not track fallbacks).
+func (e *Executor) runPipelineCounted(ctx context.Context, env *task.Env, specs []task.Spec, in []*table.Table, names []string, record func(StageTiming), tr obs.Tracer, parent int, nodeColumnar string, fb *atomic.Int64) (*table.Table, int, error) {
 	if record == nil {
 		record = func(StageTiming) {}
 	}
@@ -442,7 +456,7 @@ func (e *Executor) runPipeline(ctx context.Context, env *task.Env, specs []task.
 			if st == nil {
 				st = &pipeState{tbl: cur[0]}
 			}
-			handled, err := e.tryVecStage(env, specs, i, colMode, st, record, tr, parent)
+			handled, err := e.tryVecStage(env, specs, i, colMode, st, record, tr, parent, fb)
 			if err != nil {
 				return nil, stages, err
 			}

@@ -12,6 +12,7 @@ package batch
 
 import (
 	"errors"
+	"sync/atomic"
 	"time"
 
 	"shareinsights/internal/obs"
@@ -168,7 +169,7 @@ func runVecStage(stage string, ker colstore.Kernel, b *colstore.Batch) (out *col
 // when the stage should run on the row path instead (planner declined,
 // conversion failed, or the kernel fell back at run time); err is a
 // real stage failure.
-func (e *Executor) tryVecStage(env *task.Env, specs []task.Spec, i int, mode string, st *pipeState, record func(StageTiming), tr obs.Tracer, parent int) (handled bool, err error) {
+func (e *Executor) tryVecStage(env *task.Env, specs []task.Spec, i int, mode string, st *pipeState, record func(StageTiming), tr obs.Tracer, parent int, fb *atomic.Int64) (handled bool, err error) {
 	ker, ok := planVec(env, specs, i, mode, st.Schema(), st.Len())
 	if !ok {
 		return false, nil
@@ -191,6 +192,9 @@ func (e *Executor) tryVecStage(env *task.Env, specs []task.Spec, i int, mode str
 		if errors.Is(err, colstore.ErrFallback) {
 			// The kernel met data it has no typed path for; the row
 			// kernel takes the stage.
+			if fb != nil {
+				fb.Add(1)
+			}
 			if tr != nil {
 				tr.SpanFlag(sid, "fallback")
 				tr.EndSpan(sid)

@@ -1,0 +1,169 @@
+package history
+
+import (
+	"fmt"
+	"testing"
+
+	"shareinsights/internal/store"
+)
+
+// crashWorkload records a scripted run sequence, tracking what was
+// acknowledged: Record returning nil means the run's WAL append was
+// fsync-acked, so recovery must reproduce it.
+type crashWorkload struct {
+	r *Recorder
+	// attempted[i] is the run recorded with Seq i+1 (Record assigns
+	// sequence numbers 1..n in order).
+	attempted []*RunRecord
+	acked     int
+}
+
+func (w *crashWorkload) run() {
+	for i := int64(0); i < 8; i++ {
+		run := stageRun("alpha", "f1", 1000+100*i)
+		w.attempted = append(w.attempted, run)
+		if _, err := w.r.Record(run); err != nil {
+			return
+		}
+		w.acked++
+	}
+}
+
+// verifyRecovery checks a recorder reopened from the crash's durable
+// image: the recovered runs must be a contiguous acknowledged prefix
+// of the attempted sequence — exactly the acked runs when exact, at
+// most one durable-but-unacked run beyond them otherwise — and the
+// profiles must equal a clean re-fold of exactly those runs. A torn
+// tail must never corrupt earlier runs.
+func (w *crashWorkload) verifyRecovery(t *testing.T, name string, r2 *Recorder, exact bool) {
+	t.Helper()
+	runs := r2.Runs("alpha", 0) // newest first
+	k := len(runs)
+	if exact && k != w.acked {
+		t.Fatalf("%s: recovered %d runs, acked %d", name, k, w.acked)
+	}
+	if k < w.acked || k > w.acked+1 {
+		t.Fatalf("%s: recovered %d runs, acked %d (at most one in-flight allowed)", name, k, w.acked)
+	}
+	for i, run := range runs {
+		wantSeq := uint64(k - i)
+		if run.Seq != wantSeq {
+			t.Fatalf("%s: runs[%d].Seq = %d, want %d (contiguous prefix)", name, i, run.Seq, wantSeq)
+		}
+		att := w.attempted[wantSeq-1]
+		if run.Stages[0].DurationUS != att.Stages[0].DurationUS || run.FlowHash != att.FlowHash {
+			t.Fatalf("%s: recovered run %d differs from attempted: %+v vs %+v", name, wantSeq, run, att)
+		}
+	}
+	// Profiles must equal re-folding the recovered runs into a fresh
+	// recorder — no observation lost, none double-counted.
+	clean := NewRecorder(Options{Now: fixedClock()})
+	for i := k - 1; i >= 0; i-- { // oldest first
+		run := runs[i]
+		clean.Record(&RunRecord{Dashboard: run.Dashboard, FlowHash: run.FlowHash, Stages: run.Stages})
+	}
+	wantProf, gotProf := clean.Profiles("f1"), r2.Profiles("f1")
+	if len(wantProf) != len(gotProf) {
+		t.Fatalf("%s: recovered %d profiles, want %d", name, len(gotProf), len(wantProf))
+	}
+	for i := range wantProf {
+		wp, gp := wantProf[i], gotProf[i]
+		if gp.Count != wp.Count || gp.EWMAUS != wp.EWMAUS || gp.Latency.N != wp.Latency.N {
+			t.Fatalf("%s: profile %s/%s = %+v, want re-fold %+v", name, gp.Output, gp.Stage, gp, wp)
+		}
+	}
+}
+
+// serviceable proves the recovered recorder accepts and persists new
+// runs: record, close, reopen, verify.
+func serviceable(t *testing.T, name string, fs store.FS, r2 *Recorder) {
+	t.Helper()
+	before, _ := r2.LastRun("alpha")
+	if _, err := r2.Record(stageRun("alpha", "f1", 9999)); err != nil {
+		t.Fatalf("%s: record after recovery: %v", name, err)
+	}
+	if err := r2.Close(); err != nil {
+		t.Fatalf("%s: close after recovery: %v", name, err)
+	}
+	r3, err := Open(fs, Options{CompactRecords: 3, Now: fixedClock()})
+	if err != nil {
+		t.Fatalf("%s: reopen after post-crash writes: %v", name, err)
+	}
+	defer r3.Close()
+	last, ok := r3.LastRun("alpha")
+	if !ok || last.Seq != before.Seq+1 || last.Stages[0].DurationUS != 9999 {
+		t.Fatalf("%s: post-crash run lost: %+v", name, last)
+	}
+}
+
+// TestCrashKillPointMatrix kills the recorder at every filesystem
+// operation the workload performs — whole and mid-record writes,
+// fsyncs, and the create/rename/remove of snapshot rotation, before
+// and after the operation applies — then recovers from the crash's
+// durable image and asserts the recovered history equals the
+// acknowledged prefix of runs. A torn run record never corrupts the
+// runs before it.
+func TestCrashKillPointMatrix(t *testing.T) {
+	type variant struct {
+		op      store.Op
+		mode    store.Mode
+		partial int
+		policy  store.UnsyncedPolicy
+		exact   bool
+	}
+	variants := []variant{
+		// The canonical kill points under the conservative policy.
+		{store.OpWrite, store.Crash, 0, store.DropUnsynced, true},
+		{store.OpWrite, store.Crash, 7, store.DropUnsynced, true}, // mid-record torn write
+		{store.OpSync, store.Crash, 0, store.DropUnsynced, true},  // pre-fsync
+		{store.OpRename, store.Crash, 0, store.DropUnsynced, true},
+		{store.OpRename, store.CrashAfter, 0, store.DropUnsynced, true},
+		// Snapshot-rotation kill points.
+		{store.OpCreate, store.Crash, 0, store.DropUnsynced, true},
+		{store.OpRemove, store.Crash, 0, store.DropUnsynced, true},
+		{store.OpRemove, store.CrashAfter, 0, store.DropUnsynced, true},
+		// CrashAfter on data ops can leave one durable-but-unacked run.
+		{store.OpWrite, store.CrashAfter, 0, store.DropUnsynced, false},
+		{store.OpSync, store.CrashAfter, 0, store.DropUnsynced, false},
+		// Optimistic and torn page-cache policies.
+		{store.OpWrite, store.Crash, 7, store.KeepUnsynced, false},
+		{store.OpWrite, store.Crash, 7, store.TornUnsynced, false},
+		{store.OpSync, store.Crash, 0, store.KeepUnsynced, false},
+		{store.OpSync, store.Crash, 0, store.TornUnsynced, false},
+	}
+	for _, v := range variants {
+		fired := 0
+		for after := 0; ; after++ {
+			name := fmt.Sprintf("%s/mode=%d/partial=%d/policy=%d/after=%d", v.op, v.mode, v.partial, v.policy, after)
+			ffs := store.NewFaultFS()
+			ffs.Inject(store.Fault{Op: v.op, After: after, Mode: v.mode, Partial: v.partial})
+			// Small compaction threshold so snapshot rotations (create,
+			// rename, remove) happen inside the workload window.
+			r, err := Open(ffs, Options{CompactRecords: 3, Now: fixedClock()})
+			var w *crashWorkload
+			if err == nil {
+				w = &crashWorkload{r: r}
+				w.run()
+			}
+			if !ffs.Crashed() {
+				if err != nil {
+					t.Fatalf("%s: open failed without crash: %v", name, err)
+				}
+				break // swept past the last matching operation
+			}
+			fired++
+			durable := ffs.Durable(v.policy)
+			r2, err := Open(durable, Options{CompactRecords: 3, Now: fixedClock()})
+			if err != nil {
+				t.Fatalf("%s: recovery open failed: %v", name, err)
+			}
+			if w != nil {
+				w.verifyRecovery(t, name, r2, v.exact)
+			}
+			serviceable(t, name, durable, r2)
+		}
+		if fired == 0 {
+			t.Errorf("variant %s/mode=%d never fired", v.op, v.mode)
+		}
+	}
+}

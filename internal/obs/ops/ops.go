@@ -25,6 +25,7 @@ import (
 	"shareinsights/internal/dashboard"
 	"shareinsights/internal/engine/batch"
 	"shareinsights/internal/flowfile"
+	"shareinsights/internal/obs/history"
 	"shareinsights/internal/schema"
 	"shareinsights/internal/table"
 	"shareinsights/internal/value"
@@ -39,6 +40,16 @@ var ObjectsSchema = schema.MustFromNames("object", "rows", "status")
 
 // SummarySchema is the schema of the run-summary table.
 var SummarySchema = schema.MustFromNames("metric", "value")
+
+// RunsSchema is the schema of the run-history panel: the flight
+// recorder's recent runs for this dashboard (docs/OBSERVABILITY.md).
+var RunsSchema = schema.MustFromNames(
+	"run", "status", "duration_us", "stages", "retries", "cache_hits", "fallbacks")
+
+// RegressSchema is the schema of the baseline-comparison panel: the
+// latest run's per-stage deltas against the EWMA baseline.
+var RegressSchema = schema.MustFromNames(
+	"output", "stage", "path", "last_us", "baseline_us", "delta_pct", "regressed")
 
 // stagesTable renders every executed stage.
 func stagesTable(st *batch.Stats) *table.Table {
@@ -103,19 +114,73 @@ func summaryTable(d *dashboard.Dashboard) *table.Table {
 	return t
 }
 
+// runsTable renders the flight recorder's recent runs.
+func runsTable(runs []history.RunRecord) *table.Table {
+	t := table.New(RunsSchema)
+	for _, r := range runs {
+		t.AppendValues(
+			value.NewInt(int64(r.Seq)),
+			value.NewString(r.Status),
+			value.NewInt(r.DurationUS),
+			value.NewInt(int64(len(r.Stages))),
+			value.NewInt(int64(r.Retries)),
+			value.NewInt(int64(r.CacheHits)),
+			value.NewInt(int64(r.ColumnarFallbacks)),
+		)
+	}
+	return t
+}
+
+// regressTable renders the latest run's baseline comparison.
+func regressTable(deltas []history.StageDelta) *table.Table {
+	t := table.New(RegressSchema)
+	for _, dl := range deltas {
+		regressed := "no"
+		if dl.Regressed {
+			regressed = "yes"
+		}
+		t.AppendValues(
+			value.NewString(dl.Output),
+			value.NewString(dl.Stage),
+			value.NewString(dl.Path),
+			value.NewInt(dl.LastUS),
+			value.NewInt(dl.BaselineUS),
+			value.NewFloat(dl.DeltaPct),
+			value.NewString(regressed),
+		)
+	}
+	return t
+}
+
 // BuildOps generates, compiles and runs the ops meta-dashboard for a
-// dashboard that has been run.
+// dashboard that has been run. When the platform records run history,
+// the page gains a run-history panel and — once a baseline exists — a
+// regression panel comparing the latest run against it.
 func BuildOps(d *dashboard.Dashboard) (*dashboard.Dashboard, error) {
 	res := d.Result()
 	if res == nil {
 		return nil, fmt.Errorf("ops: dashboard %s has not been run", d.Name)
 	}
-	mem := map[string][]byte{}
-	for name, t := range map[string]*table.Table{
+	tables := map[string]*table.Table{
 		"stages":  stagesTable(&res.Stats),
 		"objects": objectsTable(&res.Stats),
 		"summary": summaryTable(d),
-	} {
+	}
+	schemas := map[string]*schema.Schema{
+		"stages": StagesSchema, "objects": ObjectsSchema, "summary": SummarySchema,
+	}
+	names := []string{"stages", "objects", "summary"}
+	var withHistory bool
+	if rec := d.History(); rec != nil {
+		if runs := rec.Runs(d.Name, 10); len(runs) > 0 {
+			withHistory = true
+			tables["runs"], schemas["runs"] = runsTable(runs), RunsSchema
+			tables["regress"], schemas["regress"] = regressTable(runs[0].Deltas), RegressSchema
+			names = append(names, "runs", "regress")
+		}
+	}
+	mem := map[string][]byte{}
+	for name, t := range tables {
 		csv, err := connector.EncodeCSV(t)
 		if err != nil {
 			return nil, err
@@ -125,11 +190,11 @@ func BuildOps(d *dashboard.Dashboard) (*dashboard.Dashboard, error) {
 
 	var src strings.Builder
 	src.WriteString("D:\n")
-	fmt.Fprintf(&src, "  stages: [%s]\n", strings.Join(StagesSchema.Names(), ", "))
-	fmt.Fprintf(&src, "  objects: [%s]\n", strings.Join(ObjectsSchema.Names(), ", "))
-	fmt.Fprintf(&src, "  summary: [%s]\n", strings.Join(SummarySchema.Names(), ", "))
+	for _, name := range names {
+		fmt.Fprintf(&src, "  %s: [%s]\n", name, strings.Join(schemas[name].Names(), ", "))
+	}
 	src.WriteString("\n")
-	for _, name := range []string{"stages", "objects", "summary"} {
+	for _, name := range names {
 		fmt.Fprintf(&src, "D.%s:\n  source: mem:%s.csv\n  format: csv\n  endpoint: true\n\n", name, name)
 	}
 	src.WriteString(`F:
@@ -164,15 +229,26 @@ W:
   objects_grid:
     type: Grid
     source: D.objects
-
-L:
 `)
+	if withHistory {
+		src.WriteString(`  runs_grid:
+    type: Grid
+    source: D.runs
+  regress_grid:
+    type: Grid
+    source: D.regress
+`)
+	}
+	src.WriteString("\nL:\n")
 	fmt.Fprintf(&src, "  description: 'Ops: %s'\n", d.Name)
 	src.WriteString(`  rows:
     - [span4: W.summary_grid, span8: W.time_chart]
     - [span12: W.slowest_grid]
     - [span12: W.objects_grid]
 `)
+	if withHistory {
+		src.WriteString("    - [span6: W.runs_grid, span6: W.regress_grid]\n")
+	}
 
 	f, err := flowfile.Parse(d.Name+"_ops", src.String())
 	if err != nil {

@@ -118,7 +118,7 @@ func TestServerRestartPreservesState(t *testing.T) {
 	if err := json.Unmarshal(body, &h); err != nil {
 		t.Fatal(err)
 	}
-	if h.Status != "ok" || h.Durability != "durable" || len(h.Store) != 3 {
+	if h.Status != "ok" || h.Durability != "durable" || len(h.Store) != 4 {
 		t.Fatalf("health = %s", body)
 	}
 	replayed := 0

@@ -27,6 +27,11 @@
 //	                                           for every stage timing, not just top-5)
 //	GET  /dashboards/{name}/trace              last run's span tree (?format=chrome
 //	                                           for trace-event JSON)
+//	GET  /dashboards/{name}/history            run-history flight recorder: recent
+//	                                           runs plus per-stage profiles
+//	                                           (?limit=N, ?baseline=1 for the last
+//	                                           run's deltas against the EWMA
+//	                                           baseline; docs/OBSERVABILITY.md)
 //	GET  /dashboards/{name}/ops                self-hosted ops meta-dashboard
 //	GET  /metrics                              Prometheus text exposition
 //	GET  /shared                               the published-objects catalog
@@ -45,6 +50,7 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -55,6 +61,7 @@ import (
 	"shareinsights/internal/diagnose"
 	"shareinsights/internal/flowfile"
 	"shareinsights/internal/obs"
+	"shareinsights/internal/obs/history"
 	"shareinsights/internal/obs/ops"
 	"shareinsights/internal/profile"
 	"shareinsights/internal/store/persist"
@@ -123,6 +130,11 @@ func New(p *dashboard.Platform, opts ...Option) *Server {
 	for _, opt := range opts {
 		opt(s)
 	}
+	// Every server records run history; a durable store replaces this
+	// memory-only recorder with its journaled one in WirePlatform.
+	if p.History == nil {
+		p.History = history.NewRecorder(history.Options{Metrics: p.Metrics})
+	}
 	if s.store != nil {
 		// Seed the platform with recovered state and start journaling.
 		// WirePlatform only fails on recovered state that cannot be
@@ -174,6 +186,7 @@ func (s *Server) Handler() http.Handler {
 	handle("GET /dashboards/{name}/health", s.handleHealth)
 	handle("GET /dashboards/{name}/stats", s.handleStats)
 	handle("GET /dashboards/{name}/trace", s.handleTrace)
+	handle("GET /dashboards/{name}/history", s.handleHistory)
 	handle("GET /dashboards/{name}/ops", s.handleOps)
 	handle("GET /shared", s.handleShared)
 	handle("GET /dashboards/{name}/edit", s.handleEditor)
@@ -783,6 +796,44 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	trace.Format(w)
+}
+
+// handleHistory serves the run-history flight recorder: the dashboard's
+// recent runs (newest first, ?limit=N to truncate) and the per-stage
+// profiles accumulated for its current flow-file revision. ?baseline=1
+// adds the latest run's per-stage deltas against the EWMA baseline —
+// the regression view `shareinsights time -compare` prints.
+func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	rec := s.platform.History
+	if rec == nil {
+		jsonError(w, http.StatusNotFound, fmt.Errorf("run history is not enabled"))
+		return
+	}
+	limit := 0
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			jsonError(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", v))
+			return
+		}
+		limit = n
+	}
+	runs := rec.Runs(name, limit)
+	if len(runs) == 0 {
+		jsonError(w, http.StatusNotFound, fmt.Errorf("dashboard %q has no recorded runs", name))
+		return
+	}
+	body := map[string]any{
+		"dashboard": name,
+		"flow_hash": runs[0].FlowHash,
+		"runs":      runs,
+		"profiles":  rec.Profiles(runs[0].FlowHash),
+	}
+	if r.URL.Query().Get("baseline") == "1" {
+		body["baseline"] = runs[0].Deltas
+	}
+	jsonOK(w, body)
 }
 
 // handleOps serves the self-hosted ops meta-dashboard: the last run's

@@ -25,6 +25,7 @@ import (
 
 	"shareinsights/internal/dashboard"
 	"shareinsights/internal/obs"
+	"shareinsights/internal/obs/history"
 	"shareinsights/internal/share"
 	"shareinsights/internal/store"
 	"shareinsights/internal/table"
@@ -51,10 +52,15 @@ type component struct {
 	dir *store.Dir
 }
 
-// Store is the platform's durable state: three journaled components
-// sharing one data directory.
+// Store is the platform's durable state: four journaled components
+// sharing one data directory (vcs, catalog, cache, history).
 type Store struct {
 	vcsC, catC, cacheC component
+
+	// recorder is the run-history flight recorder; it owns its own
+	// store.Dir under "history" and journals itself (one WAL record
+	// per run, snapshot at its own thresholds).
+	recorder *history.Recorder
 
 	opts Options
 	now  func() time.Time
@@ -114,6 +120,13 @@ func Open(fs store.FS, opts Options) (*Store, error) {
 		s.catC.dir.Close()
 		return nil, err
 	}
+	if s.recorder, err = history.Open(fs, history.Options{Metrics: opts.Metrics, Now: s.now}); err != nil {
+		s.vcsC.dir.Close()
+		s.catC.dir.Close()
+		s.cacheC.dir.Close()
+		return nil, err
+	}
+	s.recoveries = append(s.recoveries, s.recorder.Recovery())
 	// Live repositories are rebuilt from the shadows: distinct objects
 	// (the journal hook applies entries to the shadow under the store
 	// lock, which would deadlock if live and shadow were the same repo)
@@ -366,8 +379,12 @@ func (s *Store) WirePlatform(p *dashboard.Platform) error {
 	p.Catalog.SetJournal(s.catalogJournal)
 	s.shadowCache.Each(func(dash, src string, t *table.Table) { p.LastGood.Seed(dash, src, t) })
 	p.LastGood.SetJournal(s.cacheJournal)
+	p.History = s.recorder
 	return nil
 }
+
+// History returns the durable run-history recorder.
+func (s *Store) History() *history.Recorder { return s.recorder }
 
 // Repos returns the recovered, journaled repositories by dashboard
 // name. The server owns them from here on.
@@ -418,16 +435,24 @@ func (s *Store) Recoveries() []*store.Recovery { return s.recoveries }
 // surface.
 func (s *Store) Status() []ComponentStatus {
 	dirs := []*store.Dir{s.vcsC.dir, s.catC.dir, s.cacheC.dir}
-	out := make([]ComponentStatus, len(s.recoveries))
-	for i, rec := range s.recoveries {
-		st := ComponentStatus{Recovery: *rec}
-		st.WALBytes, st.WALRecords = dirs[i].WALSize()
-		if err := dirs[i].Damaged(); err != nil {
+	out := make([]ComponentStatus, 0, len(s.recoveries))
+	for i, dir := range dirs {
+		st := ComponentStatus{Recovery: *s.recoveries[i]}
+		st.WALBytes, st.WALRecords = dir.WALSize()
+		if err := dir.Damaged(); err != nil {
 			st.Damaged = err.Error()
 		}
-		out[i] = st
+		out = append(out, st)
 	}
-	return out
+	// The history recorder owns its own Dir; it reports through its
+	// Status accessor instead of a shared dirs slice.
+	hst := ComponentStatus{Recovery: *s.recorder.Recovery()}
+	var damaged error
+	hst.WALBytes, hst.WALRecords, damaged = s.recorder.Status()
+	if damaged != nil {
+		hst.Damaged = damaged.Error()
+	}
+	return append(out, hst)
 }
 
 // Close fsyncs and closes every component directory.
@@ -439,6 +464,9 @@ func (s *Store) Close() error {
 			first = err
 		}
 		c.mu.Unlock()
+	}
+	if err := s.recorder.Close(); err != nil && first == nil {
+		first = err
 	}
 	return first
 }
