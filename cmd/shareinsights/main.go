@@ -35,7 +35,18 @@
 //	shareinsights serve [-addr :8080]    start the REST development server
 //	                                     (-pprof addr serves net/http/pprof
 //	                                     on its own listener and mux, never
-//	                                     the public route table)
+//	                                     the public route table); admission
+//	                                     control via -max-inflight,
+//	                                     -queue-depth, -tenant-rps,
+//	                                     -result-cache, -run-max-rows,
+//	                                     -run-max-bytes (docs/SERVING.md)
+//	shareinsights load [-url http://...] drive concurrent dashboard
+//	                                     sessions against a serve process
+//	                                     and report latency percentiles,
+//	                                     shed rate and cache hit rate; with
+//	                                     no -url, self-hosts a server and
+//	                                     reports ungated vs gated
+//	                                     (BENCH_serve.json shape)
 //	shareinsights library                list installed tasks, operators,
 //	                                     aggregates, widgets, connectors
 //
@@ -226,14 +237,36 @@ func main() {
 		timeout := fs.Duration("timeout", 0, "per-run deadline for dashboard runs; 0 disables")
 		retries := fs.Int("retries", -1, "connector retry budget per source; -1 keeps the default")
 		pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (own listener and mux); empty disables")
+		maxInflight := fs.Int("max-inflight", 0, "admission gate: max concurrent expensive requests (runs, renders, explores); 0 disables the gate")
+		queueDepth := fs.Int("queue-depth", 0, "admission gate: waiters allowed beyond -max-inflight before shedding with 429")
+		tenantRPS := fs.Float64("tenant-rps", 0, "per-tenant token-bucket rate limit (X-SI-Tenant header); 0 disables")
+		resultCache := fs.Int("result-cache", 0, "shared result cache: collapse identical concurrent runs, serve repeats until invalidated; value bounds the entry count, 0 disables")
+		runMaxRows := fs.Int64("run-max-rows", 0, "per-run budget: max materialized rows across all data objects; 0 = unbounded")
+		runMaxBytes := fs.Int64("run-max-bytes", 0, "per-run budget: max materialized bytes across all data objects; 0 = unbounded")
 		fs.Parse(args)
 		p := shareinsights.NewPlatform()
 		p.Connectors = shareinsights.NewConnectorRegistry(shareinsights.ConnectorOptions{DataDir: *dataDir})
 		configureResilience(p, *timeout, *retries)
+		if *runMaxRows > 0 || *runMaxBytes > 0 {
+			rows, bytes := *runMaxRows, *runMaxBytes
+			p.NewRunBudget = func() shareinsights.EngineBudget {
+				return shareinsights.NewRunBudget(rows, bytes)
+			}
+		}
 		if *sharedCap > 0 {
 			p.Catalog.SetLimit(*sharedCap)
 		}
 		var opts []shareinsights.ServerOption
+		if *maxInflight > 0 || *queueDepth > 0 || *tenantRPS > 0 {
+			opts = append(opts, shareinsights.WithAdmission(shareinsights.AdmissionConfig{
+				MaxInFlight: *maxInflight,
+				QueueDepth:  *queueDepth,
+				TenantRPS:   *tenantRPS,
+			}))
+		}
+		if *resultCache > 0 {
+			opts = append(opts, shareinsights.WithResultCache(*resultCache))
+		}
 		var st *shareinsights.Store
 		if *stateDir != "" {
 			p.Metrics = shareinsights.NewMetricsRegistry()
@@ -320,6 +353,84 @@ func main() {
 				}
 				fmt.Println("durable state closed")
 			}
+		}
+	case "load":
+		fs := flag.NewFlagSet("load", flag.ExitOnError)
+		url := fs.String("url", "", "target serve base URL; empty self-hosts an in-process server and reports ungated vs gated")
+		dashboards := fs.Int("dashboards", 4, "distinct dashboards to create and round-robin across")
+		workers := fs.Int("workers", 64, "concurrent client sessions")
+		requests := fs.Int("requests", 1000, "total run requests")
+		tenants := fs.Int("tenants", 4, "distinct X-SI-Tenant identities")
+		rows := fs.Int("rows", 500, "rows per dashboard's uploaded CSV")
+		maxInflight := fs.Int("max-inflight", 8, "gated self-host: admission gate concurrency")
+		queueDepth := fs.Int("queue-depth", 16, "gated self-host: queue depth before shedding")
+		tenantRPS := fs.Float64("tenant-rps", 0, "gated self-host: per-tenant token-bucket rate limit; 0 disables")
+		resultCache := fs.Int("result-cache", 64, "gated self-host: result cache entries")
+		out := fs.String("out", "", "write the JSON report to this file instead of stdout")
+		fs.Parse(args)
+		cfg := shareinsights.LoadConfig{
+			BaseURL:    *url,
+			Dashboards: *dashboards,
+			Workers:    *workers,
+			Requests:   *requests,
+			Tenants:    *tenants,
+			Rows:       *rows,
+		}
+		var report any
+		if *url != "" {
+			rep, err := shareinsights.RunLoad(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			report = rep
+		} else {
+			// Self-host compare: the same burst against a plain server and
+			// against a gated one, so the report shows what admission
+			// control buys — bounded latency plus controlled 429s instead
+			// of unbounded pile-up.
+			run := func(opts ...shareinsights.ServerOption) *shareinsights.LoadReport {
+				base, shutdown := startLoadServer(opts...)
+				defer shutdown()
+				c := cfg
+				c.BaseURL = base
+				rep, err := shareinsights.RunLoad(c)
+				if err != nil {
+					log.Fatal(err)
+				}
+				return rep
+			}
+			ungated := run()
+			gated := run(
+				shareinsights.WithAdmission(shareinsights.AdmissionConfig{
+					MaxInFlight: *maxInflight,
+					QueueDepth:  *queueDepth,
+					TenantRPS:   *tenantRPS,
+				}),
+				shareinsights.WithResultCache(*resultCache),
+			)
+			report = map[string]any{
+				"config": map[string]any{
+					"dashboards": *dashboards, "workers": *workers,
+					"requests": *requests, "tenants": *tenants, "rows": *rows,
+					"max_inflight": *maxInflight, "queue_depth": *queueDepth,
+					"tenant_rps": *tenantRPS, "result_cache": *resultCache,
+				},
+				"ungated": ungated,
+				"gated":   gated,
+			}
+		}
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		buf = append(buf, '\n')
+		if *out != "" {
+			if err := os.WriteFile(*out, buf, 0o644); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("load report written to %s\n", *out)
+		} else {
+			os.Stdout.Write(buf)
 		}
 	case "time":
 		fs := flag.NewFlagSet("time", flag.ExitOnError)
@@ -468,8 +579,27 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: shareinsights {run|validate|lint|check|fmt|plan|explore|render|time|history|profile|serve|library} [args]")
+	fmt.Fprintln(os.Stderr, "usage: shareinsights {run|validate|lint|check|fmt|plan|explore|render|time|history|profile|serve|load|library} [args]")
 	os.Exit(2)
+}
+
+// startLoadServer spins up an in-process serve instance on a loopback
+// port for the self-hosted `load` comparison, returning its base URL
+// and a shutdown func.
+func startLoadServer(opts ...shareinsights.ServerOption) (string, func()) {
+	p := shareinsights.NewPlatform()
+	srv := shareinsights.NewServer(p, opts...)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	go hs.Serve(ln)
+	return "http://" + ln.Addr().String(), func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		hs.Shutdown(ctx)
+	}
 }
 
 // historyDir resolves the flight-recorder directory: an explicit

@@ -1,0 +1,385 @@
+// Package admission is the serving layer's front door: a server-wide
+// concurrency gate with a bounded FIFO queue and queue-depth shedding,
+// per-tenant token-bucket rate limits and in-flight quotas, per-run
+// row/byte budgets, and a singleflight result cache that collapses
+// identical concurrent runs into one execution (docs/SERVING.md).
+//
+// The paper's premise is one platform serving an entire hackathon's
+// worth of concurrent analysts; without admission control any burst of
+// dashboard runs competes unbounded for CPU and memory, and one
+// tenant's expensive flow starves everyone. The gate turns overload
+// into bounded latency plus explicit 429s — the same Retry-After
+// contract the http connector already honors on the client side
+// (docs/RESILIENCE.md) — instead of collapse.
+//
+// Like internal/resilience, this package is standard-library-only
+// (internal/obs, its one dependency, is itself stdlib-only), so every
+// layer of the system can adopt it.
+package admission
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"shareinsights/internal/obs"
+)
+
+// DefaultTenant is the tenant requests without an X-SI-Tenant header
+// are accounted to.
+const DefaultTenant = "default"
+
+// Shed reasons, carried on ShedError and the reason label of
+// si_admission_shed_total.
+const (
+	// ShedQueueFull marks requests rejected because the global gate was
+	// saturated and its FIFO queue at capacity.
+	ShedQueueFull = "queue_full"
+	// ShedQueueTimeout marks requests that queued but were not granted
+	// a slot within Config.QueueTimeout.
+	ShedQueueTimeout = "queue_timeout"
+	// ShedTenantRate marks requests rejected by the tenant's token
+	// bucket (request rate above Config.TenantRPS for too long).
+	ShedTenantRate = "tenant_rate"
+	// ShedTenantQuota marks requests rejected because the tenant is
+	// already running Config.TenantMaxInFlight requests.
+	ShedTenantQuota = "tenant_quota"
+)
+
+// ShedError is a load-shedding decision: the request was rejected
+// before any work ran. Servers translate it to HTTP 429 with a
+// Retry-After header; it is not a failure of the platform, so it must
+// never feed circuit breakers or error budgets.
+type ShedError struct {
+	// Reason is one of the Shed* constants.
+	Reason string
+	// Tenant is the tenant the request was accounted to.
+	Tenant string
+	// RetryAfter is the backoff hint: for tenant_rate sheds the time
+	// until the bucket refills one token, otherwise Config.RetryAfter.
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("request shed (%s, tenant %q): retry after %s", e.Reason, e.Tenant, e.RetryAfter)
+}
+
+// Config tunes a Gate. The zero value disables every limit: Acquire
+// then always admits immediately.
+type Config struct {
+	// MaxInFlight caps concurrently admitted requests server-wide;
+	// <= 0 disables the global gate (no queue, no queue sheds).
+	MaxInFlight int
+	// QueueDepth bounds the FIFO queue behind a saturated gate;
+	// arrivals beyond it shed with reason queue_full. <= 0 means no
+	// queue: a saturated gate sheds immediately.
+	QueueDepth int
+	// QueueTimeout caps how long a queued request waits for a slot
+	// before shedding with reason queue_timeout (default 10s).
+	QueueTimeout time.Duration
+	// TenantRPS is each tenant's token-bucket refill rate in requests
+	// per second; <= 0 disables per-tenant rate limiting.
+	TenantRPS float64
+	// TenantBurst is the bucket capacity (default: 2×TenantRPS,
+	// minimum 1) — the burst a tenant can spend after an idle period.
+	TenantBurst int
+	// TenantMaxInFlight caps one tenant's concurrently admitted
+	// requests; <= 0 disables per-tenant quotas.
+	TenantMaxInFlight int
+	// RetryAfter is the backoff hint attached to queue_full and
+	// tenant_quota sheds (default 1s).
+	RetryAfter time.Duration
+	// Metrics receives the si_admission_* series (optional).
+	Metrics *obs.Registry
+	// Now overrides the clock (tests).
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueTimeout <= 0 {
+		c.QueueTimeout = 10 * time.Second
+	}
+	if c.TenantBurst <= 0 {
+		c.TenantBurst = int(2 * c.TenantRPS)
+		if c.TenantBurst < 1 {
+			c.TenantBurst = 1
+		}
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// tenantState is one tenant's token bucket and in-flight count.
+type tenantState struct {
+	tokens   float64
+	last     time.Time
+	inflight int
+}
+
+// waiter is one queued request. grant is buffered so a releaser can
+// hand over a slot without blocking even while the waiter is
+// concurrently abandoning the wait (cancel or timeout).
+type waiter struct {
+	tenant string
+	grant  chan struct{}
+}
+
+// Gate is the admission controller. The zero value is not usable;
+// build one with NewGate.
+type Gate struct {
+	cfg Config
+
+	mu       sync.Mutex
+	inflight int
+	queue    []*waiter
+	tenants  map[string]*tenantState
+	admitted int64
+	sheds    map[string]int64 // by reason
+
+	mInflight *obs.Gauge
+	mQueued   *obs.Gauge
+	mAdmitted *obs.Counter
+	mShed     *obs.CounterVec
+	mWait     *obs.Histogram
+}
+
+// NewGate builds a gate from cfg.
+func NewGate(cfg Config) *Gate {
+	g := &Gate{cfg: cfg.withDefaults(), tenants: map[string]*tenantState{}, sheds: map[string]int64{}}
+	if m := g.cfg.Metrics; m != nil {
+		g.mInflight = m.Gauge("si_admission_inflight", "Requests currently admitted through the gate.")
+		g.mQueued = m.Gauge("si_admission_queued", "Requests waiting in the admission FIFO queue.")
+		g.mAdmitted = m.Counter("si_admission_admitted_total", "Requests admitted through the gate.")
+		g.mShed = m.CounterVec("si_admission_shed_total", "Requests shed by the admission controller, by reason.", "reason")
+		g.mWait = m.Histogram("si_admission_queue_wait_seconds", "Queue wait of admitted requests that had to queue.", nil)
+	}
+	return g
+}
+
+// tenantLocked fetches or creates a tenant's state. Callers hold g.mu.
+func (g *Gate) tenantLocked(tenant string) *tenantState {
+	ts := g.tenants[tenant]
+	if ts == nil {
+		// Bound the map: a scrape of distinct tenant names must not
+		// grow it forever. Idle tenants (full bucket, nothing running)
+		// carry no state worth keeping.
+		if len(g.tenants) >= 4096 {
+			for name, old := range g.tenants {
+				if old.inflight == 0 && old.tokens >= float64(g.cfg.TenantBurst) {
+					delete(g.tenants, name)
+				}
+			}
+		}
+		ts = &tenantState{tokens: float64(g.cfg.TenantBurst), last: g.cfg.Now()}
+		g.tenants[tenant] = ts
+	}
+	return ts
+}
+
+// refillLocked advances a tenant's token bucket to now.
+func (g *Gate) refillLocked(ts *tenantState, now time.Time) {
+	if elapsed := now.Sub(ts.last); elapsed > 0 {
+		ts.tokens += elapsed.Seconds() * g.cfg.TenantRPS
+		if burst := float64(g.cfg.TenantBurst); ts.tokens > burst {
+			ts.tokens = burst
+		}
+	}
+	ts.last = now
+}
+
+// gaugesLocked publishes the in-flight and queue-depth gauges.
+func (g *Gate) gaugesLocked() {
+	if g.mInflight != nil {
+		g.mInflight.Set(float64(g.inflight))
+		g.mQueued.Set(float64(len(g.queue)))
+	}
+}
+
+// shed builds a ShedError and counts it. Callers must not hold g.mu.
+func (g *Gate) shed(reason, tenant string, retryAfter time.Duration) error {
+	g.mu.Lock()
+	g.sheds[reason]++
+	g.mu.Unlock()
+	if g.mShed != nil {
+		g.mShed.With(reason).Inc()
+	}
+	return &ShedError{Reason: reason, Tenant: tenant, RetryAfter: retryAfter}
+}
+
+// admitted counts one admission.
+func (g *Gate) countAdmitted() {
+	g.mu.Lock()
+	g.admitted++
+	g.mu.Unlock()
+	if g.mAdmitted != nil {
+		g.mAdmitted.Inc()
+	}
+}
+
+// Acquire admits, queues or sheds one request for tenant ("" means
+// DefaultTenant). The checks run in cost order — tenant token bucket,
+// tenant in-flight quota, then the global gate — so a rate-limited
+// tenant never occupies a queue slot. On admission it returns a
+// release function (idempotent; callers must invoke it exactly when
+// the work ends). On rejection the error is a *ShedError, except when
+// ctx dies while queued, which returns ctx.Err() — the client is gone,
+// there is nobody to send a Retry-After to.
+//
+// Cancellation is only observed while queued: admission itself never
+// blocks on anything but the queue.
+func (g *Gate) Acquire(ctx context.Context, tenant string) (func(), error) {
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	g.mu.Lock()
+	ts := g.tenantLocked(tenant)
+	if g.cfg.TenantRPS > 0 {
+		g.refillLocked(ts, g.cfg.Now())
+		if ts.tokens < 1 {
+			wait := time.Duration((1 - ts.tokens) / g.cfg.TenantRPS * float64(time.Second))
+			if wait < time.Millisecond {
+				wait = time.Millisecond
+			}
+			g.mu.Unlock()
+			return nil, g.shed(ShedTenantRate, tenant, wait)
+		}
+		ts.tokens--
+	}
+	if g.cfg.TenantMaxInFlight > 0 && ts.inflight >= g.cfg.TenantMaxInFlight {
+		g.mu.Unlock()
+		return nil, g.shed(ShedTenantQuota, tenant, g.cfg.RetryAfter)
+	}
+	if g.cfg.MaxInFlight <= 0 || g.inflight < g.cfg.MaxInFlight {
+		g.inflight++
+		ts.inflight++
+		g.gaugesLocked()
+		g.mu.Unlock()
+		g.countAdmitted()
+		return g.releaseFunc(tenant), nil
+	}
+	if len(g.queue) >= g.cfg.QueueDepth {
+		g.mu.Unlock()
+		return nil, g.shed(ShedQueueFull, tenant, g.cfg.RetryAfter)
+	}
+	w := &waiter{tenant: tenant, grant: make(chan struct{}, 1)}
+	g.queue = append(g.queue, w)
+	g.gaugesLocked()
+	g.mu.Unlock()
+
+	enqueued := time.Now()
+	timer := time.NewTimer(g.cfg.QueueTimeout)
+	defer timer.Stop()
+	select {
+	case <-w.grant:
+		if g.mWait != nil {
+			g.mWait.Observe(time.Since(enqueued).Seconds())
+		}
+		g.countAdmitted()
+		return g.releaseFunc(tenant), nil
+	case <-ctx.Done():
+		if g.abandon(w) {
+			return nil, ctx.Err()
+		}
+		// A releaser granted our slot concurrently with the cancel:
+		// the grant is in the buffered channel. Take it and release it
+		// so the slot is not leaked — a canceled queued run must hand
+		// its slot to the next waiter.
+		<-w.grant
+		g.release(tenant)
+		return nil, ctx.Err()
+	case <-timer.C:
+		if g.abandon(w) {
+			return nil, g.shed(ShedQueueTimeout, tenant, g.cfg.RetryAfter)
+		}
+		<-w.grant
+		g.release(tenant)
+		return nil, g.shed(ShedQueueTimeout, tenant, g.cfg.RetryAfter)
+	}
+}
+
+// abandon removes w from the queue. False means w is no longer queued
+// — a releaser already granted it a slot, which the caller now owns
+// (and must release).
+func (g *Gate) abandon(w *waiter) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for i, q := range g.queue {
+		if q == w {
+			g.queue = append(g.queue[:i], g.queue[i+1:]...)
+			g.gaugesLocked()
+			return true
+		}
+	}
+	return false
+}
+
+// releaseFunc wraps release in a sync.Once: a double release must not
+// corrupt the in-flight accounting.
+func (g *Gate) releaseFunc(tenant string) func() {
+	var once sync.Once
+	return func() { once.Do(func() { g.release(tenant) }) }
+}
+
+// release returns one slot: the oldest queued waiter inherits it (the
+// slot never goes idle while the queue is non-empty), otherwise the
+// in-flight count drops.
+func (g *Gate) release(tenant string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if ts := g.tenants[tenant]; ts != nil && ts.inflight > 0 {
+		ts.inflight--
+	}
+	if len(g.queue) > 0 {
+		w := g.queue[0]
+		g.queue = g.queue[1:]
+		g.tenantLocked(w.tenant).inflight++
+		w.grant <- struct{}{}
+	} else if g.inflight > 0 {
+		g.inflight--
+	}
+	g.gaugesLocked()
+}
+
+// Stats is a point-in-time snapshot of the gate for status surfaces
+// (the ops meta-dashboard's admission panel).
+type Stats struct {
+	// InFlight is the number of currently admitted requests.
+	InFlight int
+	// Queued is the current FIFO queue depth.
+	Queued int
+	// MaxInFlight and QueueDepth echo the configured limits.
+	MaxInFlight int
+	QueueDepth  int
+	// Tenants is the number of tenants with tracked state.
+	Tenants int
+	// Admitted is the cumulative count of admitted requests.
+	Admitted int64
+	// Shed maps shed reasons to cumulative counts.
+	Shed map[string]int64
+}
+
+// Stats snapshots the gate.
+func (g *Gate) Stats() Stats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	shed := make(map[string]int64, len(g.sheds))
+	for k, v := range g.sheds {
+		shed[k] = v
+	}
+	return Stats{
+		InFlight:    g.inflight,
+		Queued:      len(g.queue),
+		MaxInFlight: g.cfg.MaxInFlight,
+		QueueDepth:  g.cfg.QueueDepth,
+		Tenants:     len(g.tenants),
+		Admitted:    g.admitted,
+		Shed:        shed,
+	}
+}

@@ -1,0 +1,203 @@
+package admission
+
+import (
+	"context"
+	"strings"
+	"sync"
+
+	"shareinsights/internal/obs"
+)
+
+// Result-cache outcomes, reported by Do and surfaced to clients on the
+// X-SI-Result-Cache response header.
+const (
+	// OutcomeHit marks a request served from a completed cache entry.
+	OutcomeHit = "hit"
+	// OutcomeMiss marks the request that led an execution (and, on
+	// success, populated the cache).
+	OutcomeMiss = "miss"
+	// OutcomeFollow marks a request collapsed onto a concurrent
+	// identical execution (singleflight): it waited for the leader's
+	// result instead of running its own.
+	OutcomeFollow = "follow"
+)
+
+// ResultCache is a bounded, singleflight-collapsing cache of run
+// results. Keys encode everything a result depends on — flow-file
+// revision, shared-input catalog generations, upload revision — so a
+// publish, commit or upload naturally rotates the key; Invalidate
+// additionally drops entries eagerly so a superseded result never
+// lingers until eviction.
+//
+// Values are opaque (any): the cache does not know what a dashboard
+// is, keeping this package engine-agnostic like the rest of admission.
+type ResultCache struct {
+	limit int
+
+	mu      sync.Mutex
+	seq     int64
+	entries map[string]*cacheEntry
+	flights map[string]*flight
+	stats   CacheStats
+
+	mHits, mMisses, mCollapsed, mEvictions, mInvalidations *obs.Counter
+	mEntries                                               *obs.Gauge
+}
+
+type cacheEntry struct {
+	val  any
+	seen int64 // LRU clock
+}
+
+// flight is one in-progress leader execution; followers wait on done.
+type flight struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// NewResultCache builds a cache holding at most limit completed
+// entries (default 128 when limit <= 0).
+func NewResultCache(limit int, m *obs.Registry) *ResultCache {
+	if limit <= 0 {
+		limit = 128
+	}
+	c := &ResultCache{
+		limit:   limit,
+		entries: map[string]*cacheEntry{},
+		flights: map[string]*flight{},
+	}
+	if m != nil {
+		c.mHits = m.Counter("si_result_cache_hits_total", "Run requests served from the shared result cache.")
+		c.mMisses = m.Counter("si_result_cache_misses_total", "Run requests that executed and (on success) populated the result cache.")
+		c.mCollapsed = m.Counter("si_result_cache_collapsed_total", "Run requests collapsed onto a concurrent identical execution (singleflight).")
+		c.mEvictions = m.Counter("si_result_cache_evictions_total", "Result-cache entries evicted by the LRU bound.")
+		c.mInvalidations = m.Counter("si_result_cache_invalidations_total", "Result-cache entries dropped by explicit invalidation.")
+		c.mEntries = m.Gauge("si_result_cache_entries", "Completed entries in the shared result cache.")
+	}
+	return c
+}
+
+func inc(c *obs.Counter) {
+	if c != nil {
+		c.Inc()
+	}
+}
+
+// Do returns the cached value for key, or executes fn to produce it.
+// Concurrent calls with the same key collapse: one leader runs fn, the
+// rest wait for its result (outcome "follow"). A follower whose ctx
+// dies returns ctx.Err() without disturbing the flight — the leader
+// keeps running for everyone else. Failed executions are never cached.
+func (c *ResultCache) Do(ctx context.Context, key string, fn func() (any, error)) (any, string, error) {
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.seq++
+		e.seen = c.seq
+		c.stats.Hits++
+		c.mu.Unlock()
+		inc(c.mHits)
+		return e.val, OutcomeHit, nil
+	}
+	if f, ok := c.flights[key]; ok {
+		c.stats.Collapsed++
+		c.mu.Unlock()
+		inc(c.mCollapsed)
+		select {
+		case <-f.done:
+			return f.val, OutcomeFollow, f.err
+		case <-ctx.Done():
+			return nil, OutcomeFollow, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	c.stats.Misses++
+	c.mu.Unlock()
+	inc(c.mMisses)
+
+	f.val, f.err = fn()
+
+	c.mu.Lock()
+	delete(c.flights, key)
+	if f.err == nil {
+		c.storeLocked(key, f.val)
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return f.val, OutcomeMiss, f.err
+}
+
+// storeLocked installs a completed entry, evicting the least recently
+// used entry when over the bound. Callers hold c.mu.
+func (c *ResultCache) storeLocked(key string, val any) {
+	c.seq++
+	c.entries[key] = &cacheEntry{val: val, seen: c.seq}
+	for len(c.entries) > c.limit {
+		var oldest string
+		var oldestSeen int64
+		for k, e := range c.entries {
+			if oldest == "" || e.seen < oldestSeen {
+				oldest, oldestSeen = k, e.seen
+			}
+		}
+		delete(c.entries, oldest)
+		c.stats.Evictions++
+		inc(c.mEvictions)
+	}
+	if c.mEntries != nil {
+		c.mEntries.Set(float64(len(c.entries)))
+	}
+}
+
+// Invalidate drops every completed entry whose key starts with prefix
+// ("" drops all) and returns how many were dropped. In-progress
+// flights are untouched: their result lands under a key the caller's
+// mutation has already superseded, where the next Invalidate or the
+// LRU bound collects it.
+func (c *ResultCache) Invalidate(prefix string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for k := range c.entries {
+		if strings.HasPrefix(k, prefix) {
+			delete(c.entries, k)
+			n++
+		}
+	}
+	c.stats.Invalidations += int64(n)
+	if n > 0 && c.mInvalidations != nil {
+		c.mInvalidations.Add(int64(n))
+	}
+	if c.mEntries != nil {
+		c.mEntries.Set(float64(len(c.entries)))
+	}
+	return n
+}
+
+// Len reports the number of completed entries.
+func (c *ResultCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// CacheStats is a point-in-time snapshot of the result cache for
+// status surfaces (the ops meta-dashboard's cache panel).
+type CacheStats struct {
+	// Entries is the number of completed entries held.
+	Entries int
+	// Hits, Misses and Collapsed count Do outcomes cumulatively.
+	Hits, Misses, Collapsed int64
+	// Evictions and Invalidations count dropped entries cumulatively.
+	Evictions, Invalidations int64
+}
+
+// Stats snapshots the cache.
+func (c *ResultCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stats
+	st.Entries = len(c.entries)
+	return st
+}

@@ -208,6 +208,7 @@ func LintWithFacts(f *flowfile.File, opts Options) (*Report, *flowcheck.Facts) {
 	l.checkDataProps()
 	l.checkResilienceProps()
 	l.checkColumnarProp()
+	l.checkCacheProps()
 	l.checkPublish()
 	l.checkDeadEntities()
 	l.checkDeadColumns()
@@ -331,6 +332,7 @@ func (l *linter) validation() {
 var reclaimedCodes = map[string]bool{
 	flowfile.ProblemResilience: true, // FL042: on_error / timeout / retries
 	flowfile.ProblemColumnar:   true, // FL043: columnar
+	flowfile.ProblemCache:      true, // FL045: cache / max_rows
 }
 
 // parseTasks type-checks every task definition against the registry:
@@ -372,7 +374,7 @@ func (l *linter) parseTasks() {
 func (l *linter) checkDataProps() {
 	knownProps := []string{
 		"source", "protocol", "format", "separator", "request_type",
-		"on_error", "timeout", "retries", "columnar",
+		"on_error", "timeout", "retries", "columnar", "cache", "max_rows",
 	}
 	for _, name := range l.f.DataOrder {
 		d := l.f.Data[name]
@@ -455,6 +457,32 @@ func (l *linter) checkColumnarProp() {
 				fd.Hint = fmt.Sprintf("did you mean %q?", hint)
 			}
 			l.add(fd)
+		}
+	}
+}
+
+// checkCacheProps validates the serving layer's admission details:
+// FL045 bad `cache:` or `max_rows:` value (docs/SERVING.md). Like
+// FL042/FL043 this doubles a hard validation error with a rule ID and
+// hint — a typo here silently disables the protection the detail asks
+// for.
+func (l *linter) checkCacheProps() {
+	modes := []string{"on", "off"}
+	for _, name := range l.f.DataOrder {
+		d := l.f.Data[name]
+		if v := d.Prop("cache"); v != "" && !hasString(modes, v) {
+			fd := Finding{Rule: "FL045", Severity: Error, Entity: "D." + name, Line: d.Line,
+				Message: fmt.Sprintf("cache must be on or off (got %q)", v)}
+			if hint := diagnose.Nearest(v, modes); hint != "" {
+				fd.Hint = fmt.Sprintf("did you mean %q?", hint)
+			}
+			l.add(fd)
+		}
+		if v := d.Prop("max_rows"); v != "" {
+			if n, err := strconv.Atoi(v); err != nil || n <= 0 {
+				l.add(Finding{Rule: "FL045", Severity: Error, Entity: "D." + name, Line: d.Line,
+					Message: fmt.Sprintf("max_rows must be a positive integer (got %q)", v)})
+			}
 		}
 	}
 }

@@ -924,3 +924,55 @@ T:
 		t.Errorf("fetched-but-unused src.junk not in dead facts: %+v", facts.Dead)
 	}
 }
+
+// TestCacheFindingsNotDuplicatedAsFL000 pins the same dedup for the
+// admission details: a bad cache: value surfaces once, as FL045 with
+// its did-you-mean hint, never as a generic FL000 copy.
+func TestCacheFindingsNotDuplicatedAsFL000(t *testing.T) {
+	report := lintSrc(t, `
+D:
+  src: [region, amount]
+D.src:
+  source: mem:src.csv
+  cache: of
+F:
+  +D.out: D.src | T.agg
+T:
+  agg:
+    type: groupby
+    groupby: [region]
+`)
+	got := findRule(report, "FL045")
+	if len(got) != 1 {
+		t.Fatalf("FL045 findings = %d, want 1; report:\n%s", len(got), renderReport(report))
+	}
+	if !strings.Contains(got[0].Hint, `"off"`) {
+		t.Errorf("FL045 hint = %q, want did-you-mean off", got[0].Hint)
+	}
+	if dup := findRule(report, "FL000"); len(dup) != 0 {
+		t.Fatalf("bad cache duplicated as FL000; report:\n%s", renderReport(report))
+	}
+}
+
+// TestMaxRowsFindingNotDuplicated covers the numeric half of FL045.
+func TestMaxRowsFindingNotDuplicated(t *testing.T) {
+	report := lintSrc(t, `
+D:
+  src: [region, amount]
+D.src:
+  source: mem:src.csv
+  max_rows: lots
+F:
+  +D.out: D.src | T.agg
+T:
+  agg:
+    type: groupby
+    groupby: [region]
+`)
+	if got := findRule(report, "FL045"); len(got) != 1 {
+		t.Fatalf("FL045 findings = %d, want 1; report:\n%s", len(got), renderReport(report))
+	}
+	if got := findRule(report, "FL000"); len(got) != 0 {
+		t.Fatalf("bad max_rows duplicated as FL000; report:\n%s", renderReport(report))
+	}
+}

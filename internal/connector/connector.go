@@ -119,6 +119,21 @@ type Options struct {
 // MaxPayloadBytes at 0.
 const DefaultMaxPayloadBytes = 64 << 20
 
+// sharedTransport is the connection pool behind every registry's
+// default HTTP client. One process-wide transport means repeated pulls
+// from the same endpoint — every dashboard run re-reads its sources —
+// reuse warm connections instead of paying a fresh TCP/TLS handshake
+// per call, and idle connections are capped and reaped so the pool
+// cannot grow without bound. Registries built with Options.HTTPClient
+// keep whatever transport that client carries.
+var sharedTransport = func() *http.Transport {
+	t := http.DefaultTransport.(*http.Transport).Clone()
+	t.MaxIdleConns = 64
+	t.MaxIdleConnsPerHost = 16
+	t.IdleConnTimeout = 90 * time.Second
+	return t
+}()
+
 // NewRegistry builds a registry with the platform connectors and formats
 // installed.
 func NewRegistry(opts Options) *Registry {
@@ -143,7 +158,7 @@ func NewRegistry(opts Options) *Registry {
 	}
 	client := opts.HTTPClient
 	if client == nil {
-		client = &http.Client{Timeout: 30 * time.Second}
+		client = &http.Client{Timeout: 30 * time.Second, Transport: sharedTransport}
 	}
 	r.protocols["http"] = &httpProtocol{client: client, maxBytes: maxBytes}
 	r.protocols["https"] = &httpProtocol{client: client, maxBytes: maxBytes}

@@ -1,11 +1,13 @@
 package connector
 
 import (
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 
@@ -300,5 +302,34 @@ func TestEncodeCSVAndJSON(t *testing.T) {
 	}
 	if !strings.Contains(string(jsonOut), `"a":"x,y"`) {
 		t.Errorf("json = %s", jsonOut)
+	}
+}
+
+// TestHTTPConnectionReuse pins the pooling behavior of the default
+// client: repeated pulls from the same endpoint ride one warm
+// connection instead of dialing per call.
+func TestHTTPConnectionReuse(t *testing.T) {
+	var conns atomic.Int64
+	ts := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`[{"a":1}]`))
+	}))
+	ts.Config.ConnState = func(c net.Conn, st http.ConnState) {
+		if st == http.StateNew {
+			conns.Add(1)
+		}
+	}
+	ts.Start()
+	defer ts.Close()
+
+	r := NewRegistry(Options{}) // no HTTPClient: the shared pooled transport
+	s := schema.MustFromNames("a")
+	d := def(t, "t", map[string]string{"source": ts.URL, "format": "json"})
+	for i := 0; i < 5; i++ {
+		if _, err := r.Load(d, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := conns.Load(); got != 1 {
+		t.Errorf("5 sequential pulls opened %d connections, want 1 (no reuse)", got)
 	}
 }

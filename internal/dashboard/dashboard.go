@@ -90,6 +90,12 @@ type Platform struct {
 	// `time -compare` and GET /dashboards/{name}/history. See
 	// internal/obs/history and docs/OBSERVABILITY.md.
 	History *history.Recorder
+	// NewRunBudget, when non-nil, mints a fresh per-run output budget
+	// for every dashboard run; the engine charges it as stages
+	// materialize rows and bytes, and a run that exhausts the budget
+	// fails instead of growing until the process OOMs. nil means
+	// unlimited. See docs/SERVING.md.
+	NewRunBudget func() batch.Budget
 }
 
 // NewPlatform returns a platform with default services and optimization

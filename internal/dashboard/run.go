@@ -125,6 +125,11 @@ func (d *Dashboard) run(ctx context.Context, tr obs.Tracer, runSpan int) (err er
 		sources[name] = t
 	}
 	exec := &batch.Executor{Parallelism: d.platform.Parallelism, Optimize: d.platform.Optimize, Tracer: tr, TraceParent: runSpan, Columnar: d.platform.Columnar}
+	if d.platform.NewRunBudget != nil {
+		// One budget covers the whole run: DAG nodes and widget
+		// endpoint pipelines all charge the same accountant.
+		exec.Budget = d.platform.NewRunBudget()
+	}
 	var sigs map[string]string
 	cached := map[string]*table.Table{}
 	if d.platform.Cache != nil {
@@ -135,7 +140,8 @@ func (d *Dashboard) run(ctx context.Context, tr obs.Tracer, runSpan int) (err er
 			return ""
 		})
 		for _, name := range d.Graph.Order {
-			if d.Graph.Nodes[name].IsSource() {
+			n := d.Graph.Nodes[name]
+			if n.IsSource() || n.Def.Prop("cache") == "off" {
 				continue
 			}
 			if t, ok := d.platform.Cache.lookup(d.Name, name, sigs[name]); ok {
@@ -154,7 +160,10 @@ func (d *Dashboard) run(ctx context.Context, tr obs.Tracer, runSpan int) (err er
 	}
 	if d.platform.Cache != nil {
 		for _, name := range d.Graph.Order {
-			if d.Graph.Nodes[name].IsSource() {
+			n := d.Graph.Nodes[name]
+			// `cache: off` opts a data object out of cross-run
+			// memoization — for side-effecting or time-sensitive flows.
+			if n.IsSource() || n.Def.Prop("cache") == "off" {
 				continue
 			}
 			if t, ok := res.Table(name); ok {

@@ -23,6 +23,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -52,6 +53,21 @@ type Executor struct {
 	// path: ColumnarAuto, ColumnarOn or ColumnarOff ("" means auto). A
 	// node's `columnar:` data detail overrides it per data object.
 	Columnar string
+	// Budget, when non-nil, is charged as stages and nodes materialize
+	// output (rows per stage, bytes per node result). Once a charge
+	// returns an error the charged node fails with it, bounding a
+	// runaway flow's memory at node granularity. nil means unlimited.
+	Budget Budget
+}
+
+// Budget is the per-run accounting hook the serving layer plugs into
+// the engine. Implementations must be safe for concurrent use: DAG
+// nodes charge from parallel goroutines. The engine treats the
+// interface structurally — it has no knowledge of who enforces it.
+type Budget interface {
+	// Charge accounts rows and bytes of materialized output, returning
+	// a non-nil error once the run's budget is exhausted.
+	Charge(rows, bytes int) error
 }
 
 // StageTiming records one executed pipeline stage — the raw material
@@ -324,17 +340,39 @@ func (e *Executor) RunWithCacheContext(ctx context.Context, g *dag.Graph, env *t
 				specs = dag.PushdownFilters(specs)
 			}
 			first := true
+			var budgetErr error
+			var budgetMu sync.Mutex
 			record := func(t StageTiming) {
 				t.Output = n.Name
 				if first {
 					t.QueueWait = queueWait
 					first = false
 				}
+				if e.Budget != nil {
+					if cerr := e.Budget.Charge(t.Rows, 0); cerr != nil {
+						budgetMu.Lock()
+						if budgetErr == nil {
+							budgetErr = cerr
+						}
+						budgetMu.Unlock()
+					}
+				}
 				mu.Lock()
 				res.Stats.Timings = append(res.Stats.Timings, t)
 				mu.Unlock()
 			}
 			out, stages, err := e.runPipelineCounted(ctx, env, specs, ins, n.Inputs, record, tr, nodeSpan, n.ColumnarMode(), &fallbacks)
+			if err == nil {
+				budgetMu.Lock()
+				err = budgetErr
+				budgetMu.Unlock()
+			}
+			if err == nil && e.Budget != nil {
+				err = e.Budget.Charge(0, out.SizeBytes())
+			}
+			if err == nil {
+				err = checkMaxRows(n, out)
+			}
 			if err != nil {
 				if tr != nil {
 					tr.SpanFlag(nodeSpan, "error")
@@ -385,6 +423,27 @@ func (e *Executor) RunWithCacheContext(ctx context.Context, g *dag.Graph, env *t
 		return res, firstErr
 	}
 	return res, nil
+}
+
+// checkMaxRows enforces a node's `max_rows:` data detail — a per-object
+// output cap complementing the run-wide Budget. Unparseable values were
+// already rejected by flow-file validation; they are ignored here.
+func checkMaxRows(n *dag.Node, out *table.Table) error {
+	if n.Def == nil {
+		return nil
+	}
+	raw := n.Def.Prop("max_rows")
+	if raw == "" {
+		return nil
+	}
+	limit, err := strconv.Atoi(raw)
+	if err != nil || limit <= 0 {
+		return nil
+	}
+	if out.Len() > limit {
+		return fmt.Errorf("D.%s produced %d rows, over its max_rows cap %d", n.Name, out.Len(), limit)
+	}
+	return nil
 }
 
 // RunPipeline executes one linear spec chain over its inputs, fusing and

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -442,3 +443,72 @@ func benchRun(b *testing.B, traced bool) {
 
 func BenchmarkRunNoTracer(b *testing.B) { benchRun(b, false) }
 func BenchmarkRunTraced(b *testing.B)   { benchRun(b, true) }
+
+// countingBudget implements Budget for the hook tests.
+type countingBudget struct {
+	maxRows int64
+	rows    atomic.Int64
+	bytes   atomic.Int64
+}
+
+func (b *countingBudget) Charge(rows, bytes int) error {
+	r := b.rows.Add(int64(rows))
+	b.bytes.Add(int64(bytes))
+	if b.maxRows > 0 && r > b.maxRows {
+		return fmt.Errorf("over budget: %d rows", r)
+	}
+	return nil
+}
+
+func TestBudgetHookCharges(t *testing.T) {
+	g := buildGraph(t, testFlow)
+	src := rawTable(500, 3)
+	b := &countingBudget{}
+	e := &Executor{Budget: b}
+	if _, err := e.Run(g, &task.Env{}, map[string]*table.Table{"raw": src}); err != nil {
+		t.Fatal(err)
+	}
+	if b.rows.Load() == 0 {
+		t.Error("budget saw no row charges")
+	}
+	if b.bytes.Load() == 0 {
+		t.Error("budget saw no byte charges")
+	}
+}
+
+func TestBudgetExceededFailsRun(t *testing.T) {
+	g := buildGraph(t, testFlow)
+	src := rawTable(500, 3)
+	e := &Executor{Budget: &countingBudget{maxRows: 10}}
+	res, err := e.Run(g, &task.Env{}, map[string]*table.Table{"raw": src})
+	if err == nil || !strings.Contains(err.Error(), "over budget") {
+		t.Fatalf("err = %v, want budget failure", err)
+	}
+	if len(res.Stats.Failures) == 0 {
+		t.Error("budget failure missing from Stats.Failures")
+	}
+}
+
+func TestMaxRowsCap(t *testing.T) {
+	src := `
+D:
+  raw: [k, txt, v]
+D.filtered:
+  max_rows: 5
+
+F:
+  +D.filtered: D.raw | T.keep_positive
+
+T:
+  keep_positive:
+    type: filter_by
+    filter_expression: v > 0
+`
+	g := buildGraph(t, src)
+	data := rawTable(500, 4)
+	e := &Executor{}
+	_, err := e.Run(g, &task.Env{}, map[string]*table.Table{"raw": data})
+	if err == nil || !strings.Contains(err.Error(), "max_rows") {
+		t.Fatalf("err = %v, want max_rows cap failure", err)
+	}
+}

@@ -29,6 +29,8 @@ const (
 	ProblemResilience = "resilience"
 	// ProblemColumnar marks a bad columnar: value.
 	ProblemColumnar = "columnar"
+	// ProblemCache marks bad cache:/max_rows admission details.
+	ProblemCache = "cache"
 )
 
 // String renders the problem with its line prefix.
@@ -141,6 +143,17 @@ func (f *File) Validate(allowShared bool) error {
 		// execution planner (docs/ENGINE.md).
 		if v := d.Prop("columnar"); v != "" && v != "auto" && v != "on" && v != "off" {
 			e.addCoded(ProblemColumnar, d.Line, "data object D.%s: columnar must be auto, on or off (got %q)", name, v)
+		}
+		// Admission details steer the serving layer's result cache and
+		// per-run budgets (docs/SERVING.md). A typo silently disables the
+		// protection — an always-cold cache or an unbounded run.
+		if v := d.Prop("cache"); v != "" && v != "on" && v != "off" {
+			e.addCoded(ProblemCache, d.Line, "data object D.%s: cache must be on or off (got %q)", name, v)
+		}
+		if v := d.Prop("max_rows"); v != "" {
+			if n, err := strconv.Atoi(v); err != nil || n <= 0 {
+				e.addCoded(ProblemCache, d.Line, "data object D.%s: max_rows must be a positive integer (got %q)", name, v)
+			}
 		}
 	}
 	// A data object is locally resolvable if it has source details, a

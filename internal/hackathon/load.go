@@ -1,0 +1,242 @@
+package hackathon
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The load generator grows the Race2Insights simulator into the paper's
+// other evaluation axis: not 52 simulated teams editing flow files, but
+// thousands of concurrent dashboard sessions hammering one serve
+// process. It drives the real HTTP API — PUT dashboards, upload data,
+// POST runs under distinct tenants — and snapshots what the admission
+// gate did about it: latency percentiles, shed rate, result-cache hit
+// rate. cmd/shareinsights exposes it as `shareinsights load` and CI
+// records the report as BENCH_serve.json.
+
+// LoadConfig parameterizes one load run. Zero values take defaults
+// sized for a laptop-scale smoke: enough concurrency to saturate a
+// small gate, small enough to finish in seconds.
+type LoadConfig struct {
+	// BaseURL is the serve process under test, e.g. http://127.0.0.1:8080.
+	BaseURL string
+	// Dashboards is how many distinct dashboards the setup phase
+	// creates; requests round-robin across them (default 4).
+	Dashboards int
+	// Workers is the number of concurrent client sessions (default 64).
+	Workers int
+	// Requests is the total number of run requests issued (default 1000).
+	Requests int
+	// Tenants is how many distinct X-SI-Tenant identities the workers
+	// spread across (default 4).
+	Tenants int
+	// Rows is the size of each dashboard's uploaded CSV (default 500).
+	Rows int
+	// Timeout bounds each request (default 30s).
+	Timeout time.Duration
+}
+
+func (c *LoadConfig) defaults() {
+	if c.Dashboards <= 0 {
+		c.Dashboards = 4
+	}
+	if c.Workers <= 0 {
+		c.Workers = 64
+	}
+	if c.Requests <= 0 {
+		c.Requests = 1000
+	}
+	if c.Tenants <= 0 {
+		c.Tenants = 4
+	}
+	if c.Rows <= 0 {
+		c.Rows = 500
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+}
+
+// LoadReport is the outcome snapshot, JSON-shaped for BENCH_serve.json.
+// The serving contract under saturation (ISSUE: bounded p99, controlled
+// 429s, zero 5xx) is checkable directly off these fields.
+type LoadReport struct {
+	Requests     int     `json:"requests"`
+	OK           int     `json:"ok"`
+	Shed         int     `json:"shed"`          // 429s: the gate said later
+	ClientErrors int     `json:"client_errors"` // other 4xx + transport errors
+	ServerErrors int     `json:"server_errors"` // 5xx: must stay zero
+	CacheHits    int     `json:"cache_hits"`    // X-SI-Result-Cache: hit
+	CacheMisses  int     `json:"cache_misses"`
+	Collapsed    int     `json:"collapsed"` // followers of an in-flight run
+	P50Ms        float64 `json:"p50_ms"`
+	P90Ms        float64 `json:"p90_ms"`
+	P99Ms        float64 `json:"p99_ms"`
+	MaxMs        float64 `json:"max_ms"`
+	ElapsedMs    float64 `json:"elapsed_ms"`
+	Throughput   float64 `json:"throughput_rps"`
+	ShedRate     float64 `json:"shed_rate"`
+	CacheHitRate float64 `json:"cache_hit_rate"` // hits / completed runs
+}
+
+// loadFlow is the dashboard every worker hits: a groupby over an
+// uploaded CSV — the serverFlow shape, self-contained via the data:
+// protocol so it works against any serve process.
+const loadFlow = `
+D:
+  sales: [region, product, amount]
+
+D.sales:
+  source: data:sales.csv
+  format: csv
+
+F:
+  +D.by_region: D.sales | T.sum_by_region
+
+T:
+  sum_by_region:
+    type: groupby
+    groupby: [region]
+    aggregates:
+      - operator: sum
+        apply_on: amount
+        out_field: total
+`
+
+// loadCSV builds a deterministic sales table of n rows.
+func loadCSV(n int) string {
+	regions := []string{"east", "west", "north", "south"}
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "%s,p%d,%d\n", regions[i%len(regions)], i%7, i%100)
+	}
+	return sb.String()
+}
+
+// RunLoad sets up cfg.Dashboards dashboards on the target server, then
+// fires cfg.Requests run requests from cfg.Workers concurrent sessions
+// spread over cfg.Tenants tenants, and reports what came back.
+func RunLoad(cfg LoadConfig) (*LoadReport, error) {
+	cfg.defaults()
+	client := &http.Client{Timeout: cfg.Timeout}
+	base := strings.TrimRight(cfg.BaseURL, "/")
+
+	put := func(url, body string) error {
+		req, err := http.NewRequest(http.MethodPut, url, strings.NewReader(body))
+		if err != nil {
+			return err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("PUT %s: status %d", url, resp.StatusCode)
+		}
+		return nil
+	}
+	csv := loadCSV(cfg.Rows)
+	names := make([]string, cfg.Dashboards)
+	for i := range names {
+		names[i] = fmt.Sprintf("load_%d", i)
+		dashURL := base + "/dashboards/" + names[i]
+		if err := put(dashURL, loadFlow); err != nil {
+			return nil, fmt.Errorf("load setup: %w", err)
+		}
+		if err := put(dashURL+"/data/sales.csv", csv); err != nil {
+			return nil, fmt.Errorf("load setup: %w", err)
+		}
+	}
+
+	rep := &LoadReport{Requests: cfg.Requests}
+	var (
+		mu        sync.Mutex
+		latencies = make([]float64, 0, cfg.Requests)
+		next      atomic.Int64
+		wg        sync.WaitGroup
+	)
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				seq := int(next.Add(1)) - 1
+				if seq >= cfg.Requests {
+					return
+				}
+				name := names[seq%len(names)]
+				req, err := http.NewRequest(http.MethodPost, base+"/dashboards/"+name+"/run", nil)
+				if err != nil {
+					continue
+				}
+				req.Header.Set("X-SI-Tenant", fmt.Sprintf("tenant-%d", seq%cfg.Tenants))
+				t0 := time.Now()
+				resp, err := client.Do(req)
+				ms := float64(time.Since(t0).Microseconds()) / 1000
+				mu.Lock()
+				latencies = append(latencies, ms)
+				if err != nil {
+					rep.ClientErrors++
+					mu.Unlock()
+					continue
+				}
+				switch {
+				case resp.StatusCode == http.StatusOK:
+					rep.OK++
+				case resp.StatusCode == http.StatusTooManyRequests:
+					rep.Shed++
+				case resp.StatusCode >= 500:
+					rep.ServerErrors++
+				default:
+					rep.ClientErrors++
+				}
+				switch resp.Header.Get("X-SI-Result-Cache") {
+				case "hit":
+					rep.CacheHits++
+				case "miss":
+					rep.CacheMisses++
+				case "follow":
+					rep.Collapsed++
+				}
+				mu.Unlock()
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Float64s(latencies)
+	pct := func(p float64) float64 {
+		if len(latencies) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(latencies)-1))
+		return latencies[i]
+	}
+	rep.P50Ms, rep.P90Ms, rep.P99Ms = pct(0.50), pct(0.90), pct(0.99)
+	if n := len(latencies); n > 0 {
+		rep.MaxMs = latencies[n-1]
+	}
+	rep.ElapsedMs = float64(elapsed.Microseconds()) / 1000
+	if secs := elapsed.Seconds(); secs > 0 {
+		rep.Throughput = float64(cfg.Requests) / secs
+	}
+	if cfg.Requests > 0 {
+		rep.ShedRate = float64(rep.Shed) / float64(cfg.Requests)
+	}
+	if done := rep.CacheHits + rep.CacheMisses + rep.Collapsed; done > 0 {
+		rep.CacheHitRate = float64(rep.CacheHits+rep.Collapsed) / float64(done)
+	}
+	return rep, nil
+}

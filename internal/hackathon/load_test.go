@@ -1,0 +1,107 @@
+package hackathon
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"shareinsights/internal/admission"
+	"shareinsights/internal/dashboard"
+	"shareinsights/internal/server"
+)
+
+// TestRunLoadAgainstGatedServer is the end-to-end contract at small
+// scale, made deterministic by saturating the gate by hand: with every
+// slot held, a burst sheds completely (zero 5xx, every request
+// accounted for); with the slots released, the same burst lands and
+// warms the result cache.
+func TestRunLoadAgainstGatedServer(t *testing.T) {
+	s := server.New(dashboard.NewPlatform(),
+		server.WithAdmission(admission.Config{
+			MaxInFlight: 2, QueueDepth: 2, QueueTimeout: 50 * time.Millisecond,
+		}),
+		server.WithResultCache(32),
+	)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	cfg := LoadConfig{
+		BaseURL:    ts.URL,
+		Dashboards: 2,
+		Workers:    16,
+		Requests:   60,
+		Tenants:    3,
+		Rows:       50,
+	}
+
+	// Saturated: both slots pinned, so every run request queues briefly
+	// or sheds — and shedding is never a 5xx.
+	var releases []func()
+	for i := 0; i < 2; i++ {
+		release, err := s.Gate().Acquire(context.Background(), "pin")
+		if err != nil {
+			t.Fatal(err)
+		}
+		releases = append(releases, release)
+	}
+	rep, err := RunLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.OK + rep.Shed + rep.ClientErrors + rep.ServerErrors; got != rep.Requests {
+		t.Errorf("outcomes %d do not sum to requests %d: %+v", got, rep.Requests, rep)
+	}
+	if rep.ServerErrors != 0 {
+		t.Errorf("server errors under saturation: %+v", rep)
+	}
+	if rep.Shed != rep.Requests {
+		t.Errorf("saturated gate shed %d/%d: %+v", rep.Shed, rep.Requests, rep)
+	}
+	if rep.ShedRate != 1 {
+		t.Errorf("shed rate = %v, want 1", rep.ShedRate)
+	}
+
+	// Released: the same burst lands, runs collapse onto the cache, and
+	// nothing sheds its way to a server error.
+	for _, release := range releases {
+		release()
+	}
+	rep, err = RunLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ServerErrors != 0 {
+		t.Errorf("server errors after release: %+v", rep)
+	}
+	if rep.OK == 0 {
+		t.Errorf("no successful runs after release: %+v", rep)
+	}
+	if rep.CacheHits+rep.Collapsed == 0 {
+		t.Errorf("identical runs never hit the result cache: %+v", rep)
+	}
+	if rep.P99Ms < rep.P50Ms || rep.MaxMs < rep.P99Ms {
+		t.Errorf("latency percentiles disordered: %+v", rep)
+	}
+}
+
+// TestRunLoadUngated: without a gate every request lands, nothing
+// sheds — the "before" half of the BENCH_serve comparison.
+func TestRunLoadUngated(t *testing.T) {
+	s := server.New(dashboard.NewPlatform())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	rep, err := RunLoad(LoadConfig{
+		BaseURL: ts.URL, Dashboards: 1, Workers: 8, Requests: 40, Rows: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Shed != 0 || rep.ServerErrors != 0 {
+		t.Errorf("ungated server shed or failed: %+v", rep)
+	}
+	if rep.OK != rep.Requests-rep.ClientErrors {
+		t.Errorf("unexpected outcome mix: %+v", rep)
+	}
+}

@@ -46,7 +46,7 @@ type Analyzer struct {
 }
 
 // All lists every analyzer the driver and the vet tool run.
-var All = []*Analyzer{CtxBG, MetricName, HistBuckets}
+var All = []*Analyzer{CtxBG, MetricName, HistBuckets, SrvTimeout}
 
 // Problem is a rendered diagnostic: position resolved against the
 // FileSet and tagged with the analyzer that produced it.

@@ -74,6 +74,7 @@ func runFixture(t *testing.T, a *Analyzer, fixture string) {
 func TestCtxBG(t *testing.T)       { runFixture(t, CtxBG, "ctxbg.go.src") }
 func TestMetricName(t *testing.T)  { runFixture(t, MetricName, "metricname.go.src") }
 func TestHistBuckets(t *testing.T) { runFixture(t, HistBuckets, "histbuckets.go.src") }
+func TestSrvTimeout(t *testing.T)  { runFixture(t, SrvTimeout, "srvtimeout.go.src") }
 
 // TestRepoIsClean runs every analyzer over the repository's own
 // source: the naming and context contracts the analyzers enforce must

@@ -1,0 +1,76 @@
+package lintgo
+
+import (
+	"go/ast"
+	"strconv"
+)
+
+// SrvTimeout flags net/http.Server composite literals that set neither
+// ReadHeaderTimeout nor ReadTimeout. A server without one holds a
+// goroutine and a connection for as long as a client cares to dribble
+// header bytes — the slowloris shape — so every listener in this
+// project must bound header reads (docs/SERVING.md). ReadTimeout
+// counts because ReadHeaderTimeout falls back to it when zero.
+//
+// The check is syntactic: any composite literal whose type is
+// <alias>.Server, with <alias> among the file's net/http import names,
+// is treated as an http.Server. Literals built with unkeyed fields are
+// skipped (the project writes none), as are files that do not import
+// net/http.
+var SrvTimeout = &Analyzer{
+	Name: "srvtimeout",
+	Doc:  "http.Server literals must set ReadHeaderTimeout (or ReadTimeout)",
+	Run:  runSrvTimeout,
+}
+
+func runSrvTimeout(p *Pass) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		aliases := map[string]bool{}
+		for _, imp := range f.Imports {
+			if path, err := strconv.Unquote(imp.Path.Value); err != nil || path != "net/http" {
+				continue
+			}
+			name := "http"
+			if imp.Name != nil {
+				name = imp.Name.Name
+			}
+			if name != "_" && name != "." {
+				aliases[name] = true
+			}
+		}
+		if len(aliases) == 0 {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			sel, ok := lit.Type.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Server" {
+				return true
+			}
+			pkg, ok := sel.X.(*ast.Ident)
+			if !ok || !aliases[pkg.Name] {
+				return true
+			}
+			for _, elt := range lit.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					return true // unkeyed literal: cannot tell, skip
+				}
+				if key, ok := kv.Key.(*ast.Ident); ok &&
+					(key.Name == "ReadHeaderTimeout" || key.Name == "ReadTimeout") {
+					return true
+				}
+			}
+			out = append(out, Diagnostic{
+				Pos:     lit.Pos(),
+				Message: "http.Server literal without ReadHeaderTimeout: slow-header clients can pin connections forever",
+			})
+			return true
+		})
+	}
+	return out
+}

@@ -62,7 +62,9 @@ type RunRecord struct {
 	StartedAt time.Time `json:"started_at"`
 	// DurationUS is the end-to-end run wall time in microseconds.
 	DurationUS int64 `json:"duration_us"`
-	// Status is ok, degraded or error.
+	// Status is ok, degraded or error; the serving layer additionally
+	// records "shed" (request rejected by admission control) and
+	// "cached" (served from the shared result cache) entries.
 	Status string `json:"status"`
 	// Error carries the run error for status "error".
 	Error string `json:"error,omitempty"`

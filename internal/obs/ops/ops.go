@@ -152,11 +152,23 @@ func regressTable(deltas []history.StageDelta) *table.Table {
 	return t
 }
 
+// Panel is an extra table to mount on the generated ops page as its
+// own Grid widget — the server adds admission/shedding and result-cache
+// panels this way without ops knowing about those subsystems.
+type Panel struct {
+	// Name is the data-object and widget base name. It must be a valid
+	// flow-file identifier, distinct from the built-in panel names.
+	Name string
+	// Table is the panel's data; its schema becomes the declaration.
+	Table *table.Table
+}
+
 // BuildOps generates, compiles and runs the ops meta-dashboard for a
 // dashboard that has been run. When the platform records run history,
 // the page gains a run-history panel and — once a baseline exists — a
-// regression panel comparing the latest run against it.
-func BuildOps(d *dashboard.Dashboard) (*dashboard.Dashboard, error) {
+// regression panel comparing the latest run against it. Any extras are
+// appended as additional Grid panels.
+func BuildOps(d *dashboard.Dashboard, extras ...Panel) (*dashboard.Dashboard, error) {
 	res := d.Result()
 	if res == nil {
 		return nil, fmt.Errorf("ops: dashboard %s has not been run", d.Name)
@@ -178,6 +190,15 @@ func BuildOps(d *dashboard.Dashboard) (*dashboard.Dashboard, error) {
 			tables["regress"], schemas["regress"] = regressTable(runs[0].Deltas), RegressSchema
 			names = append(names, "runs", "regress")
 		}
+	}
+	var extraNames []string
+	for _, p := range extras {
+		if p.Table == nil || tables[p.Name] != nil {
+			continue
+		}
+		tables[p.Name], schemas[p.Name] = p.Table, p.Table.Schema()
+		names = append(names, p.Name)
+		extraNames = append(extraNames, p.Name)
 	}
 	mem := map[string][]byte{}
 	for name, t := range tables {
@@ -239,6 +260,9 @@ W:
     source: D.regress
 `)
 	}
+	for _, name := range extraNames {
+		fmt.Fprintf(&src, "  %s_grid:\n    type: Grid\n    source: D.%s\n", name, name)
+	}
 	src.WriteString("\nL:\n")
 	fmt.Fprintf(&src, "  description: 'Ops: %s'\n", d.Name)
 	src.WriteString(`  rows:
@@ -248,6 +272,9 @@ W:
 `)
 	if withHistory {
 		src.WriteString("    - [span6: W.runs_grid, span6: W.regress_grid]\n")
+	}
+	for _, name := range extraNames {
+		fmt.Fprintf(&src, "    - [span12: W.%s_grid]\n", name)
 	}
 
 	f, err := flowfile.Parse(d.Name+"_ops", src.String())

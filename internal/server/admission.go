@@ -1,0 +1,253 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"shareinsights/internal/admission"
+	"shareinsights/internal/dashboard"
+	"shareinsights/internal/flowfile"
+	"shareinsights/internal/obs/history"
+	"shareinsights/internal/obs/ops"
+	"shareinsights/internal/schema"
+	"shareinsights/internal/table"
+	"shareinsights/internal/value"
+	"shareinsights/internal/vcs"
+)
+
+// TenantHeader names the request header carrying the tenant identity
+// for per-tenant rate limits and in-flight quotas. Requests without it
+// share the default tenant. See docs/SERVING.md.
+const TenantHeader = "X-SI-Tenant"
+
+// ResultCacheHeader names the response header reporting how the shared
+// result cache handled a run request: hit, miss or follow.
+const ResultCacheHeader = "X-SI-Result-Cache"
+
+// WithAdmission installs the front-door admission gate: a server-wide
+// concurrency limit with bounded FIFO queue, queue-depth shedding
+// (429 + Retry-After) and per-tenant limits keyed on the X-SI-Tenant
+// header. cfg.Metrics defaults to the platform's registry so the
+// si_admission_* series land on GET /metrics.
+func WithAdmission(cfg admission.Config) Option {
+	return func(s *Server) {
+		if cfg.Metrics == nil {
+			cfg.Metrics = s.platform.Metrics
+		}
+		s.gate = admission.NewGate(cfg)
+	}
+}
+
+// WithResultCache enables the shared run-result cache holding at most
+// limit entries (<= 0 means the default bound): identical concurrent
+// run requests collapse to one execution, and repeated requests serve
+// the completed result until a save, upload or publish rotates the key.
+func WithResultCache(limit int) Option {
+	return func(s *Server) {
+		s.resultCache = admission.NewResultCache(limit, s.platform.Metrics)
+	}
+}
+
+// Gate exposes the admission gate (nil when admission is off) — the
+// ops meta-dashboard and tests read its snapshot.
+func (s *Server) Gate() *admission.Gate { return s.gate }
+
+// tenantOf resolves the request's tenant identity.
+func tenantOf(r *http.Request) string {
+	if t := r.Header.Get(TenantHeader); t != "" {
+		return t
+	}
+	return admission.DefaultTenant
+}
+
+// admit wraps a handler with the admission gate. Shed requests answer
+// 429 with a Retry-After hint — the same contract PR 3's connector
+// client honors on upstream 429s — and are recorded in the flight
+// recorder so `shareinsights history` shows pressure, not just runs.
+func (s *Server) admit(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.gate == nil {
+			h(w, r)
+			return
+		}
+		release, err := s.gate.Acquire(r.Context(), tenantOf(r))
+		if err != nil {
+			var shed *admission.ShedError
+			if errors.As(err, &shed) {
+				secs := int(math.Ceil(shed.RetryAfter.Seconds()))
+				if secs < 1 {
+					secs = 1
+				}
+				w.Header().Set("Retry-After", strconv.Itoa(secs))
+				s.recordOutcome(r.PathValue("name"), "shed", err.Error())
+				jsonError(w, http.StatusTooManyRequests, err)
+				return
+			}
+			// The context died while queued: the client is gone, the
+			// status is never delivered. 408 keeps it out of 5xx space.
+			jsonError(w, http.StatusRequestTimeout, err)
+			return
+		}
+		defer release()
+		h(w, r)
+	}
+}
+
+// recordOutcome adds a shed or cached entry to the flight recorder —
+// best-effort, like run recording itself.
+func (s *Server) recordOutcome(name, status, detail string) {
+	rec := s.platform.History
+	if rec == nil || name == "" {
+		return
+	}
+	rec.Record(&history.RunRecord{Dashboard: name, Status: status, Error: detail})
+}
+
+// cacheableFlow reports whether a flow's results may be served from
+// the shared result cache: any `cache: off` data object opts the whole
+// dashboard out (its sources are declared side-effecting or
+// time-sensitive).
+func cacheableFlow(f *flowfile.File) bool {
+	for _, d := range f.Data {
+		if d.Prop("cache") == "off" {
+			return false
+		}
+	}
+	return true
+}
+
+// resultCacheKey encodes everything a run result depends on: the flow
+// revision (commit tip), the upload revision, and the versions of
+// every shared catalog object the flow reads. A save, upload or
+// publish rotates the key, so stale entries become unreachable without
+// any coordination; explicit Invalidate calls drop them eagerly too.
+func (s *Server) resultCacheKey(name string, repo *vcs.Repo, f *flowfile.File, uploadRev int) string {
+	var sb strings.Builder
+	sb.WriteString(name)
+	sb.WriteString("@")
+	if tip, err := repo.Tip(vcs.DefaultBranch); err == nil {
+		sb.WriteString(tip.Hash)
+	}
+	fmt.Fprintf(&sb, "|u%d", uploadRev)
+	names := make([]string, 0, len(f.Data))
+	for n := range f.Data {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if obj, ok := s.platform.Catalog.Resolve(n); ok {
+			fmt.Fprintf(&sb, "|%s:v%d", n, obj.Version)
+		}
+	}
+	return sb.String()
+}
+
+// invalidateResults drops the dashboard's completed result-cache
+// entries after a mutation (save, upload). Publishes need no call: the
+// catalog version inside the key rotates instead.
+func (s *Server) invalidateResults(name string) {
+	if s.resultCache != nil {
+		s.resultCache.Invalidate(name + "@")
+	}
+}
+
+// runDashboardCached is runDashboard through the shared result cache:
+// identical concurrent requests collapse onto one leader execution and
+// repeated requests serve the completed dashboard. The outcome ("hit",
+// "miss", "follow", or "" when caching is off for this flow) feeds the
+// X-SI-Result-Cache response header.
+func (s *Server) runDashboardCached(ctx context.Context, name string) (*dashboard.Dashboard, string, error) {
+	s.mu.RLock()
+	repo, ok := s.repos[name]
+	uploads := s.data[name]
+	rev := s.uploadRev[name]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, "", fmt.Errorf("no dashboard %q", name)
+	}
+	content, err := repo.Content(vcs.DefaultBranch)
+	if err != nil {
+		return nil, "", err
+	}
+	f, err := flowfile.Parse(name, string(content))
+	if err != nil {
+		return nil, "", err
+	}
+	if s.resultCache == nil || !cacheableFlow(f) {
+		d, err := s.executeDashboard(ctx, name, f, uploads)
+		return d, "", err
+	}
+	key := s.resultCacheKey(name, repo, f, rev)
+	// The leader executes detached from the requester's context: its
+	// result is shared by every collapsed follower, so one client's
+	// disconnect must not kill work others are waiting on. The
+	// platform's RunTimeout still bounds the run.
+	leaderCtx := context.WithoutCancel(ctx)
+	v, outcome, err := s.resultCache.Do(ctx, key, func() (any, error) {
+		return s.executeDashboard(leaderCtx, name, f, uploads)
+	})
+	if err != nil {
+		return nil, outcome, err
+	}
+	d := v.(*dashboard.Dashboard)
+	if outcome == admission.OutcomeHit {
+		s.recordOutcome(name, "cached", "")
+	}
+	return d, outcome, nil
+}
+
+// opsPanels builds the admission and result-cache panels for the ops
+// meta-dashboard — metric/value tables, one Grid widget each. Empty
+// when the corresponding subsystem is off.
+func (s *Server) opsPanels() []ops.Panel {
+	var panels []ops.Panel
+	kv := func(rows [][2]any) *table.Table {
+		t := table.New(opsPanelSchema)
+		for _, r := range rows {
+			t.AppendValues(value.NewString(r[0].(string)), value.NewInt(r[1].(int64)))
+		}
+		return t
+	}
+	if s.gate != nil {
+		st := s.gate.Stats()
+		rows := [][2]any{
+			{"in_flight", int64(st.InFlight)},
+			{"queued", int64(st.Queued)},
+			{"max_inflight", int64(st.MaxInFlight)},
+			{"queue_depth", int64(st.QueueDepth)},
+			{"tenants", int64(st.Tenants)},
+			{"admitted", st.Admitted},
+		}
+		reasons := make([]string, 0, len(st.Shed))
+		for r := range st.Shed {
+			reasons = append(reasons, r)
+		}
+		sort.Strings(reasons)
+		for _, r := range reasons {
+			rows = append(rows, [2]any{"shed_" + r, st.Shed[r]})
+		}
+		panels = append(panels, ops.Panel{Name: "admission", Table: kv(rows)})
+	}
+	if s.resultCache != nil {
+		st := s.resultCache.Stats()
+		panels = append(panels, ops.Panel{Name: "result_cache", Table: kv([][2]any{
+			{"entries", int64(st.Entries)},
+			{"hits", st.Hits},
+			{"misses", st.Misses},
+			{"collapsed", st.Collapsed},
+			{"evictions", st.Evictions},
+			{"invalidations", st.Invalidations},
+		})})
+	}
+	return panels
+}
+
+// opsPanelSchema is the metric/value shape shared by the admission and
+// result-cache ops panels.
+var opsPanelSchema = schema.MustFromNames("metric", "value")

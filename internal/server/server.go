@@ -54,6 +54,7 @@ import (
 	"strings"
 	"sync"
 
+	"shareinsights/internal/admission"
 	"shareinsights/internal/analyze"
 	"shareinsights/internal/analyze/flowcheck"
 	"shareinsights/internal/connector"
@@ -75,12 +76,19 @@ type Server struct {
 	httpm    *obs.HTTPMetrics
 	store    *persist.Store // nil when running in-memory
 
-	mu     sync.RWMutex
-	repos  map[string]*vcs.Repo
-	live   map[string]*dashboard.Dashboard
-	traces map[string]*obs.Trace        // dashboard -> last run's trace
-	data   map[string]map[string][]byte // dashboard -> uploaded files
-	author func(*http.Request) string
+	// gate and resultCache implement front-door admission control and
+	// run-result sharing (docs/SERVING.md); both nil unless enabled via
+	// WithAdmission / WithResultCache.
+	gate        *admission.Gate
+	resultCache *admission.ResultCache
+
+	mu        sync.RWMutex
+	repos     map[string]*vcs.Repo
+	live      map[string]*dashboard.Dashboard
+	traces    map[string]*obs.Trace        // dashboard -> last run's trace
+	data      map[string]map[string][]byte // dashboard -> uploaded files
+	uploadRev map[string]int               // dashboard -> upload revision (result-cache keys)
+	author    func(*http.Request) string
 }
 
 // Option configures a Server at construction.
@@ -114,12 +122,13 @@ func New(p *dashboard.Platform, opts ...Option) *Server {
 	p.Connectors.SetMetrics(p.Metrics)
 	p.Catalog.SetMetrics(p.Metrics)
 	s := &Server{
-		platform: p,
-		httpm:    obs.NewHTTPMetrics(p.Metrics),
-		repos:    map[string]*vcs.Repo{},
-		live:     map[string]*dashboard.Dashboard{},
-		traces:   map[string]*obs.Trace{},
-		data:     map[string]map[string][]byte{},
+		platform:  p,
+		httpm:     obs.NewHTTPMetrics(p.Metrics),
+		repos:     map[string]*vcs.Repo{},
+		live:      map[string]*dashboard.Dashboard{},
+		traces:    map[string]*obs.Trace{},
+		data:      map[string]map[string][]byte{},
+		uploadRev: map[string]int{},
 		author: func(r *http.Request) string {
 			if u := r.Header.Get("X-User"); u != "" {
 				return u
@@ -171,13 +180,17 @@ func (s *Server) Handler() http.Handler {
 	handle("GET /dashboards", s.handleList)
 	handle("PUT /dashboards/{name}", s.handlePut)
 	handle("GET /dashboards/{name}", s.handleGet)
-	handle("POST /dashboards/{name}/run", s.handleRun)
-	handle("GET /dashboards/{name}/html", s.handleHTML)
-	handle("GET /dashboards/{name}/explore", s.handleExplore)
+	// Expensive routes — the ones that execute flows or pipelines — go
+	// through the admission gate (a no-op middleware until WithAdmission
+	// installs one). Cheap metadata reads and mutations stay ungated so
+	// saves and uploads land even under shedding.
+	handle("POST /dashboards/{name}/run", s.admit(s.handleRun))
+	handle("GET /dashboards/{name}/html", s.admit(s.handleHTML))
+	handle("GET /dashboards/{name}/explore", s.admit(s.handleExplore))
 	handle("GET /dashboards/{name}/ds", s.handleDatasets)
 	handle("GET /dashboards/{name}/ds/{ds}", s.handleDataset)
-	handle("GET /dashboards/{name}/ds/{ds}/groupby/{col}/{agg}/{vcol}", s.handleAdhoc)
-	handle("POST /dashboards/{name}/select/{widget}", s.handleSelect)
+	handle("GET /dashboards/{name}/ds/{ds}/groupby/{col}/{agg}/{vcol}", s.admit(s.handleAdhoc))
+	handle("POST /dashboards/{name}/select/{widget}", s.admit(s.handleSelect))
 	handle("GET /dashboards/{name}/log", s.handleLog)
 	handle("PUT /dashboards/{name}/data/{file}", s.handleUpload)
 	handle("GET /dashboards/{name}/profile", s.handleProfile)
@@ -263,6 +276,7 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 		jsonError(w, http.StatusInternalServerError, err)
 		return
 	}
+	s.invalidateResults(name)
 	resp := map[string]any{"dashboard": name, "commit": hash}
 	// The save already passed validation, so lint findings here are
 	// advisory: the commit stands either way, the editor just shows them.
@@ -441,7 +455,10 @@ func statsBody(name string, d *dashboard.Dashboard, full bool) map[string]any {
 // cancels the run.
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	d, err := s.runDashboard(r.Context(), name)
+	d, outcome, err := s.runDashboardCached(r.Context(), name)
+	if outcome != "" {
+		w.Header().Set(ResultCacheHeader, outcome)
+	}
 	if err != nil {
 		jsonError(w, http.StatusUnprocessableEntity, err)
 		return
@@ -509,21 +526,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) runDashboard(ctx context.Context, name string) (*dashboard.Dashboard, error) {
-	s.mu.RLock()
-	repo, ok := s.repos[name]
-	uploads := s.data[name]
-	s.mu.RUnlock()
-	if !ok {
-		return nil, fmt.Errorf("no dashboard %q", name)
-	}
-	content, err := repo.Content(vcs.DefaultBranch)
-	if err != nil {
-		return nil, err
-	}
-	f, err := flowfile.Parse(name, string(content))
-	if err != nil {
-		return nil, err
-	}
+	d, _, err := s.runDashboardCached(ctx, name)
+	return d, err
+}
+
+// executeDashboard compiles and runs one parsed flow file — the
+// uncached execution path runDashboardCached leads into.
+func (s *Server) executeDashboard(ctx context.Context, name string, f *flowfile.File, uploads map[string][]byte) (*dashboard.Dashboard, error) {
 	d, err := s.platform.Compile(f, uploads)
 	if err != nil {
 		return nil, diagnosed(f, err)
@@ -748,7 +757,9 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		s.data[name] = map[string][]byte{}
 	}
 	s.data[name][file] = body
+	s.uploadRev[name]++
 	s.mu.Unlock()
+	s.invalidateResults(name)
 	jsonOK(w, map[string]any{"dashboard": name, "file": file, "bytes": len(body)})
 }
 
@@ -846,7 +857,7 @@ func (s *Server) handleOps(w http.ResponseWriter, r *http.Request) {
 		jsonError(w, http.StatusNotFound, err)
 		return
 	}
-	meta, err := ops.BuildOps(d)
+	meta, err := ops.BuildOps(d, s.opsPanels()...)
 	if err != nil {
 		jsonError(w, http.StatusUnprocessableEntity, err)
 		return
@@ -892,11 +903,13 @@ func (s *Server) handleShared(w http.ResponseWriter, r *http.Request) {
 // and tests).
 func (s *Server) UploadData(dashboardName, file string, content []byte) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.data[dashboardName] == nil {
 		s.data[dashboardName] = map[string][]byte{}
 	}
 	s.data[dashboardName][file] = content
+	s.uploadRev[dashboardName]++
+	s.mu.Unlock()
+	s.invalidateResults(dashboardName)
 }
 
 // SaveDashboard commits flow-file content programmatically.
@@ -913,7 +926,11 @@ func (s *Server) SaveDashboard(name, author string, content []byte) (string, err
 			return "", err
 		}
 	}
-	return repo.Commit(vcs.DefaultBranch, author, "save "+name, content)
+	hash, err := repo.Commit(vcs.DefaultBranch, author, "save "+name, content)
+	if err == nil {
+		s.invalidateResults(name)
+	}
+	return hash, err
 }
 
 // Run compiles and runs a saved dashboard programmatically.

@@ -29,10 +29,12 @@
 package shareinsights
 
 import (
+	"shareinsights/internal/admission"
 	"shareinsights/internal/connector"
 	"shareinsights/internal/dashboard"
 	"shareinsights/internal/engine/batch"
 	"shareinsights/internal/flowfile"
+	"shareinsights/internal/hackathon"
 	"shareinsights/internal/obs"
 	"shareinsights/internal/resilience"
 	"shareinsights/internal/schema"
@@ -178,6 +180,45 @@ type Store = persist.Store
 
 // WithStore attaches a durable state store to a server.
 func WithStore(st *Store) ServerOption { return server.WithStore(st) }
+
+// AdmissionConfig tunes the server's front-door admission gate: global
+// concurrency and queue bounds, per-tenant rate limits and quotas
+// (docs/SERVING.md).
+type AdmissionConfig = admission.Config
+
+// WithAdmission installs the admission gate: a server-wide concurrency
+// limit with bounded FIFO queue, load shedding (429 + Retry-After) and
+// per-tenant limits keyed on the X-SI-Tenant header.
+func WithAdmission(cfg AdmissionConfig) ServerOption { return server.WithAdmission(cfg) }
+
+// WithResultCache enables the shared run-result cache: identical
+// concurrent run requests collapse to one execution and repeated
+// requests serve the completed result until a save, upload or publish
+// invalidates it. limit bounds the entry count (<= 0 for the default).
+func WithResultCache(limit int) ServerOption { return server.WithResultCache(limit) }
+
+// NewRunBudget builds a per-run row/byte budget for Platform
+// .NewRunBudget — every run charges materialized rows and bytes against
+// it and fails fast when over, instead of exhausting server memory.
+func NewRunBudget(maxRows, maxBytes int64) *RunBudget { return admission.NewBudget(maxRows, maxBytes) }
+
+// RunBudget is a per-run memory budget; see NewRunBudget.
+type RunBudget = admission.Budget
+
+// EngineBudget is the engine-side accounting hook a RunBudget
+// satisfies (Platform.NewRunBudget returns one per run).
+type EngineBudget = batch.Budget
+
+// LoadConfig parameterizes RunLoad; see its fields for defaults.
+type LoadConfig = hackathon.LoadConfig
+
+// LoadReport is RunLoad's outcome snapshot: latency percentiles, shed
+// rate, cache hit rate — the BENCH_serve.json shape.
+type LoadReport = hackathon.LoadReport
+
+// RunLoad drives concurrent dashboard sessions against a serve
+// process's HTTP API and reports how its admission control held up.
+func RunLoad(cfg LoadConfig) (*LoadReport, error) { return hackathon.RunLoad(cfg) }
 
 // NewRepo creates a flow-file repository for the branch-and-merge
 // collaboration model of §4.5.1.
