@@ -225,3 +225,38 @@ func TestCLITraceAndTime(t *testing.T) {
 		t.Fatalf("time: %v\n%s", err, out)
 	}
 }
+
+func TestCLIExplain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := writeFlowDir(t)
+	flow := filepath.Join(dir, "demo.flow")
+
+	out, err := runCLI(t, "shareinsights", "explain", flow)
+	if err != nil || !strings.Contains(out, "plan for demo") ||
+		!strings.Contains(out, "D.sales  (source)") ||
+		!strings.Contains(out, "groupby region") {
+		t.Fatalf("explain: %v\n%s", err, out)
+	}
+	// explain is read-only: it must not create a flight-recorder
+	// directory as a side effect.
+	if _, err := os.Stat(filepath.Join(dir, ".sihistory")); err == nil {
+		t.Fatal("explain created .sihistory")
+	}
+
+	out, err = runCLI(t, "shareinsights", "explain", "-json", flow)
+	if err != nil || !strings.Contains(out, `"plan"`) || !strings.Contains(out, `"order"`) {
+		t.Fatalf("explain -json: %v\n%s", err, out)
+	}
+
+	// After `time -compare` records a run, explain reads the recorded
+	// history from the same default directory.
+	if out, err = runCLI(t, "shareinsights", "time", "-compare", flow); err != nil {
+		t.Fatalf("time -compare: %v\n%s", err, out)
+	}
+	out, err = runCLI(t, "shareinsights", "explain", flow)
+	if err != nil || !strings.Contains(out, "plan for demo") {
+		t.Fatalf("explain with history: %v\n%s", err, out)
+	}
+}

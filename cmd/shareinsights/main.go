@@ -215,6 +215,45 @@ func main() {
 		if dead := g.DeadSinks(); len(dead) > 0 {
 			fmt.Printf("dead sinks (skipped): %s\n", strings.Join(dead, ", "))
 		}
+	case "explain":
+		fs := flag.NewFlagSet("explain", flag.ExitOnError)
+		asJSON := fs.Bool("json", false, "emit the plan as JSON")
+		histDir := fs.String("history-dir", "", "flight-recorder directory feeding observed selectivities; default .sihistory beside the flow file")
+		fs.Parse(args)
+		path := mustArg(fs.Args(), "flow file")
+		var rec *history.Recorder
+		_, d := mustCompileTraced(path, func(p *shareinsights.Platform, name string) {
+			// Attach the flight recorder only when it already exists (or
+			// was pointed at explicitly): explain is read-only and must
+			// not litter .sihistory directories.
+			dir := historyDir(path, *histDir)
+			if _, err := os.Stat(dir); err != nil && *histDir == "" {
+				return
+			}
+			var err error
+			rec, err = history.Open(store.NewOSFS(dir), history.Options{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			p.History = rec
+		})
+		if rec != nil {
+			defer rec.Close()
+		}
+		plan := d.Explain()
+		if plan == nil {
+			log.Fatal("optimizer disabled on this platform; nothing to explain")
+		}
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(map[string]any{"dashboard": d.Name, "plan": plan}); err != nil {
+				log.Fatal(err)
+			}
+			break
+		}
+		fmt.Printf("plan for %s (evidence: history > facts > heuristic):\n", d.Name)
+		fmt.Print(plan.Format())
 	case "render":
 		path := mustArg(args, "flow file")
 		d := mustRun(path)
@@ -453,7 +492,11 @@ func main() {
 		st := d.Result().Stats
 		fmt.Println("slowest pipeline stages:")
 		for _, s := range st.Slowest(10) {
-			fmt.Printf("  %-12v  D.%-20s  %6d rows  %-8s  %s\n", s.Duration.Round(time.Microsecond), s.Output, s.Rows, s.Path, s.Stage)
+			fmt.Printf("  %-12v  D.%-20s  %6d rows  %-8s  %s", s.Duration.Round(time.Microsecond), s.Output, s.Rows, s.Path, s.Stage)
+			if s.Plan != "" && s.Plan != "as-written" {
+				fmt.Printf("  [plan: %s]", s.Plan)
+			}
+			fmt.Println()
 		}
 		// RunWithCache also reports what did NOT run: cached nodes and
 		// optimizer-eliminated sinks are as bottleneck-relevant as the
@@ -579,7 +622,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: shareinsights {run|validate|lint|check|fmt|plan|explore|render|time|history|profile|serve|load|library} [args]")
+	fmt.Fprintln(os.Stderr, "usage: shareinsights {run|validate|lint|check|fmt|plan|explain|explore|render|time|history|profile|serve|load|library} [args]")
 	os.Exit(2)
 }
 
@@ -781,6 +824,17 @@ func mustRun(path string) *shareinsights.Dashboard {
 // mustRunTraced is mustRun with a pre-run platform hook (the run
 // command uses it to attach an execution tracer).
 func mustRunTraced(path string, configure func(*shareinsights.Platform, string)) *shareinsights.Dashboard {
+	f, d := mustCompileTraced(path, configure)
+	if err := d.Run(); err != nil {
+		fatalDiagnostics(f, err)
+	}
+	return d
+}
+
+// mustCompileTraced parses and compiles a flow file without running it
+// (the explain command's path), with the same platform setup and data
+// resources a run would see.
+func mustCompileTraced(path string, configure func(*shareinsights.Platform, string)) (*shareinsights.FlowFile, *shareinsights.Dashboard) {
 	f := mustParse(path)
 	p := platformFor(path)
 	if configure != nil {
@@ -804,10 +858,7 @@ func mustRunTraced(path string, configure func(*shareinsights.Platform, string))
 	if err != nil {
 		fatalDiagnostics(f, err)
 	}
-	if err := d.Run(); err != nil {
-		fatalDiagnostics(f, err)
-	}
-	return d
+	return f, d
 }
 
 // fatalDiagnostics prints flow-file-level diagnostics (§6 error

@@ -190,6 +190,14 @@ func Lint(f *flowfile.File, opts Options) *Report {
 // cardinality bounds and liveness — for `shareinsights check`, the check
 // endpoint and the optimizer.
 func LintWithFacts(f *flowfile.File, opts Options) (*Report, *flowcheck.Facts) {
+	l := lintRun(f, opts)
+	return l.report, l.exportFacts()
+}
+
+// lintRun executes the full lint walk and returns the linter with its
+// per-flow records intact — the shared engine behind LintWithFacts and
+// OptimizerHints.
+func lintRun(f *flowfile.File, opts Options) *linter {
 	l := &linter{
 		f:        f,
 		opts:     opts,
@@ -222,7 +230,7 @@ func LintWithFacts(f *flowfile.File, opts Options) (*Report, *flowcheck.Facts) {
 		}
 		return a.Entity < b.Entity
 	})
-	return l.report, l.exportFacts()
+	return l
 }
 
 // exportFacts assembles the stable fact structure from the walk's

@@ -376,77 +376,13 @@ func (r *Registry) LoadTraced(d *flowfile.DataDef, s *schema.Schema, tr obs.Trac
 // jitter, Retry-After hints honored, permanent errors not retried —
 // with each attempt bounded by the per-source `timeout` property when
 // set. Breaker outcomes and retry counts feed the attached metrics
-// registry and the returned LoadStats.
+// registry and the returned LoadStats. It is LoadPushdownContext with
+// an empty offer: both paths share one fetch/decode sequence, which is
+// what keeps pushdown-on and pushdown-off runs byte-identical in their
+// retry and breaker behavior.
 func (r *Registry) LoadContext(ctx context.Context, d *flowfile.DataDef, s *schema.Schema, tr obs.Tracer, parent int) (*table.Table, LoadStats, error) {
-	var stats LoadStats
-	if s == nil {
-		return nil, stats, fmt.Errorf("connector: D.%s has no declared schema", d.Name)
-	}
-	p, pname, err := r.protocolFor(d)
-	if err != nil {
-		return nil, stats, err
-	}
-	stats.Protocol = pname
-	breaker := r.breakers.For(pname + "\x00" + d.Prop("source"))
-	fid := 0
-	if tr != nil {
-		fid = tr.StartSpan(parent, "fetch "+pname)
-	}
-	var payload []byte
-	if berr := breaker.Allow(); berr != nil {
-		err = fmt.Errorf("source unavailable (%s, %w)", breaker.State(), berr)
-	} else {
-		policy := r.policyFor(d)
-		stats.Attempts, err = policy.Do(ctx, func(actx context.Context) error {
-			var ferr error
-			payload, ferr = fetch(actx, p, d)
-			return ferr
-		})
-		if err != nil {
-			breaker.Failure()
-		} else {
-			breaker.Success()
-		}
-	}
-	if retries := stats.Attempts - 1; retries > 0 {
-		if m := r.Metrics(); m != nil {
-			m.CounterVec("si_source_retries_total",
-				"Source fetch retries, by protocol.", "protocol").
-				With(pname).Add(int64(retries))
-		}
-		if tr != nil {
-			tr.SpanInt(fid, "retries", int64(retries))
-		}
-	}
-	if tr != nil {
-		tr.SpanInt(fid, "bytes", int64(len(payload)))
-		if err != nil {
-			tr.SpanFlag(fid, "error")
-		}
-		tr.EndSpan(fid)
-	}
-	if err != nil {
-		return nil, stats, fmt.Errorf("connector: D.%s via %s: %w", d.Name, pname, err)
-	}
-	f, fname, err := r.formatFor(d)
-	if err != nil {
-		return nil, stats, err
-	}
-	did := 0
-	if tr != nil {
-		did = tr.StartSpan(parent, "decode "+fname)
-	}
-	t, err := f.Decode(d, s, payload)
-	if tr != nil {
-		if t != nil {
-			tr.SpanInt(did, "rows_out", int64(t.Len()))
-		}
-		tr.EndSpan(did)
-	}
-	if err != nil {
-		return nil, stats, fmt.Errorf("connector: D.%s as %s: %w", d.Name, fname, err)
-	}
-	return t, stats, nil
+	t, stats, _, err := r.LoadPushdownContext(ctx, d, s, Pushdown{}, tr, parent)
+	return t, stats, err
 }
 
 // Metrics returns the attached metrics registry (nil when none).

@@ -25,6 +25,21 @@ import (
 type csvFormat struct{ sep rune }
 
 func (f *csvFormat) Decode(d *flowfile.DataDef, s *schema.Schema, payload []byte) (*table.Table, error) {
+	t, _, err := f.decode(d, s, payload, Pushdown{})
+	return t, err
+}
+
+// DecodePushdown implements FormatPushdown: skipped columns decode as
+// nulls without parsing their fields, and a pushed predicate filters
+// rows as they decode. Columns the predicate reads keep decoding even
+// when listed as skippable, and a predicate that does not bind against
+// the declared schema is declined — never an error, the consumer
+// pipeline re-applies it anyway.
+func (f *csvFormat) DecodePushdown(d *flowfile.DataDef, s *schema.Schema, payload []byte, pd Pushdown) (*table.Table, PushdownResult, error) {
+	return f.decode(d, s, payload, pd)
+}
+
+func (f *csvFormat) decode(d *flowfile.DataDef, s *schema.Schema, payload []byte, pd Pushdown) (*table.Table, PushdownResult, error) {
 	r := csv.NewReader(bytes.NewReader(payload))
 	r.Comma = f.sep
 	if r.Comma == 0 {
@@ -36,13 +51,29 @@ func (f *csvFormat) Decode(d *flowfile.DataDef, s *schema.Schema, payload []byte
 	}
 	r.FieldsPerRecord = -1
 	r.TrimLeadingSpace = true
+	var res PushdownResult
 	records, err := r.ReadAll()
 	if err != nil {
-		return nil, err
+		return nil, res, err
 	}
 	t := table.New(s)
+	// Negotiate the pushdown: a predicate that binds filters while
+	// decoding; requested skip columns decode as nulls unless the
+	// predicate reads them.
+	pred, need := compilePushdownPredicate(pd.Predicate, s)
+	res.PredicateApplied = pred != nil
+	skip := map[int]bool{}
+	for _, c := range pd.SkipColumns {
+		if need[c] {
+			continue
+		}
+		if i := s.Index(c); i >= 0 {
+			skip[i] = true
+			res.SkippedColumns = append(res.SkippedColumns, c)
+		}
+	}
 	if len(records) == 0 {
-		return t, nil
+		return t, res, nil
 	}
 	// Header detection and by-name binding.
 	binding := make([]int, s.Len()) // schema column -> record index
@@ -62,22 +93,27 @@ func (f *csvFormat) Decode(d *flowfile.DataDef, s *schema.Schema, payload []byte
 			} else if j, ok := pos[col.Name]; ok {
 				binding[i] = j
 			} else {
-				return nil, fmt.Errorf("header has no column for %q", col.Source())
+				return nil, res, fmt.Errorf("header has no column for %q", col.Source())
 			}
 		}
 	}
 	for _, rec := range records[start:] {
 		row := make(table.Row, s.Len())
 		for i, j := range binding {
-			if j < len(rec) {
+			if skip[i] {
+				row[i] = value.VNull
+			} else if j < len(rec) {
 				row[i] = value.Parse(rec[j])
 			} else {
 				row[i] = value.VNull
 			}
 		}
+		if pred != nil && !pred(row).Truthy() {
+			continue
+		}
 		t.Append(row)
 	}
-	return t, nil
+	return t, res, nil
 }
 
 // isHeader reports whether the record names the schema's columns.

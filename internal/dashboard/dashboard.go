@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"time"
 
+	"shareinsights/internal/analyze"
 	"shareinsights/internal/connector"
 	"shareinsights/internal/dag"
 	"shareinsights/internal/engine/batch"
@@ -150,6 +151,18 @@ type Dashboard struct {
 	tracer   obs.Tracer
 	health   RunHealth
 	flowHash string
+	// hints is the static-analysis evidence for the cost-based planner,
+	// computed once at compile time (the flow file cannot change under a
+	// compiled dashboard).
+	hints analyze.Hints
+	// pushedFilters marks the filter stages (dag.HintKey(output, stage))
+	// whose predicate a connector applied at fetch during the current
+	// run; their observed selectivities are pushdown artifacts and are
+	// excluded from history evidence.
+	pushedFilters map[string]bool
+	// runPlan is the cost-based plan the last run executed (nil when the
+	// optimizer is disabled or no run happened yet).
+	runPlan *dag.Plan
 
 	// TransferredBytes counts endpoint-data bytes shipped from the
 	// processing context to the interactive context in the last Run.
@@ -188,6 +201,13 @@ func (p *Platform) Compile(f *flowfile.File, resources map[string][]byte) (*Dash
 		Parallelism: p.Parallelism,
 		Trace:       p.Trace,
 		WidgetValue: d.widgetValue,
+	}
+	if p.Optimize {
+		d.hints = analyze.OptimizerHints(f, analyze.Options{
+			Tasks:      p.Tasks,
+			Connectors: p.Connectors,
+			Shared:     resolver,
+		})
 	}
 	for _, name := range f.WidgetOrder {
 		def := f.Widgets[name]
@@ -314,6 +334,65 @@ func (d *Dashboard) Tracer() obs.Tracer {
 // FlowHash identifies the compiled flow-file revision: the content
 // hash run-history profiles and baselines are keyed by.
 func (d *Dashboard) FlowHash() string { return d.flowHash }
+
+// statsFn adapts the flight recorder's stage profiles for this flow
+// revision into the planner's statistics feed. nil when the platform
+// records no history or none exists yet for this flow hash — the
+// planner then falls back to static facts and heuristics.
+func (d *Dashboard) statsFn() dag.StatsFn {
+	rec := d.platform.History
+	if rec == nil {
+		return nil
+	}
+	profs := rec.Profiles(d.flowHash)
+	if len(profs) == 0 {
+		return nil
+	}
+	m := make(map[string]history.StageProfile, len(profs))
+	for _, p := range profs {
+		m[dag.HintKey(p.Output, p.Stage)] = p
+	}
+	return func(output, stage string) (dag.StageStats, bool) {
+		p, ok := m[dag.HintKey(output, stage)]
+		if !ok {
+			return dag.StageStats{}, false
+		}
+		return dag.StageStats{
+			Selectivity:    p.Selectivity,
+			HasSelectivity: p.SelSamples > 0,
+			RowsIn:         p.RowsIn,
+			HasRowsIn:      p.Count > 0,
+			Rows:           p.Rows,
+			HasRows:        p.Count > 0,
+			CostUS:         p.EWMAUS,
+		}, true
+	}
+}
+
+// buildPlan assembles the cost-based plan for the next run: plan and
+// path decisions made once, from observed history when it exists,
+// static flowcheck facts otherwise, heuristics last. nil when the
+// optimizer is disabled.
+func (d *Dashboard) buildPlan() *dag.Plan {
+	if !d.platform.Optimize {
+		return nil
+	}
+	opts := d.hints.PlanOptions(d.statsFn())
+	opts.Columnar = d.platform.Columnar
+	return dag.Optimize(d.Graph, opts)
+}
+
+// Explain returns the cost-based plan the next run would execute — the
+// payload behind `shareinsights explain` and
+// GET /dashboards/{name}/explain. It reflects the current evidence
+// (run history accumulates between calls), so two explains can differ
+// when runs recorded new statistics in between. nil when the optimizer
+// is disabled.
+func (d *Dashboard) Explain() *dag.Plan { return d.buildPlan() }
+
+// LastPlan returns the plan the most recent run actually executed (nil
+// before the first run or with the optimizer disabled).
+func (d *Dashboard) LastPlan() *dag.Plan { return d.runPlan }
 
 // History returns the platform's run-history recorder (nil when the
 // platform records no history).

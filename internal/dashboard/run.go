@@ -9,6 +9,8 @@ import (
 	"strings"
 	"time"
 
+	"shareinsights/internal/connector"
+	"shareinsights/internal/dag"
 	"shareinsights/internal/engine/batch"
 	"shareinsights/internal/engine/cube"
 	"shareinsights/internal/flowfile"
@@ -78,6 +80,12 @@ func (d *Dashboard) run(ctx context.Context, tr obs.Tracer, runSpan int) (err er
 		}
 		d.health = h
 	}()
+	// Plan the run up front: one cost-based decision pass covering
+	// filter order, source pushdown, sink skipping and columnar paths.
+	// Sources consult it below (pushdown offers), the executor follows
+	// its per-node stage lists and path choices.
+	d.runPlan = d.buildPlan()
+	d.pushedFilters = map[string]bool{}
 	sources := map[string]*table.Table{}
 	for _, name := range d.Graph.Sources() {
 		if cerr := ctx.Err(); cerr != nil {
@@ -124,7 +132,7 @@ func (d *Dashboard) run(ctx context.Context, tr obs.Tracer, runSpan int) (err er
 		}
 		sources[name] = t
 	}
-	exec := &batch.Executor{Parallelism: d.platform.Parallelism, Optimize: d.platform.Optimize, Tracer: tr, TraceParent: runSpan, Columnar: d.platform.Columnar}
+	exec := &batch.Executor{Parallelism: d.platform.Parallelism, Optimize: d.platform.Optimize, Plan: d.runPlan, Tracer: tr, TraceParent: runSpan, Columnar: d.platform.Columnar}
 	if d.platform.NewRunBudget != nil {
 		// One budget covers the whole run: DAG nodes and widget
 		// endpoint pipelines all charge the same accountant.
@@ -352,11 +360,28 @@ func (d *Dashboard) recordRunHistory(dur time.Duration, runErr error) {
 		run.ColumnarFallbacks = st.ColumnarFallbacks
 		run.Stages = make([]history.StageRecord, 0, len(st.Timings))
 		for _, t := range st.Timings {
-			run.Stages = append(run.Stages, history.StageRecord{
+			rec := history.StageRecord{
 				Output: t.Output, Stage: t.Stage, RowsIn: t.RowsIn, Rows: t.Rows,
 				DurationUS: t.Duration.Microseconds(), QueueWaitUS: t.QueueWait.Microseconds(),
-				Path: t.Path,
-			})
+				Path: t.Path, Plan: t.Plan,
+			}
+			// A filter whose predicate the connector applied at fetch
+			// sees pre-filtered rows: mark the record so the profile
+			// keeps the genuine selectivity the pushdown was justified
+			// by (row counts and duration are still real observations).
+			rec.PushedDown = d.pushedFilters[dag.HintKey(t.Output, t.Stage)]
+			run.Stages = append(run.Stages, rec)
+			// Fused row-local runs report per-task row counts: record
+			// them as sub-records so every individual filter grows a
+			// selectivity profile (the optimizer's reordering evidence)
+			// without polluting duration baselines.
+			for _, sub := range t.Sub {
+				run.Stages = append(run.Stages, history.StageRecord{
+					Output: t.Output, Stage: sub.Stage, RowsIn: sub.RowsIn, Rows: sub.Rows,
+					Path: t.Path, Plan: t.Plan, Sub: true,
+					PushedDown: d.pushedFilters[dag.HintKey(t.Output, sub.Stage)],
+				})
+			}
 		}
 	}
 	rec.Record(run)
@@ -395,6 +420,29 @@ func (d *Dashboard) loadSource(ctx context.Context, name string, tr obs.Tracer, 
 			return nil, 1, fmt.Errorf("dashboard %s: %w", d.Name, err)
 		}
 		return t, 1, nil
+	}
+	// Connector-path sources get the plan's pushdown offer (when one
+	// exists): the connector applies what it can and declines the rest
+	// in-band — same fetch, same retry accounting either way, and the
+	// consumer pipeline re-applies the predicate regardless.
+	if np := d.runPlan.Node(name); np != nil && np.Pushdown != nil {
+		pd := connector.Pushdown{
+			Predicate:   np.Pushdown.Predicate,
+			SkipColumns: np.Pushdown.SkipColumns,
+		}
+		t, stats, res, err := d.platform.Connectors.LoadPushdownContext(ctx, n.Def, n.Schema, pd, tr, srcSpan)
+		if err != nil {
+			return nil, stats.Attempts, fmt.Errorf("dashboard %s: %w", d.Name, err)
+		}
+		if res.PredicateApplied && np.Pushdown.Consumer != "" {
+			// The consumer's re-applied filter now sees pre-filtered
+			// rows: its observed selectivity is ~1.0 by construction,
+			// not evidence. Flag it so recordRunHistory keeps the real
+			// profile intact (else the estimate decays toward 1, the
+			// planner un-pushes, and the plan oscillates run over run).
+			d.pushedFilters[dag.HintKey(np.Pushdown.Consumer, "filter_by "+np.Pushdown.Predicate)] = true
+		}
+		return t, stats.Attempts, nil
 	}
 	t, stats, err := d.platform.Connectors.LoadContext(ctx, n.Def, n.Schema, tr, srcSpan)
 	if err != nil {

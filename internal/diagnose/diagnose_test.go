@@ -1,4 +1,4 @@
-package diagnose
+package diagnose_test
 
 import (
 	"strings"
@@ -6,6 +6,7 @@ import (
 
 	"shareinsights/internal/connector"
 	"shareinsights/internal/dashboard"
+	"shareinsights/internal/diagnose"
 	"shareinsights/internal/flowfile"
 )
 
@@ -43,7 +44,7 @@ func TestDidYouMeanForMisspelledColumn(t *testing.T) {
 	if cerr == nil {
 		t.Fatal("expected compile error for misspelled column")
 	}
-	ds := Diagnose(f, cerr)
+	ds := diagnose.Diagnose(f, cerr)
 	if len(ds) != 1 {
 		t.Fatalf("diagnostics = %v", ds)
 	}
@@ -86,7 +87,7 @@ T:
 	if verr == nil {
 		t.Fatal("expected validation error")
 	}
-	ds := Diagnose(f, verr)
+	ds := diagnose.Diagnose(f, verr)
 	if len(ds) < 2 {
 		t.Fatalf("want one diagnostic per problem, got %v", ds)
 	}
@@ -105,7 +106,7 @@ func TestTaskLineAttribution(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ds := Diagnose(f, errFor(`task "sum_by_region": something broke`))
+	ds := diagnose.Diagnose(f, errFor(`task "sum_by_region": something broke`))
 	if ds[0].Entity != "T.sum_by_region" || ds[0].Line != f.Tasks["sum_by_region"].Line {
 		t.Errorf("diagnostic = %+v", ds[0])
 	}
@@ -118,31 +119,7 @@ func (e strErr) Error() string { return string(e) }
 func errFor(msg string) error { return strErr(msg) }
 
 func TestNilError(t *testing.T) {
-	if ds := Diagnose(nil, nil); ds != nil {
+	if ds := diagnose.Diagnose(nil, nil); ds != nil {
 		t.Errorf("nil error produced diagnostics: %v", ds)
-	}
-}
-
-func TestEditDistance(t *testing.T) {
-	cases := []struct {
-		a, b string
-		want int
-	}{
-		{"", "", 0}, {"a", "", 1}, {"abc", "abc", 0},
-		{"regoin", "region", 2}, {"kitten", "sitting", 3},
-	}
-	for _, c := range cases {
-		if got := editDistance(c.a, c.b); got != c.want {
-			t.Errorf("editDistance(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
-		}
-	}
-}
-
-func TestNearestRespectsThreshold(t *testing.T) {
-	if got := nearest("zzzzz", []string{"region", "product"}); got != "" {
-		t.Errorf("nearest matched a distant candidate: %q", got)
-	}
-	if got := nearest("prodct", []string{"region", "product"}); got != "product" {
-		t.Errorf("nearest = %q", got)
 	}
 }

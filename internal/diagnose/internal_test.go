@@ -1,0 +1,27 @@
+package diagnose
+
+import "testing"
+
+func TestEditDistance(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0}, {"a", "", 1}, {"abc", "abc", 0},
+		{"regoin", "region", 2}, {"kitten", "sitting", 3},
+	}
+	for _, c := range cases {
+		if got := editDistance(c.a, c.b); got != c.want {
+			t.Errorf("editDistance(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestNearestRespectsThreshold(t *testing.T) {
+	if got := nearest("zzzzz", []string{"region", "product"}); got != "" {
+		t.Errorf("nearest matched a distant candidate: %q", got)
+	}
+	if got := nearest("prodct", []string{"region", "product"}); got != "product" {
+		t.Errorf("nearest = %q", got)
+	}
+}

@@ -43,6 +43,11 @@ type Executor struct {
 	// sink elimination) before execution. Off, the engine runs the
 	// pipelines exactly as written — the E6 ablation baseline.
 	Optimize bool
+	// Plan, when non-nil, is a cost-based plan from dag.Optimize: the
+	// executor takes each node's spec order, columnar mode and skipped
+	// sinks from it instead of re-deriving the per-run rewrites that
+	// Optimize alone applies. Plan takes precedence over Optimize.
+	Plan *dag.Plan
 	// Tracer receives execution spans (one per DAG node, one per
 	// pipeline stage). nil disables tracing; every span call is guarded
 	// by a nil check so the disabled path adds zero allocations.
@@ -91,6 +96,26 @@ type StageTiming struct {
 	// Path records which execution path ran the stage: PathRow or
 	// PathColumnar.
 	Path string
+	// Plan tags the stage with the plan summary of its node (the
+	// applied rewrite rules, or "as-written"); "" when the executor ran
+	// without a cost-based plan.
+	Plan string
+	// Sub breaks a fused row-local run into its constituent tasks with
+	// per-task row counts — the per-filter selectivity feed for the
+	// cost-based optimizer. Empty for unfused stages.
+	Sub []SubStage
+}
+
+// SubStage is one task of a fused row-local run: its description and
+// observed row counts. Durations are not attributed below the fused
+// stage (the fusion exists precisely so the tasks share one pass).
+type SubStage struct {
+	// Stage is the task description.
+	Stage string
+	// RowsIn and Rows are the task's input and output cardinalities
+	// within the fused pass.
+	RowsIn int
+	Rows   int
 }
 
 // StageTiming.Path values.
@@ -232,11 +257,13 @@ func (e *Executor) RunWithCacheContext(ctx context.Context, g *dag.Graph, env *t
 		Stats:  Stats{RowsProduced: map[string]int{}},
 	}
 	skip := map[string]bool{}
-	if e.Optimize {
+	if e.Plan != nil {
+		res.Stats.SkippedSinks = append([]string(nil), e.Plan.SkippedSinks...)
+	} else if e.Optimize {
 		res.Stats.SkippedSinks = g.DeadSinks()
-		for _, s := range res.Stats.SkippedSinks {
-			skip[s] = true
-		}
+	}
+	for _, s := range res.Stats.SkippedSinks {
+		skip[s] = true
 	}
 	// Per-node completion latches for dataflow scheduling.
 	type slot struct {
@@ -336,7 +363,17 @@ func (e *Executor) RunWithCacheContext(ctx context.Context, g *dag.Graph, env *t
 				tr.SpanInt(nodeSpan, "queue_wait_us", queueWait.Microseconds())
 			}
 			specs := n.Specs
-			if e.Optimize {
+			nodeColumnar := n.ColumnarMode()
+			planTag := ""
+			if np := e.Plan.Node(n.Name); np != nil && !np.Source {
+				// The cost-based plan fixed this node's rewrites and
+				// columnar mode at plan time; run exactly that.
+				specs = np.Specs
+				if np.Columnar != "" {
+					nodeColumnar = np.Columnar
+				}
+				planTag = np.Summary()
+			} else if e.Optimize {
 				specs = dag.PushdownFilters(specs)
 			}
 			first := true
@@ -344,6 +381,7 @@ func (e *Executor) RunWithCacheContext(ctx context.Context, g *dag.Graph, env *t
 			var budgetMu sync.Mutex
 			record := func(t StageTiming) {
 				t.Output = n.Name
+				t.Plan = planTag
 				if first {
 					t.QueueWait = queueWait
 					first = false
@@ -361,7 +399,7 @@ func (e *Executor) RunWithCacheContext(ctx context.Context, g *dag.Graph, env *t
 				res.Stats.Timings = append(res.Stats.Timings, t)
 				mu.Unlock()
 			}
-			out, stages, err := e.runPipelineCounted(ctx, env, specs, ins, n.Inputs, record, tr, nodeSpan, n.ColumnarMode(), &fallbacks)
+			out, stages, err := e.runPipelineCounted(ctx, env, specs, ins, n.Inputs, record, tr, nodeSpan, nodeColumnar, &fallbacks)
 			if err == nil {
 				budgetMu.Lock()
 				err = budgetErr
@@ -549,14 +587,24 @@ func (e *Executor) runPipelineCounted(ctx context.Context, env *task.Env, specs 
 				sid = tr.StartSpan(parent, "stage "+desc)
 			}
 			start := time.Now()
+			var subs []SubStage
 			out, err := execStage(desc, func() (*table.Table, error) {
-				return e.runRowLocal(env, run, cur[0], firstName(curNames))
+				t, counts, err := e.runRowLocal(env, run, cur[0], firstName(curNames))
+				if err == nil && len(run) > 1 {
+					subs = make([]SubStage, len(run))
+					rin := nIn
+					for k, rl := range run {
+						subs[k] = SubStage{Stage: task.Describe(rl), RowsIn: rin, Rows: counts[k]}
+						rin = counts[k]
+					}
+				}
+				return t, err
 			})
 			if err != nil {
 				return nil, stages, err
 			}
 			d := time.Since(start)
-			record(StageTiming{Stage: desc, RowsIn: nIn, Rows: out.Len(), Duration: d, Path: PathRow})
+			record(StageTiming{Stage: desc, RowsIn: nIn, Rows: out.Len(), Duration: d, Path: PathRow, Sub: subs})
 			endStageSpan(tr, sid, nIn, out.Len(), d)
 			stages += len(run)
 			cur = []*table.Table{out}
@@ -649,20 +697,23 @@ func firstName(names []string) string {
 	return ""
 }
 
-// runRowLocal shards a fused row-local chain across workers.
-func (e *Executor) runRowLocal(env *task.Env, run []task.RowLocal, in *table.Table, name string) (*table.Table, error) {
+// runRowLocal shards a fused row-local chain across workers. counts
+// reports, per task of the run, the rows that task emitted — the
+// per-filter selectivity observations the cost-based optimizer feeds
+// on (without them a fused run is one opaque stage).
+func (e *Executor) runRowLocal(env *task.Env, run []task.RowLocal, in *table.Table, name string) (_ *table.Table, counts []int, _ error) {
 	// Bind the whole chain once against the evolving schema.
 	fns := make([]task.RowFn, len(run))
 	cur := task.Input{Name: name, Schema: in.Schema()}
 	for i, rl := range run {
 		fn, out, err := rl.BindRow(env, cur)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		fns[i] = fn
 		cur = task.Input{Schema: out}
 	}
-	apply := func(rows []table.Row, sink *table.Table) error {
+	apply := func(rows []table.Row, sink *table.Table, counts []int) error {
 		var walk func(depth int, r table.Row) error
 		walk = func(depth int, r table.Row) error {
 			if depth == len(fns) {
@@ -671,6 +722,7 @@ func (e *Executor) runRowLocal(env *task.Env, run []task.RowLocal, in *table.Tab
 			}
 			var inner error
 			err := fns[depth](r, func(nr table.Row) {
+				counts[depth]++
 				if e := walk(depth+1, nr); e != nil && inner == nil {
 					inner = e
 				}
@@ -691,13 +743,15 @@ func (e *Executor) runRowLocal(env *task.Env, run []task.RowLocal, in *table.Tab
 	rows := in.Rows()
 	if workers <= 1 || len(rows) < 2*workers {
 		out := table.New(cur.Schema)
-		if err := apply(rows, out); err != nil {
-			return nil, err
+		counts = make([]int, len(fns))
+		if err := apply(rows, out, counts); err != nil {
+			return nil, nil, err
 		}
 		traceRun(env, run, out.Len())
-		return out, nil
+		return out, counts, nil
 	}
 	parts := make([]*table.Table, workers)
+	partCounts := make([][]int, workers)
 	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	chunk := (len(rows) + workers - 1) / workers
@@ -715,15 +769,18 @@ func (e *Executor) runRowLocal(env *task.Env, run []task.RowLocal, in *table.Tab
 			defer wg.Done()
 			defer recoverStage(describeRun(run), &errs[w])
 			part := table.New(cur.Schema)
-			errs[w] = apply(rows[lo:hi], part)
+			pc := make([]int, len(fns))
+			errs[w] = apply(rows[lo:hi], part, pc)
 			parts[w] = part
+			partCounts[w] = pc
 		}(w, lo, hi)
 	}
 	wg.Wait()
 	out := table.New(cur.Schema)
+	counts = make([]int, len(fns))
 	for w, part := range parts {
 		if errs[w] != nil {
-			return nil, errs[w]
+			return nil, nil, errs[w]
 		}
 		if part == nil {
 			continue
@@ -731,9 +788,12 @@ func (e *Executor) runRowLocal(env *task.Env, run []task.RowLocal, in *table.Tab
 		for _, r := range part.Rows() {
 			out.Append(r)
 		}
+		for i, c := range partCounts[w] {
+			counts[i] += c
+		}
 	}
 	traceRun(env, run, out.Len())
-	return out, nil
+	return out, counts, nil
 }
 
 // describeRun names a fused row-local run.

@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"shareinsights/internal/dag"
 	"shareinsights/internal/obs"
 	"shareinsights/internal/schema"
 	"shareinsights/internal/table"
@@ -36,8 +37,9 @@ const (
 
 // columnarAutoThreshold is the input cardinality below which auto mode
 // keeps the row kernels: batch conversion has a fixed cost that tiny
-// dashboard tables never amortize.
-const columnarAutoThreshold = 256
+// dashboard tables never amortize. It aliases the dag constant so the
+// cost-based planner's path predictions use the same cutoff.
+const columnarAutoThreshold = dag.ColumnarAutoThreshold
 
 // ValidColumnarMode reports whether s is a recognized planner mode.
 // The flow-file validator and flowlint use it; "" (unset) is not valid

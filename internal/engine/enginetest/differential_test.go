@@ -6,6 +6,7 @@ package enginetest
 
 import (
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"strings"
 	"testing"
@@ -109,6 +110,64 @@ func diffFlow(t *testing.T, flow string, sources map[string]*table.Table) {
 		if got == nil || !sameMultiset(want, got) {
 			t.Errorf("columnar parallel run: D.%s row multiset differs from row path", name)
 		}
+	}
+
+	// Optimized-vs-unoptimized: the same flow under a cost-based plan —
+	// once with heuristic-only evidence, once with an adversarial stats
+	// feed claiming extreme selectivities to force reorders — must match
+	// the unplanned row run cell-for-cell on both engines.
+	for si, stats := range []dag.StatsFn{nil, adversarialStats(1), adversarialStats(2)} {
+		for _, mode := range []string{batch.ColumnarOff, batch.ColumnarOn} {
+			plan := dag.Optimize(g, dag.PlanOptions{Stats: stats, Columnar: mode})
+			// The differential flows don't mark endpoints, so every
+			// output is formally a dead sink; keep them all live — the
+			// point here is the stage rewrites, not sink elimination.
+			plan.SkippedSinks = nil
+			opt := runPlanned(t, g, plan, sources, mode)
+			for _, name := range row.SortedNames() {
+				want, _ := row.Table(name)
+				got, ok := opt.Table(name)
+				if !ok {
+					t.Fatalf("stats=%d columnar=%s planned run missing output %s", si, mode, name)
+				}
+				if !want.Equal(got) {
+					t.Errorf("stats=%d columnar=%s: planned D.%s differs from unplanned row path:\nplan:\n%s\nrow:\n%s\nplanned:\n%s",
+						si, mode, name, plan.Format(), want.Format(10), got.Format(10))
+					continue
+				}
+				assertKindsEqual(t, name, want, got)
+			}
+		}
+	}
+}
+
+// runPlanned executes the graph under a fixed cost-based plan.
+func runPlanned(t testing.TB, g *dag.Graph, plan *dag.Plan, sources map[string]*table.Table, columnar string) *batch.Result {
+	t.Helper()
+	e := &batch.Executor{Parallelism: 1, Columnar: columnar, Plan: plan}
+	res, err := e.Run(g, &task.Env{Parallelism: 1}, sources)
+	if err != nil {
+		t.Fatalf("planned columnar=%s: %v", columnar, err)
+	}
+	return res
+}
+
+// adversarialStats fabricates deterministic per-stage "observed"
+// statistics from a hash of the stage identity: every stage gets a
+// different extreme selectivity, so the planner's reorder and pushdown
+// rules all fire somewhere across the sweep. Every fourth stage reports
+// no evidence, exercising the history→heuristic fallback mid-plan.
+func adversarialStats(seed uint64) dag.StatsFn {
+	return func(output, stage string) (dag.StageStats, bool) {
+		h := fnv.New64a()
+		fmt.Fprintf(h, "%d\x00%s\x00%s", seed, output, stage)
+		x := h.Sum64()
+		return dag.StageStats{
+			Selectivity: float64(x%1000) / 999, HasSelectivity: true,
+			RowsIn: float64(x % 5000), HasRowsIn: true,
+			Rows: float64(x % 3000), HasRows: true,
+			CostUS: float64(x % 100),
+		}, x%4 != 0
 	}
 }
 
@@ -308,6 +367,38 @@ T:
   cut:
     type: limit
     limit: 9
+`},
+	{"filter_chain_reorder", diffHeader + `
+F:
+  D.out: D.src | T.a | T.b | T.c
+
+T:
+  a:
+    type: filter_by
+    filter_expression: amount > -40
+  b:
+    type: filter_by
+    filter_expression: region == 'east'
+  c:
+    type: filter_by
+    filter_expression: ratio < 1.5
+`},
+	{"filter_map_filter_pushdown", diffHeader + `
+F:
+  D.out: D.src | T.widen | T.keep | T.narrow
+
+T:
+  widen:
+    type: map
+    operator: expr
+    expression: amount + 1
+    output: bumped
+  keep:
+    type: filter_by
+    filter_expression: flag
+  narrow:
+    type: filter_by
+    filter_expression: bumped > 5
 `},
 	{"per_node_detail", diffHeader + `
 D.mid:

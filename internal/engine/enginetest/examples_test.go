@@ -1,6 +1,7 @@
 package enginetest
 
 import (
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -267,6 +268,69 @@ func TestExampleFlowsLintClean(t *testing.T) {
 					if fd.Severity >= analyze.Error {
 						t.Errorf("%s: %s", constName, fd)
 					}
+				}
+			}
+		})
+	}
+}
+
+// update regenerates the golden plan snapshots under testdata/plans.
+var update = flag.Bool("update", false, "rewrite golden plan snapshots")
+
+// TestGoldenPlans snapshots `shareinsights explain` output for every
+// example dashboard: the optimizer's plan for the shipped flows is part
+// of the contract, and any drift (a rule firing differently, evidence
+// changing, a pushdown appearing or vanishing) must be a conscious
+// choice. Regenerate with `go test ./internal/engine/enginetest -run
+// TestGoldenPlans -update`.
+func TestGoldenPlans(t *testing.T) {
+	registerExampleExtensions()
+	base := examplesDir(t)
+	for _, ec := range exampleCases {
+		ec := ec
+		t.Run(ec.dir, func(t *testing.T) {
+			p := dashboard.NewPlatform()
+			p.Parallelism = 1
+			p.Connectors = connector.NewRegistry(connector.Options{Mem: ec.mem()})
+			if ec.predictor {
+				registerPredictor(t, p.Tasks)
+			}
+			for _, constName := range ec.flows {
+				src := extractConst(t, filepath.Join(base, ec.dir, "main.go"), constName)
+				f, err := flowfile.Parse(ec.dir+"_"+constName, src)
+				if err != nil {
+					t.Fatalf("%s: parse: %v", constName, err)
+				}
+				d, err := p.Compile(f, ec.resources)
+				if err != nil {
+					t.Fatalf("%s: compile: %v", constName, err)
+				}
+				plan := d.Explain()
+				if plan == nil {
+					t.Fatalf("%s: Explain returned nil", constName)
+				}
+				got := plan.Format()
+				golden := filepath.Join("testdata", "plans", ec.dir+"_"+constName+".golden")
+				if *update {
+					if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+						t.Fatal(err)
+					}
+					if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+						t.Fatal(err)
+					}
+				}
+				want, err := os.ReadFile(golden)
+				if err != nil {
+					t.Fatalf("%s: %v (run with -update to regenerate)", constName, err)
+				}
+				if got != string(want) {
+					t.Errorf("%s: plan drifted from %s (run with -update if intended):\n--- golden:\n%s\n--- got:\n%s",
+						constName, golden, want, got)
+				}
+				// Later flows may read objects this one publishes; run so
+				// the catalog is populated for their compilation.
+				if err := d.Run(); err != nil {
+					t.Fatalf("%s: run: %v", constName, err)
 				}
 			}
 		})

@@ -46,6 +46,22 @@ type StageRecord struct {
 	// Path is the execution path that ran the stage: "row" or
 	// "columnar" (docs/ENGINE.md).
 	Path string `json:"path"`
+	// Plan tags the stage with its node's plan summary (the applied
+	// rewrite rules, or "as-written"); "" for runs without a cost-based
+	// plan.
+	Plan string `json:"plan,omitempty"`
+	// Sub marks a synthetic record for one task inside a fused
+	// row-local run: its row counts feed per-filter selectivity
+	// profiles, but it carries no duration of its own (the fused stage
+	// owns the wall time), so duration baselines skip it.
+	Sub bool `json:"sub,omitempty"`
+	// PushedDown marks a filter whose predicate a connector applied at
+	// fetch time this run: the stage re-filtered already-filtered rows,
+	// so its observed ~1.0 selectivity is a plan artifact, not
+	// evidence. Row counts and durations are still real observations;
+	// only the selectivity fold is skipped (else the profile decays
+	// toward 1, the planner un-pushes, and the plan oscillates).
+	PushedDown bool `json:"pushed_down,omitempty"`
 }
 
 // RunRecord is one dashboard run as the flight recorder stores it.
@@ -129,10 +145,17 @@ type StageProfile struct {
 	// EWMAUS is the exponentially weighted moving average duration in
 	// microseconds — the regression baseline.
 	EWMAUS float64 `json:"ewma_us"`
-	// Selectivity is the EWMA of rows out / rows in (1 when no input).
+	// Selectivity is the EWMA of rows out / rows in, folded only from
+	// observations with a non-empty input: an empty input says nothing
+	// about what fraction a filter keeps, so it must not drag the
+	// estimate toward any value. SelSamples counts the observations
+	// that did fold; zero means no evidence — the optimizer falls back
+	// to static facts or heuristics instead of trusting the zero value.
 	Selectivity float64 `json:"selectivity"`
-	// Rows is the EWMA output cardinality.
-	Rows float64 `json:"rows"`
+	SelSamples  int64   `json:"sel_samples,omitempty"`
+	// RowsIn and Rows are the EWMA input and output cardinalities.
+	RowsIn float64 `json:"rows_in,omitempty"`
+	Rows   float64 `json:"rows"`
 	// LastUS and LastPath describe the newest observation.
 	LastUS   int64  `json:"last_us"`
 	LastPath string `json:"last_path"`
@@ -140,25 +163,38 @@ type StageProfile struct {
 	Latency Sketch `json:"latency"`
 }
 
-// observe folds one stage record into the profile.
+// observe folds one stage record into the profile. Selectivity folds
+// only when the stage saw input rows — an empty run is "no evidence",
+// not "keeps everything" — and sub-records (tasks inside a fused run)
+// fold row counts but never durations, which belong to the fused stage.
 func (p *StageProfile) observe(st StageRecord, alpha float64) {
-	sel := 1.0
-	if st.RowsIn > 0 {
-		sel = float64(st.Rows) / float64(st.RowsIn)
+	if st.RowsIn > 0 && !st.PushedDown {
+		sel := float64(st.Rows) / float64(st.RowsIn)
+		if p.SelSamples == 0 {
+			p.Selectivity = sel
+		} else {
+			p.Selectivity = alpha*sel + (1-alpha)*p.Selectivity
+		}
+		p.SelSamples++
 	}
 	if p.Count == 0 {
-		p.EWMAUS = float64(st.DurationUS)
-		p.Selectivity = sel
+		p.RowsIn = float64(st.RowsIn)
 		p.Rows = float64(st.Rows)
 	} else {
-		p.EWMAUS = alpha*float64(st.DurationUS) + (1-alpha)*p.EWMAUS
-		p.Selectivity = alpha*sel + (1-alpha)*p.Selectivity
+		p.RowsIn = alpha*float64(st.RowsIn) + (1-alpha)*p.RowsIn
 		p.Rows = alpha*float64(st.Rows) + (1-alpha)*p.Rows
 	}
+	if !st.Sub {
+		if p.Count == 0 || p.EWMAUS == 0 {
+			p.EWMAUS = float64(st.DurationUS)
+		} else {
+			p.EWMAUS = alpha*float64(st.DurationUS) + (1-alpha)*p.EWMAUS
+		}
+		p.LastUS = st.DurationUS
+		p.LastPath = st.Path
+		p.Latency.Observe(st.DurationUS)
+	}
 	p.Count++
-	p.LastUS = st.DurationUS
-	p.LastPath = st.Path
-	p.Latency.Observe(st.DurationUS)
 }
 
 // Options configures a Recorder. The zero value takes every default.
@@ -317,6 +353,11 @@ func (r *Recorder) applyLocked(run *RunRecord) {
 func (r *Recorder) compareLocked(run *RunRecord) []StageDelta {
 	var out []StageDelta
 	for _, st := range run.Stages {
+		if st.Sub {
+			// Sub-records carry no duration; comparing them against a
+			// baseline would only emit zero-valued noise.
+			continue
+		}
 		p := r.profiles[profKey{run.FlowHash, st.Output, st.Stage}]
 		if p == nil || p.Count == 0 {
 			continue
@@ -329,7 +370,8 @@ func (r *Recorder) compareLocked(run *RunRecord) []StageDelta {
 		if base > 0 {
 			d.DeltaPct = 100 * float64(st.DurationUS-base) / float64(base)
 		}
-		d.Regressed = p.Count >= int64(r.opts.MinSamples) &&
+		d.Regressed = p.EWMAUS > 0 &&
+			p.Count >= int64(r.opts.MinSamples) &&
 			st.DurationUS >= r.opts.MinDurationUS &&
 			float64(st.DurationUS) > p.EWMAUS*r.opts.RegressFactor
 		out = append(out, d)

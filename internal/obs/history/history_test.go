@@ -293,3 +293,85 @@ func TestMemoryOnlyRecorder(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestEmptyRunNoSelectivityEvidence pins the satellite fix: a stage
+// that ran on an empty input (RowsIn=0, Rows=0) must not create
+// selectivity evidence. Before the fix, 0/0 read as "keeps everything"
+// (selectivity 1) and a dashboard's empty first run poisoned filter
+// reordering for every run after it.
+func TestEmptyRunNoSelectivityEvidence(t *testing.T) {
+	r := NewRecorder(Options{Now: fixedClock()})
+	empty := &RunRecord{
+		Dashboard: "alpha", FlowHash: "f1", Status: "ok",
+		Stages: []StageRecord{
+			{Output: "sales", Stage: "filter_by amount > 0", RowsIn: 0, Rows: 0, DurationUS: 100, Path: "row"},
+		},
+	}
+	if _, err := r.Record(empty); err != nil {
+		t.Fatal(err)
+	}
+	profs := r.Profiles("f1")
+	if len(profs) != 1 {
+		t.Fatalf("profiles = %+v, want 1", profs)
+	}
+	p := profs[0]
+	if p.SelSamples != 0 {
+		t.Fatalf("empty run produced %d selectivity samples, want 0", p.SelSamples)
+	}
+	if p.Count != 1 {
+		t.Fatalf("Count = %d, want 1 (the run still counts)", p.Count)
+	}
+	// The first real observation initializes Selectivity fresh — it is
+	// not an EWMA fold against the poisoned value.
+	full := &RunRecord{
+		Dashboard: "alpha", FlowHash: "f1", Status: "ok",
+		Stages: []StageRecord{
+			{Output: "sales", Stage: "filter_by amount > 0", RowsIn: 1000, Rows: 50, DurationUS: 100, Path: "row"},
+		},
+	}
+	if _, err := r.Record(full); err != nil {
+		t.Fatal(err)
+	}
+	p = r.Profiles("f1")[0]
+	if p.SelSamples != 1 {
+		t.Fatalf("SelSamples = %d, want 1", p.SelSamples)
+	}
+	if math.Abs(p.Selectivity-0.05) > 1e-9 {
+		t.Fatalf("Selectivity = %v, want exactly 0.05 (fresh init, no fold)", p.Selectivity)
+	}
+}
+
+// TestSubRecordsFeedSelectivityNotLatency pins the fused-run contract:
+// a Sub stage record folds row counts into the selectivity profile but
+// never touches duration baselines, latency sketches, or the
+// regression comparator.
+func TestSubRecordsFeedSelectivityNotLatency(t *testing.T) {
+	r := NewRecorder(Options{MinSamples: 1, MinDurationUS: 1, Now: fixedClock()})
+	run := func() *RunRecord {
+		return &RunRecord{
+			Dashboard: "alpha", FlowHash: "f1", Status: "ok",
+			Stages: []StageRecord{
+				{Output: "sales", Stage: "filter_by amount > 0", RowsIn: 1000, Rows: 100, Sub: true, Path: "row"},
+			},
+		}
+	}
+	if _, err := r.Record(run()); err != nil {
+		t.Fatal(err)
+	}
+	p := r.Profiles("f1")[0]
+	if p.SelSamples != 1 || math.Abs(p.Selectivity-0.1) > 1e-9 {
+		t.Fatalf("sub record did not feed selectivity: %+v", p)
+	}
+	if p.EWMAUS != 0 || p.LastUS != 0 || p.Latency.N != 0 {
+		t.Fatalf("sub record touched latency baselines: %+v", p)
+	}
+	// The comparator skips sub records entirely: no deltas, and a later
+	// slow fused stage never reads a zero baseline as regressed.
+	deltas, err := r.Record(run())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deltas) != 0 {
+		t.Fatalf("sub records produced deltas: %+v", deltas)
+	}
+}

@@ -32,6 +32,11 @@
 //	                                           (?limit=N, ?baseline=1 for the last
 //	                                           run's deltas against the EWMA
 //	                                           baseline; docs/OBSERVABILITY.md)
+//	GET  /dashboards/{name}/explain            the cost-based plan the next run
+//	                                           would execute: pushdowns, filter
+//	                                           order, path choices and the
+//	                                           evidence behind each decision
+//	                                           (docs/OPTIMIZER.md)
 //	GET  /dashboards/{name}/ops                self-hosted ops meta-dashboard
 //	GET  /metrics                              Prometheus text exposition
 //	GET  /shared                               the published-objects catalog
@@ -200,6 +205,7 @@ func (s *Server) Handler() http.Handler {
 	handle("GET /dashboards/{name}/stats", s.handleStats)
 	handle("GET /dashboards/{name}/trace", s.handleTrace)
 	handle("GET /dashboards/{name}/history", s.handleHistory)
+	handle("GET /dashboards/{name}/explain", s.handleExplain)
 	handle("GET /dashboards/{name}/ops", s.handleOps)
 	handle("GET /shared", s.handleShared)
 	handle("GET /dashboards/{name}/edit", s.handleEditor)
@@ -394,6 +400,10 @@ type stageJSON struct {
 	// Path is the execution path that ran the stage: "row" or
 	// "columnar" (docs/ENGINE.md).
 	Path string `json:"path"`
+	// Plan summarizes the optimizer rules applied to the stage's node,
+	// "as-written" when none ran (docs/OPTIMIZER.md); empty when the
+	// run executed without a cost-based plan.
+	Plan string `json:"plan,omitempty"`
 }
 
 func stagesJSON(timings []dashboard.StageTiming) []stageJSON {
@@ -402,7 +412,7 @@ func stagesJSON(timings []dashboard.StageTiming) []stageJSON {
 		out = append(out, stageJSON{
 			Output: st.Output, Stage: st.Stage, RowsIn: st.RowsIn, Rows: st.Rows,
 			DurationUS: st.Duration.Microseconds(), QueueWaitUS: st.QueueWait.Microseconds(),
-			Path: st.Path,
+			Path: st.Path, Plan: st.Plan,
 		})
 	}
 	return out
@@ -523,6 +533,36 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	jsonOK(w, statsBody(name, d, r.URL.Query().Get("full") == "1"))
+}
+
+// handleExplain reports the cost-based plan the next run would execute:
+// source pushdowns, filter order, fusion and row/columnar path choices,
+// with the evidence (history, facts or heuristic) behind each decision
+// (docs/OPTIMIZER.md). A dashboard that has run explains its live
+// compilation, so observed selectivities inform the plan; otherwise the
+// latest committed flow file is compiled — never run — on demand.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	d, err := s.liveDashboard(name)
+	if err != nil {
+		f := s.lintTarget(w, name)
+		if f == nil {
+			return
+		}
+		s.mu.RLock()
+		uploads := s.data[name]
+		s.mu.RUnlock()
+		if d, err = s.platform.Compile(f, uploads); err != nil {
+			jsonError(w, http.StatusUnprocessableEntity, diagnosed(f, err))
+			return
+		}
+	}
+	plan := d.Explain()
+	if plan == nil {
+		jsonError(w, http.StatusConflict, fmt.Errorf("optimizer disabled on this platform"))
+		return
+	}
+	jsonOK(w, map[string]any{"dashboard": name, "plan": plan, "text": plan.Format()})
 }
 
 func (s *Server) runDashboard(ctx context.Context, name string) (*dashboard.Dashboard, error) {

@@ -659,6 +659,7 @@ func TestObservabilityRoutes(t *testing.T) {
 			Stage       string `json:"stage"`
 			RowsIn      int    `json:"rows_in"`
 			QueueWaitUS int64  `json:"queue_wait_us"`
+			Plan        string `json:"plan"`
 		} `json:"timings"`
 	}
 	if err := json.Unmarshal(body, &full); err != nil {
@@ -667,14 +668,20 @@ func TestObservabilityRoutes(t *testing.T) {
 	if len(full.Timings) == 0 {
 		t.Fatalf("full stats have no timings: %s", body)
 	}
-	var sawRowsIn bool
+	var sawRowsIn, sawPlan bool
 	for _, st := range full.Timings {
 		if st.RowsIn > 0 {
 			sawRowsIn = true
 		}
+		if st.Plan != "" {
+			sawPlan = true
+		}
 	}
 	if !sawRowsIn {
 		t.Errorf("no stage reports rows_in: %s", body)
+	}
+	if !sawPlan {
+		t.Errorf("no stage carries a plan tag: %s", body)
 	}
 
 	// The trace tree names the run and the executed node.
@@ -726,5 +733,55 @@ func TestObservabilityRoutes(t *testing.T) {
 		if !strings.Contains(string(body), want) {
 			t.Errorf("/metrics missing %q", want)
 		}
+	}
+}
+
+// TestExplainEndpoint covers GET /dashboards/{name}/explain in both
+// modes: compile-on-demand for a dashboard that has never run, and the
+// live compilation (with its history-informed plan) after a run.
+func TestExplainEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	base := ts.URL + "/dashboards/sales_dash"
+
+	code, body := do(t, http.MethodGet, base+"/explain", "")
+	if code != 404 {
+		t.Fatalf("explain before create = %d, want 404: %s", code, body)
+	}
+	if code, body = do(t, http.MethodPut, base, serverFlow); code != 200 {
+		t.Fatalf("PUT = %d: %s", code, body)
+	}
+
+	// Never run: the latest commit compiles on demand. The unused
+	// product column makes a visible projection-pushdown decision.
+	code, body = do(t, http.MethodGet, base+"/explain", "")
+	if code != 200 {
+		t.Fatalf("explain = %d: %s", code, body)
+	}
+	var resp struct {
+		Dashboard string `json:"dashboard"`
+		Text      string `json:"text"`
+		Plan      struct {
+			Nodes map[string]json.RawMessage `json:"nodes"`
+			Order []string                   `json:"order"`
+		} `json:"plan"`
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("explain response not JSON: %v\n%s", err, body)
+	}
+	if resp.Dashboard != "sales_dash" || len(resp.Plan.Order) == 0 {
+		t.Errorf("explain response = %+v", resp)
+	}
+	if !strings.Contains(resp.Text, "D.sales  (source)") ||
+		!strings.Contains(resp.Text, "pushdown skip columns: product") {
+		t.Errorf("plan text missing pushdown decision:\n%s", resp.Text)
+	}
+
+	// After a run the live dashboard serves the plan.
+	if code, body = do(t, http.MethodPost, base+"/run", ""); code != 200 {
+		t.Fatalf("run = %d: %s", code, body)
+	}
+	code, body = do(t, http.MethodGet, base+"/explain", "")
+	if code != 200 || !strings.Contains(string(body), "pushdown skip columns: product") {
+		t.Errorf("explain after run = %d: %s", code, body)
 	}
 }

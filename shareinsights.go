@@ -31,6 +31,7 @@ package shareinsights
 import (
 	"shareinsights/internal/admission"
 	"shareinsights/internal/connector"
+	"shareinsights/internal/dag"
 	"shareinsights/internal/dashboard"
 	"shareinsights/internal/engine/batch"
 	"shareinsights/internal/flowfile"
@@ -106,6 +107,25 @@ type (
 	// MetricsRegistry holds counters, gauges and histograms and writes
 	// the Prometheus text exposition.
 	MetricsRegistry = obs.Registry
+)
+
+// Cost-based optimizer surfaces; see docs/OPTIMIZER.md. A Plan is what
+// Dashboard.Explain (the next run) and Dashboard.LastPlan (the run that
+// happened) return, and what `shareinsights explain` and
+// GET /dashboards/{name}/explain render.
+type (
+	// Plan is a compiled flow's cost-based execution plan: per-node
+	// stage orders, pushdowns and path choices in topological order.
+	Plan = dag.Plan
+	// NodePlan is one data object's slice of a Plan.
+	NodePlan = dag.NodePlan
+	// PlanDecision is one optimizer rewrite with the evidence
+	// (history, facts or heuristic) that justified it.
+	PlanDecision = dag.Decision
+	// SourcePushdown is a negotiated fetch-time rewrite: a predicate
+	// and/or never-read columns offered to the connector, which may
+	// decline (the pipeline re-applies the predicate either way).
+	SourcePushdown = dag.SourcePushdown
 )
 
 // Resilience and fault tolerance; see docs/RESILIENCE.md.
