@@ -39,14 +39,21 @@
 //	                                     control via -max-inflight,
 //	                                     -queue-depth, -tenant-rps,
 //	                                     -result-cache, -run-max-rows,
-//	                                     -run-max-bytes (docs/SERVING.md)
+//	                                     -run-max-bytes (docs/SERVING.md);
+//	                                     -follow <leader-url> serves as a
+//	                                     read-only replica with bounded
+//	                                     staleness via -max-lag
+//	                                     (docs/REPLICATION.md)
 //	shareinsights load [-url http://...] drive concurrent dashboard
 //	                                     sessions against a serve process
 //	                                     and report latency percentiles,
 //	                                     shed rate and cache hit rate; with
 //	                                     no -url, self-hosts a server and
 //	                                     reports ungated vs gated
-//	                                     (BENCH_serve.json shape)
+//	                                     (BENCH_serve.json shape);
+//	                                     -replica compares a durable
+//	                                     leader against a caught-up
+//	                                     follower replica instead
 //	shareinsights library                list installed tasks, operators,
 //	                                     aggregates, widgets, connectors
 //
@@ -282,6 +289,9 @@ func main() {
 		resultCache := fs.Int("result-cache", 0, "shared result cache: collapse identical concurrent runs, serve repeats until invalidated; value bounds the entry count, 0 disables")
 		runMaxRows := fs.Int64("run-max-rows", 0, "per-run budget: max materialized rows across all data objects; 0 = unbounded")
 		runMaxBytes := fs.Int64("run-max-bytes", 0, "per-run budget: max materialized bytes across all data objects; 0 = unbounded")
+		follow := fs.String("follow", "", "run as a read-only replica pulling WAL frames from the leader at this base URL (docs/REPLICATION.md); writes redirect there. With -data-dir the replication cursor survives restarts")
+		maxLag := fs.Duration("max-lag", 0, "follower: refuse dashboard reads with 503 + Retry-After once replication lag exceeds this bound; 0 serves however stale")
+		poll := fs.Duration("poll", 0, "follower: leader poll interval; 0 keeps the default (500ms)")
 		fs.Parse(args)
 		p := shareinsights.NewPlatform()
 		p.Connectors = shareinsights.NewConnectorRegistry(shareinsights.ConnectorOptions{DataDir: *dataDir})
@@ -307,7 +317,27 @@ func main() {
 			opts = append(opts, shareinsights.WithResultCache(*resultCache))
 		}
 		var st *shareinsights.Store
-		if *stateDir != "" {
+		var fol *shareinsights.Follower
+		if *follow != "" {
+			p.Metrics = shareinsights.NewMetricsRegistry()
+			fcfg := shareinsights.FollowerConfig{
+				LeaderURL:    *follow,
+				PollInterval: *poll,
+				Metrics:      p.Metrics,
+			}
+			if *stateDir != "" {
+				// A durable replica home: the cursor and applied frames
+				// survive restarts, so the follower resumes instead of
+				// re-bootstrapping.
+				fcfg.FS = store.NewOSFS(*stateDir)
+			}
+			var err error
+			fol, err = shareinsights.NewFollower(fcfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			opts = append(opts, shareinsights.WithFollower(fol, *maxLag))
+		} else if *stateDir != "" {
 			p.Metrics = shareinsights.NewMetricsRegistry()
 			var err error
 			st, err = shareinsights.NewStore(*stateDir, p.Metrics)
@@ -343,6 +373,16 @@ func main() {
 		}
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
+		if fol != nil {
+			// Catch up before accepting traffic so the first reads are not
+			// needlessly stale; a failed first sync is non-fatal (the pull
+			// loop keeps retrying) but worth announcing.
+			if err := fol.Sync(ctx); err != nil {
+				log.Printf("initial sync from %s failed: %v (serving stale; pull loop retries)", *follow, err)
+			}
+			go fol.Run(ctx)
+			fmt.Printf("following leader at %s (poll %s, max lag %s)\n", *follow, *poll, *maxLag)
+		}
 		ln, err := net.Listen("tcp", *addr)
 		if err != nil {
 			log.Fatal(err)
@@ -392,6 +432,12 @@ func main() {
 				}
 				fmt.Println("durable state closed")
 			}
+			if fol != nil {
+				if err := fol.Close(); err != nil {
+					log.Fatal(err)
+				}
+				fmt.Println("replica state closed")
+			}
 		}
 	case "load":
 		fs := flag.NewFlagSet("load", flag.ExitOnError)
@@ -405,6 +451,7 @@ func main() {
 		queueDepth := fs.Int("queue-depth", 16, "gated self-host: queue depth before shedding")
 		tenantRPS := fs.Float64("tenant-rps", 0, "gated self-host: per-tenant token-bucket rate limit; 0 disables")
 		resultCache := fs.Int("result-cache", 64, "gated self-host: result cache entries")
+		replicaCmp := fs.Bool("replica", false, "self-host compare: a durable leader vs a follower replica serving the same reads after catch-up (docs/REPLICATION.md)")
 		out := fs.String("out", "", "write the JSON report to this file instead of stdout")
 		fs.Parse(args)
 		cfg := shareinsights.LoadConfig{
@@ -422,6 +469,8 @@ func main() {
 				log.Fatal(err)
 			}
 			report = rep
+		} else if *replicaCmp {
+			report = runReplicaCompare(cfg)
 		} else {
 			// Self-host compare: the same burst against a plain server and
 			// against a gated one, so the report shows what admission
@@ -558,6 +607,15 @@ func main() {
 				"runs":      runs,
 				"profiles":  rec.Profiles(runs[0].FlowHash),
 			}
+			// The recorder's WAL position — the cursor a replica of this
+			// history would resume from (docs/REPLICATION.md).
+			if d := rec.Dir(); d != nil {
+				cur := d.Cursor()
+				body["wal"] = map[string]any{
+					"generation":       cur.Gen,
+					"committed_offset": cur.Offset,
+				}
+			}
 			if err := enc.Encode(body); err != nil {
 				log.Fatal(err)
 			}
@@ -624,6 +682,93 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: shareinsights {run|validate|lint|check|fmt|plan|explain|explore|render|time|history|profile|serve|load|library} [args]")
 	os.Exit(2)
+}
+
+// runReplicaCompare is `load -replica`: drive the burst against a
+// durable leader, let a follower replicate the resulting state, then
+// drive the same run burst against the follower (reads only — its
+// writes would 307 to the leader). The report shows what a read
+// replica buys: leader-equivalent run latency off replicated state,
+// plus the catch-up cost (docs/REPLICATION.md).
+func runReplicaCompare(cfg shareinsights.LoadConfig) map[string]any {
+	leaderDir, err := os.MkdirTemp("", "si-load-leader-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(leaderDir)
+	lp := shareinsights.NewPlatform()
+	lp.Metrics = shareinsights.NewMetricsRegistry()
+	st, err := shareinsights.NewStore(leaderDir, lp.Metrics)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lsrv := shareinsights.NewServer(lp, shareinsights.WithStore(st))
+	lln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	lhs := &http.Server{Handler: lsrv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	go lhs.Serve(lln)
+	leaderURL := "http://" + lln.Addr().String()
+
+	lc := cfg
+	lc.BaseURL = leaderURL
+	leaderRep, err := shareinsights.RunLoad(lc)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fp := shareinsights.NewPlatform()
+	fp.Metrics = shareinsights.NewMetricsRegistry()
+	fol, err := shareinsights.NewFollower(shareinsights.FollowerConfig{
+		LeaderURL: leaderURL,
+		Metrics:   fp.Metrics,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fsrv := shareinsights.NewServer(fp, shareinsights.WithFollower(fol, 0))
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	t0 := time.Now()
+	if err := fol.Sync(ctx); err != nil {
+		log.Fatal(err)
+	}
+	catchup := time.Since(t0)
+	fln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fhs := &http.Server{Handler: fsrv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	go fhs.Serve(fln)
+
+	fc := cfg
+	fc.BaseURL = "http://" + fln.Addr().String()
+	fc.SkipSetup = true
+	followerRep, err := shareinsights.RunLoad(fc)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer scancel()
+	fhs.Shutdown(sctx)
+	lhs.Shutdown(sctx)
+	if err := fol.Close(); err != nil {
+		log.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		log.Fatal(err)
+	}
+	return map[string]any{
+		"config": map[string]any{
+			"dashboards": cfg.Dashboards, "workers": cfg.Workers,
+			"requests": cfg.Requests, "tenants": cfg.Tenants, "rows": cfg.Rows,
+		},
+		"leader":     leaderRep,
+		"follower":   followerRep,
+		"catchup_ms": float64(catchup.Microseconds()) / 1000,
+	}
 }
 
 // startLoadServer spins up an in-process serve instance on a loopback

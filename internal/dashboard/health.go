@@ -69,6 +69,15 @@ func (c *SourceCache) Seed(dash, source string, t *table.Table) {
 	c.entries[dash+"\x00"+source] = t
 }
 
+// Reset drops every cached entry, keeping the journal hook. A replica
+// applying a full bootstrap snapshot resets first so entries absent
+// from the snapshot do not linger (docs/REPLICATION.md).
+func (c *SourceCache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = map[string]*table.Table{}
+}
+
 // Each visits every cached entry (snapshot export).
 func (c *SourceCache) Each(fn func(dash, source string, t *table.Table)) {
 	c.mu.Lock()

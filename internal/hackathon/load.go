@@ -40,6 +40,12 @@ type LoadConfig struct {
 	Rows int
 	// Timeout bounds each request (default 30s).
 	Timeout time.Duration
+	// SkipSetup skips the dashboard-creation and CSV-upload phase: the
+	// target already holds the dashboards — e.g. a read-only replica that
+	// replicated them from a leader a prior RunLoad set up. The replica
+	// rejects the PUTs anyway (307 to the leader), so a read-split
+	// comparison must skip them.
+	SkipSetup bool
 }
 
 func (c *LoadConfig) defaults() {
@@ -95,6 +101,7 @@ D:
 D.sales:
   source: data:sales.csv
   format: csv
+  on_error: stale
 
 F:
   +D.by_region: D.sales | T.sum_by_region
@@ -147,6 +154,9 @@ func RunLoad(cfg LoadConfig) (*LoadReport, error) {
 	names := make([]string, cfg.Dashboards)
 	for i := range names {
 		names[i] = fmt.Sprintf("load_%d", i)
+		if cfg.SkipSetup {
+			continue
+		}
 		dashURL := base + "/dashboards/" + names[i]
 		if err := put(dashURL, loadFlow); err != nil {
 			return nil, fmt.Errorf("load setup: %w", err)

@@ -295,19 +295,9 @@ func Open(fs store.FS, opts Options) (*Recorder, error) {
 	if err != nil {
 		return nil, err
 	}
-	if len(rec.Snapshot) > 0 {
-		var snap snapshot
-		if err := json.Unmarshal(rec.Snapshot, &snap); err != nil {
-			dir.Close()
-			return nil, fmt.Errorf("history: decode snapshot: %w", err)
-		}
-		r.seq = snap.Seq
-		for _, run := range snap.Runs {
-			r.runs[run.Dashboard] = append(r.runs[run.Dashboard], run)
-		}
-		for _, p := range snap.Profiles {
-			r.profiles[profKey{p.FlowHash, p.Output, p.Stage}] = p
-		}
+	if err := r.loadSnapshotLocked(rec.Snapshot); err != nil {
+		dir.Close()
+		return nil, err
 	}
 	for _, rc := range rec.Records {
 		if rc.Type != recRun {

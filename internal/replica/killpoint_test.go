@@ -1,0 +1,204 @@
+package replica
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"shareinsights/internal/dashboard"
+	"shareinsights/internal/obs/history"
+	"shareinsights/internal/resilience"
+	"shareinsights/internal/store"
+	"shareinsights/internal/store/persist"
+	"shareinsights/internal/vcs"
+)
+
+// swapHandler lets one listener outlive a leader "process": after the
+// crash the recovered store's handler is swapped in at the same URL,
+// modeling a leader restart on the same address.
+type swapHandler struct{ h atomic.Value }
+
+func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.h.Load().(http.Handler).ServeHTTP(w, r)
+}
+
+// runKillWorkload drives the shipping-path workload — commits,
+// publishes, cache puts, history records, a branch, with compaction
+// rotations inside the window — stopping at the first failed operation
+// (after a crash point fires, everything fails). The follower syncs
+// between steps, so its applied prefix is mid-stream when the leader
+// dies.
+func runKillWorkload(ctx context.Context, st *persist.Store, p *dashboard.Platform, f *Follower) {
+	repo := vcs.NewRepo("alpha")
+	repo.SetClock(fixedClock())
+	if st.AdoptRepo(repo) != nil {
+		return
+	}
+	at := time.Date(2015, 6, 1, 0, 0, 0, 0, time.UTC)
+	steps := []func() error{
+		func() error { _, err := repo.Commit(vcs.DefaultBranch, "ann", "c1", []byte("flow v1")); return err },
+		func() error { _, err := p.Catalog.Publish("alpha", "sales", sampleTable(1)); return err },
+		func() error { p.LastGood.Put("alpha", "raw", sampleTable(2)); return nil },
+		func() error {
+			_, err := p.History.Record(&history.RunRecord{Dashboard: "alpha", FlowHash: "h1", Status: "ok", StartedAt: at})
+			return err
+		},
+		func() error { _, err := repo.Commit(vcs.DefaultBranch, "ann", "c2", []byte("flow v2")); return err },
+		func() error { _, err := p.Catalog.Publish("alpha", "sales", sampleTable(3)); return err },
+		func() error { return repo.Branch(vcs.DefaultBranch, "dev") },
+		func() error { _, err := repo.Commit(vcs.DefaultBranch, "ann", "c3", []byte("flow v3")); return err },
+		func() error { _, err := p.Catalog.Publish("alpha", "metrics", sampleTable(4)); return err },
+		func() error {
+			_, err := p.History.Record(&history.RunRecord{Dashboard: "alpha", FlowHash: "h1", Status: "degraded", StartedAt: at.Add(time.Second)})
+			return err
+		},
+	}
+	for i, step := range steps {
+		if step() != nil {
+			return
+		}
+		if i%2 == 1 {
+			f.Sync(ctx) // best-effort mid-stream catch-up
+		}
+	}
+	f.Sync(ctx)
+}
+
+// verifyAppliedPrefix asserts the follower's applied state is a prefix
+// of the recovered leader's acknowledged state: every follower commit,
+// object version and history sequence exists on the recovered leader.
+// The follower only ever receives committed (fsynced and acknowledged)
+// bytes, and those survive every crash policy — so nothing the follower
+// holds may be missing after leader recovery.
+func verifyAppliedPrefix(t *testing.T, name string, comps *persist.Components, st2 *persist.Store, p2 *dashboard.Platform) {
+	t.Helper()
+	for rn, fr := range comps.Repos() {
+		lr := st2.Repos()[rn]
+		if lr == nil {
+			t.Fatalf("%s: follower repo %q missing on recovered leader", name, rn)
+		}
+		fs, ls := fr.State(), lr.State()
+		for hash, fc := range fs.Commits {
+			lc, ok := ls.Commits[hash]
+			if !ok {
+				t.Fatalf("%s: follower commit %s missing on recovered leader", name, hash[:10])
+			}
+			if string(ls.Blobs[lc.Blob]) != string(fs.Blobs[fc.Blob]) {
+				t.Fatalf("%s: commit %s content differs", name, hash[:10])
+			}
+		}
+	}
+	fcat := comps.Catalog()
+	for _, on := range fcat.Names() {
+		fo, _ := fcat.Resolve(on)
+		lo, ok := p2.Catalog.Resolve(on)
+		if !ok || lo.Version < fo.Version {
+			t.Fatalf("%s: follower object %s@v%d ahead of recovered leader (ok=%v)", name, on, fo.Version, ok)
+		}
+		if lo.Version == fo.Version && lo.Data.Fingerprint() != fo.Data.Fingerprint() {
+			t.Fatalf("%s: object %s@v%d content differs", name, on, fo.Version)
+		}
+	}
+	if fseq, lseq := comps.History().Seq(), p2.History.Seq(); fseq > lseq {
+		t.Fatalf("%s: follower history seq %d ahead of recovered leader %d", name, fseq, lseq)
+	}
+}
+
+// TestLeaderKillPointMatrix crashes the leader at every write, fsync,
+// create, rename and remove its shipping path performs — mid-record and
+// post-op included, under the conservative and the page-cache-surviving
+// durability policies — while a follower syncs mid-stream. After each
+// crash: the follower's applied prefix must be a prefix of the
+// recovered leader's acknowledged state, and a resync against the
+// recovered leader (same URL, swapped process) must reach full
+// equality.
+func TestLeaderKillPointMatrix(t *testing.T) {
+	type variant struct {
+		op      store.Op
+		mode    store.Mode
+		partial int
+		policy  store.UnsyncedPolicy
+	}
+	variants := []variant{
+		{store.OpWrite, store.Crash, 0, store.DropUnsynced},
+		{store.OpWrite, store.Crash, 7, store.DropUnsynced}, // torn mid-record
+		{store.OpSync, store.Crash, 0, store.DropUnsynced},
+		{store.OpWrite, store.CrashAfter, 0, store.DropUnsynced},
+		{store.OpSync, store.CrashAfter, 0, store.DropUnsynced},
+		{store.OpRename, store.Crash, 0, store.DropUnsynced},
+		{store.OpCreate, store.Crash, 0, store.DropUnsynced},
+		{store.OpRemove, store.CrashAfter, 0, store.DropUnsynced},
+		{store.OpSync, store.Crash, 0, store.KeepUnsynced},
+		{store.OpWrite, store.Crash, 7, store.TornUnsynced},
+	}
+	ctx := context.Background()
+	bigBreaker := resilience.BreakerConfig{FailureThreshold: 1 << 30}
+	for _, v := range variants {
+		fired := 0
+		for after := 0; ; after++ {
+			name := fmt.Sprintf("%s/mode=%d/partial=%d/policy=%d/after=%d", v.op, v.mode, v.partial, v.policy, after)
+			ffs := store.NewFaultFS()
+			ffs.Inject(store.Fault{Op: v.op, After: after, Mode: v.mode, Partial: v.partial})
+			// Small compaction threshold so snapshot rotations (create,
+			// rename, remove kill points) happen inside the window.
+			st, err := persist.Open(ffs, persist.Options{Now: fixedClock(), CompactRecords: 3})
+			sh := &swapHandler{}
+			ts := httptest.NewServer(sh)
+			var f *Follower
+			if err == nil {
+				sh.h.Store(leaderHandler(st))
+				p := dashboard.NewPlatform()
+				var ferr error
+				f, ferr = New(Config{LeaderURL: ts.URL, Retry: noRetry, Breaker: bigBreaker})
+				if ferr != nil {
+					t.Fatal(ferr)
+				}
+				if st.WirePlatform(p) == nil {
+					runKillWorkload(ctx, st, p, f)
+				}
+			}
+			if !ffs.Crashed() {
+				ts.Close()
+				if f != nil {
+					f.Close()
+				}
+				if err != nil {
+					t.Fatalf("%s: open failed without crash: %v", name, err)
+				}
+				break // swept past the last matching operation
+			}
+			fired++
+			durable := ffs.Durable(v.policy)
+			st2, err := persist.Open(durable, persist.Options{Now: fixedClock(), CompactRecords: 3})
+			if err != nil {
+				t.Fatalf("%s: recovery open failed: %v", name, err)
+			}
+			p2 := dashboard.NewPlatform()
+			if err := st2.WirePlatform(p2); err != nil {
+				t.Fatalf("%s: wire recovered platform: %v", name, err)
+			}
+			if f != nil {
+				verifyAppliedPrefix(t, name, f.Components(), st2, p2)
+				// Leader "restarts" on the same address; the follower must
+				// resume (or re-bootstrap on a generation mismatch) to full
+				// equality with the recovered state.
+				sh.h.Store(leaderHandler(st2))
+				if err := f.Sync(ctx); err != nil {
+					t.Fatalf("%s: resync after leader recovery: %v", name, err)
+				}
+				assertReplicated(t, name, st2, p2, f.Components())
+				f.Close()
+			}
+			ts.Close()
+			st2.Close()
+		}
+		t.Logf("variant %s/mode=%d/policy=%d fired %d times", v.op, v.mode, v.policy, fired)
+		if fired == 0 {
+			t.Errorf("variant %s/mode=%d never fired", v.op, v.mode)
+		}
+	}
+}

@@ -245,6 +245,9 @@ func (s *Server) opsPanels() []ops.Panel {
 			{"invalidations", st.Invalidations},
 		})})
 	}
+	if s.follower != nil {
+		panels = append(panels, s.replicationPanel())
+	}
 	return panels
 }
 

@@ -113,6 +113,8 @@ func TestServerRestartPreservesState(t *testing.T) {
 		Store      []struct {
 			Component string `json:"component"`
 			Records   int    `json:"records_replayed"`
+			Gen       uint64 `json:"generation"`
+			Committed int64  `json:"committed_offset"`
 		} `json:"store"`
 	}
 	if err := json.Unmarshal(body, &h); err != nil {
@@ -121,12 +123,20 @@ func TestServerRestartPreservesState(t *testing.T) {
 	if h.Status != "ok" || h.Durability != "durable" || len(h.Store) != 4 {
 		t.Fatalf("health = %s", body)
 	}
-	replayed := 0
+	replayed, shipped := 0, 0
 	for _, cs := range h.Store {
 		replayed += cs.Records
+		// The shipping cursor (docs/REPLICATION.md): committed offset is
+		// at least the WAL magic on every component.
+		if cs.Committed > 8 {
+			shipped++
+		}
 	}
 	if replayed == 0 {
 		t.Fatalf("no records replayed on recovery: %s", body)
+	}
+	if shipped == 0 {
+		t.Fatalf("no component exposes a shipping cursor: %s", body)
 	}
 
 	// Metrics: the si_store_* series are exposed.

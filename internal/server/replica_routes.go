@@ -1,0 +1,119 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"shareinsights/internal/obs/ops"
+	"shareinsights/internal/replica"
+	"shareinsights/internal/table"
+	"shareinsights/internal/value"
+)
+
+// ReplicaLagHeader carries a follower's replication lag in seconds on
+// every response it serves, so clients always know how stale a read
+// was (docs/REPLICATION.md).
+const ReplicaLagHeader = "X-SI-Replica-Lag"
+
+// WithFollower runs the server as a read-only replica fed by the given
+// follower: dashboard reads serve the replicated state, writes answer
+// 307 with the leader's URL, and reads refuse with 503 + Retry-After
+// once the replication lag exceeds maxLag (0 = serve however stale).
+// Mutually exclusive with WithStore.
+func WithFollower(f *replica.Follower, maxLag time.Duration) Option {
+	return func(s *Server) {
+		s.follower = f
+		s.followerMaxLag = maxLag
+	}
+}
+
+// Follower exposes the attached follower (nil on leaders).
+func (s *Server) Follower() *replica.Follower { return s.follower }
+
+// replicaRoutes mounts the leader-side shipping endpoints. Only servers
+// with a durable store ship WALs.
+func (s *Server) replicaRoutes(handle func(pattern string, h http.HandlerFunc)) {
+	l := replica.NewLeader(s.store)
+	handle("GET /replica/status", l.ServeStatus)
+	handle("GET /replica/wal/{component}", l.ServeWAL)
+	handle("GET /replica/bootstrap/{component}", l.ServeBootstrap)
+}
+
+// isReplicaWrite classifies requests a follower must not apply locally:
+// every PUT/DELETE/PATCH, plus the POST routes that mutate repositories
+// (branch, merge, fork). POST run/select stay local — they execute the
+// replicated flow ephemerally and never touch journaled state.
+func isReplicaWrite(r *http.Request) bool {
+	switch r.Method {
+	case http.MethodPut, http.MethodDelete, http.MethodPatch:
+		return true
+	case http.MethodPost:
+		p := r.URL.Path
+		return strings.Contains(p, "/branches/") || strings.Contains(p, "/merge/") || strings.Contains(p, "/fork/")
+	}
+	return false
+}
+
+// stalenessGated reports whether a path serves replicated data and so
+// falls under the -max-lag bound. Health, metrics and the ops page stay
+// reachable on an arbitrarily stale follower — they describe this
+// process, and are exactly what an operator needs when replication is
+// the thing that broke.
+func stalenessGated(path string) bool {
+	if strings.HasSuffix(path, "/ops") {
+		return false
+	}
+	return strings.HasPrefix(path, "/dashboards") || strings.HasPrefix(path, "/shared") || strings.HasPrefix(path, "/ds")
+}
+
+// followerGuard enforces the replica serving contract around every
+// route: leader redirect for writes, lag header on everything, bounded
+// staleness on data reads.
+func (s *Server) followerGuard(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if isReplicaWrite(r) {
+			target := strings.TrimSuffix(s.follower.LeaderURL(), "/") + r.URL.RequestURI()
+			w.Header().Set("Location", target)
+			jsonError(w, http.StatusTemporaryRedirect,
+				fmt.Errorf("read-only replica: write to the leader at %s", target))
+			return
+		}
+		lag := s.follower.Lag()
+		w.Header().Set(ReplicaLagHeader, strconv.FormatFloat(lag.Seconds(), 'f', 3, 64))
+		if s.followerMaxLag > 0 && lag > s.followerMaxLag && stalenessGated(r.URL.Path) {
+			w.Header().Set("Retry-After", "1")
+			jsonError(w, http.StatusServiceUnavailable,
+				fmt.Errorf("replica lag %.1fs exceeds max-lag %s; retry or read the leader", lag.Seconds(), s.followerMaxLag))
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// replicationPanel is the follower's ops-page panel: lag, applied
+// sequence, breaker state and per-component apply counters.
+func (s *Server) replicationPanel() ops.Panel {
+	st := s.follower.Status()
+	t := table.New(opsPanelSchema)
+	add := func(metric string, v int64) {
+		t.AppendValues(value.NewString(metric), value.NewInt(v))
+	}
+	add("lag_ms", int64(s.follower.Lag().Milliseconds()))
+	add("applied_seq", int64(st.AppliedSeq))
+	add("breaker_state", int64(s.follower.Breaker().State()))
+	names := make([]string, 0, len(st.Components))
+	for n := range st.Components {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		cs := st.Components[n]
+		add("frames_applied_"+n, int64(cs.FramesApplied))
+		add("bootstraps_"+n, int64(cs.Bootstraps))
+	}
+	return ops.Panel{Name: "replication", Table: t}
+}

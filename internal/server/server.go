@@ -58,6 +58,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"shareinsights/internal/admission"
 	"shareinsights/internal/analyze"
@@ -70,6 +71,7 @@ import (
 	"shareinsights/internal/obs/history"
 	"shareinsights/internal/obs/ops"
 	"shareinsights/internal/profile"
+	"shareinsights/internal/replica"
 	"shareinsights/internal/store/persist"
 	"shareinsights/internal/table"
 	"shareinsights/internal/vcs"
@@ -80,6 +82,11 @@ type Server struct {
 	platform *dashboard.Platform
 	httpm    *obs.HTTPMetrics
 	store    *persist.Store // nil when running in-memory
+
+	// follower makes this server a read-only replica serving state pulled
+	// from a leader (docs/REPLICATION.md); nil on leaders.
+	follower       *replica.Follower
+	followerMaxLag time.Duration
 
 	// gate and resultCache implement front-door admission control and
 	// run-result sharing (docs/SERVING.md); both nil unless enabled via
@@ -143,6 +150,25 @@ func New(p *dashboard.Platform, opts ...Option) *Server {
 	}
 	for _, opt := range opts {
 		opt(s)
+	}
+	if s.follower != nil {
+		if s.store != nil {
+			panic("server: WithStore and WithFollower are mutually exclusive")
+		}
+		// Serve the replicated state directly: the follower's components
+		// are internally locked, so the pull loop can keep applying frames
+		// while handlers read.
+		comps := s.follower.Components()
+		p.Catalog = comps.Catalog()
+		p.Catalog.SetMetrics(p.Metrics)
+		p.LastGood = comps.Cache()
+		p.History = comps.History()
+		s.repos = comps.Repos()
+		comps.OnRepos(func(repos map[string]*vcs.Repo) {
+			s.mu.Lock()
+			s.repos = repos
+			s.mu.Unlock()
+		})
 	}
 	// Every server records run history; a durable store replaces this
 	// memory-only recorder with its journaled one in WirePlatform.
@@ -213,6 +239,12 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /metrics", s.platform.Metrics.Handler())
 	s.vcsRoutes(mux)
 	s.discoveryRoutes(mux)
+	if s.store != nil {
+		s.replicaRoutes(handle)
+	}
+	if s.follower != nil {
+		return s.followerGuard(mux)
+	}
 	return mux
 }
 
@@ -486,6 +518,16 @@ func (s *Server) handleServerHealth(w http.ResponseWriter, r *http.Request) {
 	dashboards := len(s.repos)
 	s.mu.RUnlock()
 	body := map[string]any{"status": "ok", "dashboards": dashboards}
+	if s.follower != nil {
+		body["durability"] = "replica"
+		st := s.follower.Status()
+		body["replication"] = st
+		if s.follower.Degraded() || (s.followerMaxLag > 0 && s.follower.Lag() > s.followerMaxLag) {
+			body["status"] = "degraded"
+		}
+		jsonOK(w, body)
+		return
+	}
 	if s.store == nil {
 		body["durability"] = "in-memory"
 		jsonOK(w, body)

@@ -78,12 +78,16 @@ type Store struct {
 }
 
 // ComponentStatus is one component's durability state for the health
-// surface: the recovery outcome plus current WAL size and damage.
+// surface: the recovery outcome plus current WAL size, damage, and the
+// shipping cursor (generation + committed offset) followers track
+// (docs/REPLICATION.md).
 type ComponentStatus struct {
 	store.Recovery
-	WALBytes   int    `json:"wal_bytes"`
-	WALRecords int    `json:"wal_records"`
-	Damaged    string `json:"damaged,omitempty"`
+	WALBytes        int    `json:"wal_bytes"`
+	WALRecords      int    `json:"wal_records"`
+	Generation      uint64 `json:"generation"`
+	CommittedOffset int64  `json:"committed_offset"`
+	Damaged         string `json:"damaged,omitempty"`
 }
 
 // Open opens (creating if needed) the durable store under fs and runs
@@ -320,16 +324,7 @@ func (s *Store) catalogJournal(e share.Entry) error {
 		return err
 	}
 	if s.wantCompact(s.catC.dir) {
-		objs := s.shadowCatalog.Objects()
-		snap := catSnapshot{Objects: make([]catObject, 0, len(objs))}
-		for _, o := range objs {
-			blob := encodeTable(o.Data)
-			snap.Objects = append(snap.Objects, catObject{
-				Kind: share.EntryPublish, Name: o.Name, Dashboard: o.Dashboard,
-				Version: o.Version, UpdatedAt: o.UpdatedAt, Table: &blob,
-			})
-		}
-		if payload, err := json.Marshal(snap); err == nil {
+		if payload, err := json.Marshal(exportCatalog(s.shadowCatalog)); err == nil {
 			s.catC.dir.Snapshot(payload, s.now())
 		}
 	}
@@ -350,17 +345,7 @@ func (s *Store) cacheJournal(dash, source string, t *table.Table) error {
 	}
 	s.shadowCache.Seed(dash, source, t)
 	if s.wantCompact(s.cacheC.dir) {
-		snap := cacheSnapshot{}
-		s.shadowCache.Each(func(d, src string, tb *table.Table) {
-			snap.Entries = append(snap.Entries, cacheRecord{Dashboard: d, Source: src, Table: encodeTable(tb)})
-		})
-		sort.Slice(snap.Entries, func(a, b int) bool {
-			if snap.Entries[a].Dashboard != snap.Entries[b].Dashboard {
-				return snap.Entries[a].Dashboard < snap.Entries[b].Dashboard
-			}
-			return snap.Entries[a].Source < snap.Entries[b].Source
-		})
-		if payload, err := json.Marshal(snap); err == nil {
+		if payload, err := json.Marshal(exportCache(s.shadowCache)); err == nil {
 			s.cacheC.dir.Snapshot(payload, s.now())
 		}
 	}
@@ -439,6 +424,8 @@ func (s *Store) Status() []ComponentStatus {
 	for i, dir := range dirs {
 		st := ComponentStatus{Recovery: *s.recoveries[i]}
 		st.WALBytes, st.WALRecords = dir.WALSize()
+		cur := dir.Cursor()
+		st.Generation, st.CommittedOffset = cur.Gen, cur.Offset
 		if err := dir.Damaged(); err != nil {
 			st.Damaged = err.Error()
 		}
@@ -449,6 +436,10 @@ func (s *Store) Status() []ComponentStatus {
 	hst := ComponentStatus{Recovery: *s.recorder.Recovery()}
 	var damaged error
 	hst.WALBytes, hst.WALRecords, damaged = s.recorder.Status()
+	if hdir := s.recorder.Dir(); hdir != nil {
+		cur := hdir.Cursor()
+		hst.Generation, hst.CommittedOffset = cur.Gen, cur.Offset
+	}
 	if damaged != nil {
 		hst.Damaged = damaged.Error()
 	}

@@ -29,6 +29,8 @@
 package shareinsights
 
 import (
+	"time"
+
 	"shareinsights/internal/admission"
 	"shareinsights/internal/connector"
 	"shareinsights/internal/dag"
@@ -37,6 +39,7 @@ import (
 	"shareinsights/internal/flowfile"
 	"shareinsights/internal/hackathon"
 	"shareinsights/internal/obs"
+	"shareinsights/internal/replica"
 	"shareinsights/internal/resilience"
 	"shareinsights/internal/schema"
 	"shareinsights/internal/server"
@@ -200,6 +203,25 @@ type Store = persist.Store
 
 // WithStore attaches a durable state store to a server.
 func WithStore(st *Store) ServerOption { return server.WithStore(st) }
+
+// Follower pulls a leader's WAL frames and maintains a replicated copy
+// of its durable state (docs/REPLICATION.md); see NewFollower.
+type Follower = replica.Follower
+
+// FollowerConfig parameterizes NewFollower: leader URL, durable cursor
+// filesystem, retry policy, circuit breaker and poll cadence.
+type FollowerConfig = replica.Config
+
+// NewFollower builds a WAL-shipping follower. Run its pull loop with
+// Run, then serve the replicated state via WithFollower.
+func NewFollower(cfg FollowerConfig) (*Follower, error) { return replica.New(cfg) }
+
+// WithFollower runs the server as a read-only replica of the follower's
+// leader: reads serve replicated state (refused with 503 once lag
+// exceeds maxLag, 0 = unbounded), writes redirect to the leader.
+func WithFollower(f *Follower, maxLag time.Duration) ServerOption {
+	return server.WithFollower(f, maxLag)
+}
 
 // AdmissionConfig tunes the server's front-door admission gate: global
 // concurrency and queue bounds, per-tenant rate limits and quotas
